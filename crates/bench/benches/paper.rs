@@ -1,0 +1,132 @@
+//! Criterion benches — one group per paper table/figure, at reduced
+//! scale. These measure the *simulator's* wall-clock cost per
+//! experiment (the scientific outputs come from the `tables` binary);
+//! they serve as regression guards so the full-scale harness stays
+//! runnable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipstorage_core::experiments::data::{read_file, write_file, Pattern};
+use ipstorage_core::experiments::micro::{measure_op, CacheState};
+use ipstorage_core::{Protocol, Testbed};
+use workloads::{postmark, PostmarkConfig};
+
+fn bench_micro_syscalls(c: &mut Criterion) {
+    // Tables 2/3: one representative syscall measurement per protocol.
+    let mut g = c.benchmark_group("table2_micro_syscalls");
+    g.sample_size(10);
+    for proto in Protocol::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("cold_mkdir_d3", proto.label()),
+            &proto,
+            |b, &p| b.iter(|| measure_op(p, "mkdir", 3, CacheState::Cold)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    // Figure 3: a 64-op iSCSI creat batch.
+    let mut g = c.benchmark_group("figure3_batching");
+    g.sample_size(10);
+    g.bench_function("iscsi_creat_batch64", |b| {
+        b.iter(|| {
+            let tb = Testbed::with_protocol(Protocol::Iscsi);
+            for i in 0..64 {
+                tb.fs().creat(&format!("/f{i}")).unwrap();
+            }
+            tb.settle();
+            tb.messages()
+        })
+    });
+    g.finish();
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    // Table 4 / Figure 6: 4 MB transfers per protocol and pattern.
+    let mut g = c.benchmark_group("table4_transfers");
+    g.sample_size(10);
+    for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+        for (name, pattern) in [("seq", Pattern::Sequential), ("rand", Pattern::Random)] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("write_{name}_4mb"), proto.label()),
+                &proto,
+                |b, &p| {
+                    b.iter(|| {
+                        let tb = Testbed::with_protocol(p);
+                        write_file(&tb, "/w", 4, pattern).time
+                    })
+                },
+            );
+        }
+        g.bench_with_input(
+            BenchmarkId::new("read_seq_4mb", proto.label()),
+            &proto,
+            |b, &p| {
+                b.iter(|| {
+                    let tb = Testbed::with_protocol(p);
+                    let _ = write_file(&tb, "/f", 4, Pattern::Sequential);
+                    read_file(&tb, "/f", 4, Pattern::Sequential).time
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_postmark(c: &mut Criterion) {
+    // Tables 5/9/10: a small PostMark per protocol.
+    let mut g = c.benchmark_group("table5_postmark");
+    g.sample_size(10);
+    let cfg = PostmarkConfig {
+        file_count: 100,
+        transactions: 500,
+        subdirs: 10,
+        ..PostmarkConfig::default()
+    };
+    for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+        g.bench_with_input(
+            BenchmarkId::new("postmark", proto.label()),
+            &proto,
+            |b, &p| {
+                b.iter(|| {
+                    let tb = Testbed::with_protocol(p);
+                    postmark::run(tb.fs(), "/pm", cfg).unwrap();
+                    tb.settle();
+                    tb.messages()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_traces(c: &mut Criterion) {
+    // Figure 7 / §7: trace generation + the cache simulation.
+    let mut g = c.benchmark_group("figure7_traces");
+    g.sample_size(10);
+    g.bench_function("generate_and_simulate", |b| {
+        b.iter(|| {
+            let cfg = traces::TraceConfig {
+                events: 20_000,
+                ..traces::TraceConfig::day(traces::Profile::Eecs)
+            };
+            let ev = traces::generate(cfg);
+            let r = traces::simulate_metadata_cache(&ev, 1024);
+            (
+                r.cached_messages,
+                traces::simulate_delegation(&ev, 32).delegated_messages,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_micro_syscalls,
+    bench_batching,
+    bench_transfers,
+    bench_postmark,
+    bench_traces
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! tables                    # everything (can take a while)
+//! tables table2 figure5 ... # a selection
+//! tables --quick            # reduced-scale versions of the slow ones
+//! ```
+
+use ipstorage_core::experiments::{data, enhance, macrob, micro};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    if want("table2") {
+        println!("{}\n", micro::table2().render());
+    }
+    if want("table3") {
+        println!("{}\n", micro::table3().render());
+    }
+    if want("figure3") {
+        println!("{}\n", micro::figure3().render());
+    }
+    if want("figure4") {
+        println!("{}\n", micro::figure4().render());
+    }
+    if want("figure5") {
+        println!("{}\n", micro::figure5().render());
+    }
+    if want("table4") {
+        let t = if quick {
+            data::table4_with(16)
+        } else {
+            data::table4()
+        };
+        println!("{}\n", t.render());
+    }
+    if want("figure6") {
+        let (rtts, mb): (&[u64], u64) = if quick {
+            (&[10, 50, 90], 16)
+        } else {
+            (&[10, 30, 50, 70, 90], data::FILE_MB)
+        };
+        let d = data::figure6_data(rtts, mb);
+        println!("{}\n", data::figure6_table(&d, rtts, mb).render());
+        let (reads, writes) = data::figure6_plots(&d);
+        println!("{}\n{}\n", reads.render(), writes.render());
+    }
+    if want("table5") {
+        let t = if quick {
+            macrob::table5_with(&[1000, 5000], 10_000)
+        } else {
+            macrob::table5()
+        };
+        println!("{}\n", t.render());
+    }
+    if want("table6") {
+        println!("{}\n", macrob::table6().render());
+    }
+    if want("table7") {
+        let t = if quick {
+            macrob::table7_with(workloads::DssConfig {
+                db_pages: 32_768,
+                ..workloads::DssConfig::default()
+            })
+        } else {
+            macrob::table7()
+        };
+        println!("{}\n", t.render());
+    }
+    if want("table8") {
+        println!("{}\n", macrob::table8().render());
+    }
+    if want("table9") || want("table10") {
+        let (t9, t10) = macrob::table9_10();
+        println!("{}\n", t9.render());
+        println!("{}\n", t10.render());
+    }
+    if want("figure7") {
+        println!("{}\n", enhance::figure7().render());
+    }
+    if want("section7") {
+        for t in enhance::section7() {
+            println!("{}\n", t.render());
+        }
+    }
+    if want("ablations") && !selected.is_empty() {
+        for t in ipstorage_core::experiments::ablation::all() {
+            println!("{}\n", t.render());
+        }
+    }
+}

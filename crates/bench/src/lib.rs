@@ -1,0 +1,3 @@
+//! Benchmark harness crate. The real entry points are the Criterion
+//! benches under `benches/` and the `tables` binary that regenerates
+//! every table and figure of the paper; see `src/bin/tables.rs`.

@@ -1,0 +1,219 @@
+//! Mechanical disk timing model.
+//!
+//! Approximates the paper's 10,000 RPM Ultra-160 SCSI drives: a
+//! request pays positioning time (seek + half-rotation) unless it is
+//! sequential with the previous request, plus media transfer time
+//! proportional to its size.
+
+use crate::{BlockDevice, BlockNo, IoCost, Result, BLOCK_SIZE};
+use simkit::SimDuration;
+use std::cell::{Cell, RefCell};
+
+/// Mechanical parameters of a disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskParams {
+    /// Average seek time for a random access.
+    pub avg_seek: SimDuration,
+    /// Time for one full platter rotation (10,000 RPM → 6 ms).
+    pub rotation: SimDuration,
+    /// Sustained media transfer rate in bytes per second.
+    pub transfer_rate: u64,
+}
+
+impl DiskParams {
+    /// Parameters approximating the paper's 18 GB 10,000 RPM
+    /// Ultra-160 SCSI drives (Seagate Cheetah class): 5.2 ms average
+    /// seek, 6 ms rotation, 40 MB/s sustained transfer.
+    pub fn ultra160_10k() -> Self {
+        DiskParams {
+            avg_seek: SimDuration::from_micros(5_200),
+            rotation: SimDuration::from_micros(6_000),
+            transfer_rate: 40_000_000,
+        }
+    }
+
+    /// Positioning cost of a random (non-sequential) access.
+    pub fn positioning(&self) -> SimDuration {
+        self.avg_seek + self.rotation / 2
+    }
+
+    /// Media transfer time for `bytes`.
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.transfer_rate)
+    }
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams::ultra160_10k()
+    }
+}
+
+/// Cumulative request statistics maintained by a [`DiskModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Read requests serviced.
+    pub read_reqs: u64,
+    /// Write requests serviced.
+    pub write_reqs: u64,
+    /// Blocks read.
+    pub read_blocks: u64,
+    /// Blocks written.
+    pub write_blocks: u64,
+    /// Requests that were sequential with their predecessor.
+    pub sequential_reqs: u64,
+    /// Total service time accumulated.
+    pub busy: SimDuration,
+}
+
+/// A [`BlockDevice`] decorator that adds mechanical service time to an
+/// underlying store (normally a [`MemDisk`](crate::MemDisk)).
+#[derive(Debug)]
+pub struct DiskModel<D> {
+    inner: D,
+    params: DiskParams,
+    /// Block just past the previous request (for sequentiality).
+    head: Cell<Option<BlockNo>>,
+    stats: RefCell<DiskStats>,
+}
+
+impl<D: BlockDevice> DiskModel<D> {
+    /// Wraps `inner` with mechanical timing `params`.
+    pub fn new(inner: D, params: DiskParams) -> Self {
+        DiskModel {
+            inner,
+            params,
+            head: Cell::new(None),
+            stats: RefCell::new(DiskStats::default()),
+        }
+    }
+
+    /// The timing parameters in use.
+    pub fn params(&self) -> DiskParams {
+        self.params
+    }
+
+    /// A copy of the cumulative statistics.
+    pub fn stats(&self) -> DiskStats {
+        *self.stats.borrow()
+    }
+
+    /// Access to the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn service(&self, start: BlockNo, nblocks: u64, is_read: bool) -> SimDuration {
+        let sequential = self.head.get() == Some(start);
+        let mut t = self.params.transfer(nblocks * BLOCK_SIZE as u64);
+        if !sequential {
+            t += self.params.positioning();
+        }
+        self.head.set(Some(start + nblocks));
+        let mut s = self.stats.borrow_mut();
+        if sequential {
+            s.sequential_reqs += 1;
+        }
+        if is_read {
+            s.read_reqs += 1;
+            s.read_blocks += nblocks;
+        } else {
+            s.write_reqs += 1;
+            s.write_blocks += nblocks;
+        }
+        s.busy += t;
+        t
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for DiskModel<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+
+    fn read(&self, start: BlockNo, nblocks: u32, buf: &mut [u8]) -> Result<IoCost> {
+        let below = self.inner.read(start, nblocks, buf)?;
+        let t = self.service(start, nblocks as u64, true);
+        Ok(below.then(IoCost::new(t)))
+    }
+
+    fn write(&self, start: BlockNo, data: &[u8]) -> Result<IoCost> {
+        let below = self.inner.write(start, data)?;
+        let nblocks = (data.len() / BLOCK_SIZE) as u64;
+        let t = self.service(start, nblocks, false);
+        Ok(below.then(IoCost::new(t)))
+    }
+
+    fn flush(&self) -> Result<IoCost> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    fn disk() -> DiskModel<MemDisk> {
+        DiskModel::new(MemDisk::new("d", 100_000), DiskParams::ultra160_10k())
+    }
+
+    #[test]
+    fn random_access_pays_positioning() {
+        let d = disk();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let c = d.read(50, 1, &mut buf).unwrap();
+        // 5.2ms seek + 3ms rotational latency + 4KB/40MBs ≈ 102.4us
+        let expected = SimDuration::from_micros(5_200 + 3_000)
+            + DiskParams::ultra160_10k().transfer(BLOCK_SIZE as u64);
+        assert_eq!(c.time, expected);
+    }
+
+    #[test]
+    fn sequential_access_skips_positioning() {
+        let d = disk();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        d.read(50, 1, &mut buf).unwrap();
+        let c = d.read(51, 1, &mut buf).unwrap();
+        assert_eq!(c.time, d.params().transfer(BLOCK_SIZE as u64));
+        assert_eq!(d.stats().sequential_reqs, 1);
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let p = DiskParams::ultra160_10k();
+        assert_eq!(p.transfer(40_000_000), SimDuration::from_secs(1));
+        assert_eq!(
+            p.transfer(8 * BLOCK_SIZE as u64).as_nanos(),
+            2 * p.transfer(4 * BLOCK_SIZE as u64).as_nanos()
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let d = disk();
+        let mut buf = vec![0u8; 2 * BLOCK_SIZE];
+        d.read(0, 2, &mut buf).unwrap();
+        d.write(10, &buf).unwrap();
+        let s = d.stats();
+        assert_eq!(s.read_reqs, 1);
+        assert_eq!(s.write_reqs, 1);
+        assert_eq!(s.read_blocks, 2);
+        assert_eq!(s.write_blocks, 2);
+        assert!(s.busy > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn data_round_trips_through_model() {
+        let d = disk();
+        let data = vec![7u8; BLOCK_SIZE];
+        d.write(3, &data).unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        d.read(3, 1, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+}

@@ -1,0 +1,128 @@
+//! Sparse in-memory backing store.
+
+use crate::{check_request, BlockDevice, BlockNo, IoCost, Result, BLOCK_SIZE};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A sparse, in-memory block store with zero-fill semantics for blocks
+/// never written. All operations have zero [`IoCost`]; wrap a
+/// `MemDisk` in a [`DiskModel`](crate::DiskModel) to get mechanical
+/// timing.
+#[derive(Debug)]
+pub struct MemDisk {
+    name: String,
+    blocks: u64,
+    data: RefCell<HashMap<BlockNo, Box<[u8; BLOCK_SIZE]>>>,
+}
+
+impl MemDisk {
+    /// Creates a disk of `blocks` 4 KiB blocks, all initially zero.
+    pub fn new(name: impl Into<String>, blocks: u64) -> Self {
+        MemDisk {
+            name: name.into(),
+            blocks,
+            data: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Number of blocks that have ever been written (memory footprint).
+    pub fn touched_blocks(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// Discards the content of every block (used to emulate
+    /// reinitialization between experiments).
+    pub fn clear(&self) {
+        self.data.borrow_mut().clear();
+    }
+}
+
+impl BlockDevice for MemDisk {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn block_count(&self) -> u64 {
+        self.blocks
+    }
+
+    fn read(&self, start: BlockNo, nblocks: u32, buf: &mut [u8]) -> Result<IoCost> {
+        check_request(self.blocks, start, nblocks as u64, buf.len())?;
+        let data = self.data.borrow();
+        for i in 0..nblocks as u64 {
+            let dst = &mut buf[(i as usize) * BLOCK_SIZE..][..BLOCK_SIZE];
+            match data.get(&(start + i)) {
+                Some(block) => dst.copy_from_slice(&block[..]),
+                None => dst.fill(0),
+            }
+        }
+        Ok(IoCost::FREE)
+    }
+
+    fn write(&self, start: BlockNo, data: &[u8]) -> Result<IoCost> {
+        let nblocks = (data.len() / BLOCK_SIZE) as u64;
+        check_request(self.blocks, start, nblocks, data.len())?;
+        let mut map = self.data.borrow_mut();
+        for i in 0..nblocks {
+            let src = &data[(i as usize) * BLOCK_SIZE..][..BLOCK_SIZE];
+            let entry = map
+                .entry(start + i)
+                .or_insert_with(|| Box::new([0u8; BLOCK_SIZE]));
+            entry.copy_from_slice(src);
+        }
+        Ok(IoCost::FREE)
+    }
+
+    fn flush(&self) -> Result<IoCost> {
+        Ok(IoCost::FREE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let d = MemDisk::new("m", 8);
+        let mut buf = vec![1u8; BLOCK_SIZE];
+        d.read(3, 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let d = MemDisk::new("m", 8);
+        let mut data = vec![0u8; 2 * BLOCK_SIZE];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        d.write(5, &data).unwrap();
+        let mut buf = vec![0u8; 2 * BLOCK_SIZE];
+        d.read(5, 2, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let d = MemDisk::new("m", 4);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        assert!(d.read(4, 1, &mut buf).is_err());
+        assert!(d.write(3, &vec![0u8; 2 * BLOCK_SIZE]).is_err());
+    }
+
+    #[test]
+    fn sparse_accounting() {
+        let d = MemDisk::new("m", 1000);
+        assert_eq!(d.touched_blocks(), 0);
+        d.write(10, &vec![1u8; BLOCK_SIZE]).unwrap();
+        d.write(10, &vec![2u8; BLOCK_SIZE]).unwrap();
+        d.write(11, &vec![3u8; BLOCK_SIZE]).unwrap();
+        assert_eq!(d.touched_blocks(), 2);
+        d.clear();
+        assert_eq!(d.touched_blocks(), 0);
+        let mut buf = vec![9u8; BLOCK_SIZE];
+        d.read(10, 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+}

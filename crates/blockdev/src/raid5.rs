@@ -1,0 +1,379 @@
+//! Software RAID-5 in the paper's 4+p configuration.
+//!
+//! Left-symmetric rotating parity over `n` member devices. Small
+//! writes pay the classic read-modify-write penalty (read old data and
+//! old parity, write new data and new parity); writes covering a full
+//! stripe compute parity directly. Reads with one failed member are
+//! reconstructed by XOR over the survivors, which is also how the
+//! property tests validate parity maintenance.
+
+use crate::{check_request, BlockDevice, BlockError, BlockNo, IoCost, Result, BLOCK_SIZE};
+use simkit::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Geometry of a RAID-5 array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Raid5Geometry {
+    /// Stripe unit in blocks (the contiguous run placed on one member
+    /// before moving to the next). The paper's ServeRAID default of
+    /// 64 KiB corresponds to 16 blocks.
+    pub stripe_unit: u64,
+}
+
+impl Default for Raid5Geometry {
+    fn default() -> Self {
+        Raid5Geometry { stripe_unit: 16 }
+    }
+}
+
+/// A RAID-5 array over `n ≥ 3` member block devices.
+pub struct Raid5 {
+    name: String,
+    members: Vec<Rc<dyn BlockDevice>>,
+    geometry: Raid5Geometry,
+    failed: RefCell<Vec<bool>>,
+    capacity: u64,
+}
+
+impl std::fmt::Debug for Raid5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Raid5")
+            .field("name", &self.name)
+            .field("members", &self.members.len())
+            .field("geometry", &self.geometry)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// Where a logical block lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Placement {
+    data_disk: usize,
+    parity_disk: usize,
+    member_block: BlockNo,
+}
+
+impl Raid5 {
+    /// Builds an array from identically sized members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three members are supplied or their sizes
+    /// differ.
+    pub fn new(
+        name: impl Into<String>,
+        members: Vec<Rc<dyn BlockDevice>>,
+        geometry: Raid5Geometry,
+    ) -> Self {
+        assert!(members.len() >= 3, "RAID-5 requires at least 3 members");
+        let size = members[0].block_count();
+        assert!(
+            members.iter().all(|m| m.block_count() == size),
+            "RAID-5 members must be identically sized"
+        );
+        let n = members.len() as u64;
+        // Whole stripes only.
+        let stripes = size / geometry.stripe_unit;
+        let capacity = stripes * geometry.stripe_unit * (n - 1);
+        let count = members.len();
+        Raid5 {
+            name: name.into(),
+            members,
+            geometry,
+            failed: RefCell::new(vec![false; count]),
+            capacity,
+        }
+    }
+
+    /// Number of member devices (including the parity's worth).
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Marks member `idx` failed; subsequent reads of its blocks are
+    /// served by reconstruction and writes update parity only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn fail_member(&self, idx: usize) {
+        self.failed.borrow_mut()[idx] = true;
+    }
+
+    /// Restores member `idx` (test helper; real arrays would rebuild).
+    pub fn heal_member(&self, idx: usize) {
+        self.failed.borrow_mut()[idx] = false;
+    }
+
+    /// True if any member is currently failed.
+    pub fn degraded(&self) -> bool {
+        self.failed.borrow().iter().any(|&f| f)
+    }
+
+    fn placement(&self, lb: BlockNo) -> Placement {
+        let n = self.members.len() as u64;
+        let unit = self.geometry.stripe_unit;
+        let per_stripe = (n - 1) * unit;
+        let stripe = lb / per_stripe;
+        let within = lb % per_stripe;
+        let unit_idx = within / unit;
+        let off = within % unit;
+        // Left-symmetric: parity rotates from the last disk downward;
+        // data units start just after the parity disk.
+        let parity_disk = ((n - 1) - (stripe % n)) as usize;
+        let data_disk = ((parity_disk as u64 + 1 + unit_idx) % n) as usize;
+        Placement {
+            data_disk,
+            parity_disk,
+            member_block: stripe * unit + off,
+        }
+    }
+
+    fn is_failed(&self, idx: usize) -> bool {
+        self.failed.borrow()[idx]
+    }
+
+    fn read_member(&self, disk: usize, block: BlockNo, buf: &mut [u8]) -> Result<IoCost> {
+        self.members[disk].read(block, 1, buf)
+    }
+
+    fn write_member(&self, disk: usize, block: BlockNo, data: &[u8]) -> Result<IoCost> {
+        self.members[disk].write(block, data)
+    }
+
+    /// Reconstructs the block at (`disk`, `block`) by XOR over all
+    /// other members.
+    fn reconstruct(&self, disk: usize, block: BlockNo, out: &mut [u8]) -> Result<IoCost> {
+        out.fill(0);
+        let mut tmp = vec![0u8; BLOCK_SIZE];
+        let mut cost = SimDuration::ZERO;
+        for (i, _) in self.members.iter().enumerate() {
+            if i == disk {
+                continue;
+            }
+            if self.is_failed(i) {
+                return Err(BlockError::DeviceFailed {
+                    device: format!("{}:{}", self.name, i),
+                });
+            }
+            let c = self.read_member(i, block, &mut tmp)?;
+            // Survivor reads proceed in parallel: cost is the max.
+            cost = cost.max(c.time);
+            for (o, t) in out.iter_mut().zip(&tmp) {
+                *o ^= t;
+            }
+        }
+        Ok(IoCost::new(cost))
+    }
+
+    fn read_one(&self, lb: BlockNo, buf: &mut [u8]) -> Result<IoCost> {
+        let p = self.placement(lb);
+        if self.is_failed(p.data_disk) {
+            self.reconstruct(p.data_disk, p.member_block, buf)
+        } else {
+            self.read_member(p.data_disk, p.member_block, buf)
+        }
+    }
+
+    /// Read-modify-write of a single logical block.
+    fn write_one(&self, lb: BlockNo, data: &[u8]) -> Result<IoCost> {
+        let p = self.placement(lb);
+        let data_ok = !self.is_failed(p.data_disk);
+        let parity_ok = !self.is_failed(p.parity_disk);
+        let mut old_data = vec![0u8; BLOCK_SIZE];
+        let mut parity = vec![0u8; BLOCK_SIZE];
+
+        if data_ok && parity_ok {
+            let r1 = self.read_member(p.data_disk, p.member_block, &mut old_data)?;
+            let r2 = self.read_member(p.parity_disk, p.member_block, &mut parity)?;
+            for i in 0..BLOCK_SIZE {
+                parity[i] ^= old_data[i] ^ data[i];
+            }
+            let w1 = self.write_member(p.data_disk, p.member_block, data)?;
+            let w2 = self.write_member(p.parity_disk, p.member_block, &parity)?;
+            // Reads in parallel, then writes in parallel.
+            Ok(IoCost::new(r1.time.max(r2.time) + w1.time.max(w2.time)))
+        } else if data_ok {
+            // Parity disk failed: just write the data.
+            self.write_member(p.data_disk, p.member_block, data)
+        } else if parity_ok {
+            // Data disk failed: fold the new data into parity so
+            // reconstruction yields it. New parity = XOR of all
+            // surviving data blocks and the new data; compute it by
+            // reconstructing the old data first.
+            let rc = self.reconstruct(p.data_disk, p.member_block, &mut old_data)?;
+            let r2 = self.read_member(p.parity_disk, p.member_block, &mut parity)?;
+            for i in 0..BLOCK_SIZE {
+                parity[i] ^= old_data[i] ^ data[i];
+            }
+            let w = self.write_member(p.parity_disk, p.member_block, &parity)?;
+            Ok(IoCost::new(rc.time.max(r2.time) + w.time))
+        } else {
+            Err(BlockError::DeviceFailed {
+                device: self.name.clone(),
+            })
+        }
+    }
+}
+
+impl BlockDevice for Raid5 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn block_count(&self) -> u64 {
+        self.capacity
+    }
+
+    fn read(&self, start: BlockNo, nblocks: u32, buf: &mut [u8]) -> Result<IoCost> {
+        check_request(self.capacity, start, nblocks as u64, buf.len())?;
+        let mut total = SimDuration::ZERO;
+        for i in 0..nblocks as u64 {
+            let c = self.read_one(
+                start + i,
+                &mut buf[(i as usize) * BLOCK_SIZE..][..BLOCK_SIZE],
+            )?;
+            total += c.time;
+        }
+        Ok(IoCost::new(total))
+    }
+
+    fn write(&self, start: BlockNo, data: &[u8]) -> Result<IoCost> {
+        let nblocks = (data.len() / BLOCK_SIZE) as u64;
+        check_request(self.capacity, start, nblocks, data.len())?;
+        let mut total = SimDuration::ZERO;
+        for i in 0..nblocks {
+            let c = self.write_one(start + i, &data[(i as usize) * BLOCK_SIZE..][..BLOCK_SIZE])?;
+            total += c.time;
+        }
+        Ok(IoCost::new(total))
+    }
+
+    fn flush(&self) -> Result<IoCost> {
+        let mut t = SimDuration::ZERO;
+        for m in &self.members {
+            t = t.max(m.flush()?.time);
+        }
+        Ok(IoCost::new(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    fn array(members: usize, blocks_per_member: u64) -> Raid5 {
+        let ms: Vec<Rc<dyn BlockDevice>> = (0..members)
+            .map(|i| {
+                Rc::new(MemDisk::new(format!("m{i}"), blocks_per_member)) as Rc<dyn BlockDevice>
+            })
+            .collect();
+        Raid5::new("r5", ms, Raid5Geometry { stripe_unit: 4 })
+    }
+
+    fn block(fill: u8) -> Vec<u8> {
+        vec![fill; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn capacity_excludes_parity() {
+        let r = array(5, 100);
+        // 100 blocks/member, unit 4 → 25 stripes × 4 units × 4 data disks
+        assert_eq!(r.block_count(), 400);
+    }
+
+    #[test]
+    fn round_trip_across_stripes() {
+        let r = array(5, 100);
+        for lb in 0..64u64 {
+            r.write(lb, &block(lb as u8 + 1)).unwrap();
+        }
+        let mut buf = block(0);
+        for lb in 0..64u64 {
+            r.read(lb, 1, &mut buf).unwrap();
+            assert_eq!(buf[0], lb as u8 + 1, "block {lb}");
+        }
+    }
+
+    #[test]
+    fn parity_rotates_across_stripes() {
+        let r = array(5, 100);
+        // Within one stripe all data placements share a parity disk;
+        // consecutive stripes use different parity disks.
+        let p0 = r.placement(0);
+        let p1 = r.placement(16); // per_stripe = 4 disks-1... = 16
+        assert_ne!(p0.parity_disk, p1.parity_disk);
+        for i in 0..16 {
+            assert_eq!(r.placement(i).parity_disk, p0.parity_disk);
+            assert_ne!(r.placement(i).data_disk, p0.parity_disk);
+        }
+    }
+
+    #[test]
+    fn reads_survive_any_single_failure() {
+        let r = array(5, 100);
+        for lb in 0..64u64 {
+            r.write(lb, &block((lb % 250) as u8 + 1)).unwrap();
+        }
+        for failed in 0..5 {
+            r.fail_member(failed);
+            let mut buf = block(0);
+            for lb in 0..64u64 {
+                r.read(lb, 1, &mut buf).unwrap();
+                assert_eq!(buf[0], (lb % 250) as u8 + 1, "member {failed}, block {lb}");
+            }
+            r.heal_member(failed);
+        }
+    }
+
+    #[test]
+    fn writes_in_degraded_mode_are_durable() {
+        let r = array(4, 64);
+        r.write(0, &block(1)).unwrap();
+        r.fail_member(r.placement(0).data_disk);
+        assert!(r.degraded());
+        // Update the block while its home disk is down.
+        r.write(0, &block(9)).unwrap();
+        let mut buf = block(0);
+        r.read(0, 1, &mut buf).unwrap();
+        assert_eq!(buf[0], 9);
+    }
+
+    #[test]
+    fn double_failure_is_an_error() {
+        let r = array(4, 64);
+        r.write(0, &block(1)).unwrap();
+        r.fail_member(0);
+        r.fail_member(1);
+        let mut buf = block(0);
+        let mut failures = 0;
+        for lb in 0..12u64 {
+            if r.read(lb, 1, &mut buf).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "some reads must hit the failed pair");
+    }
+
+    #[test]
+    fn small_write_costs_more_than_read() {
+        use crate::{DiskModel, DiskParams};
+        let ms: Vec<Rc<dyn BlockDevice>> = (0..5)
+            .map(|i| {
+                Rc::new(DiskModel::new(
+                    MemDisk::new(format!("m{i}"), 1000),
+                    DiskParams::ultra160_10k(),
+                )) as Rc<dyn BlockDevice>
+            })
+            .collect();
+        let r = Raid5::new("r5", ms, Raid5Geometry::default());
+        let w = r.write(123, &block(1)).unwrap();
+        let mut buf = block(0);
+        let rd = r.read(123, 1, &mut buf).unwrap();
+        // RMW = parallel reads + parallel writes ≥ 2 service times.
+        assert!(w.time > rd.time, "{} !> {}", w.time, rd.time);
+    }
+}

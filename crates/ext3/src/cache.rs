@@ -1,0 +1,344 @@
+//! The buffer cache: every block the file system touches lives here.
+//!
+//! This cache is the mechanism behind the paper's central observation:
+//! with iSCSI the *whole* cache (data + meta-data) sits at the client,
+//! so warm-cache operations touch the network only to write back
+//! updates. Blocks are keyed by device block number; dirty blocks are
+//! tagged as meta-data (journaled at commit) or data (flushed by the
+//! pdflush-style daemon).
+
+use blockdev::{BlockNo, BLOCK_SIZE};
+use std::collections::{BTreeSet, HashMap};
+
+/// Dirty state of a cached block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirtyKind {
+    /// In sync with the device.
+    Clean,
+    /// Modified meta-data: owned by the running journal transaction.
+    Meta,
+    /// Modified file data: owned by the write-back daemon.
+    Data,
+}
+
+#[derive(Debug)]
+struct Buf {
+    data: Box<[u8; BLOCK_SIZE]>,
+    dirty: DirtyKind,
+    /// Reference bit for CLOCK second-chance eviction.
+    referenced: bool,
+}
+
+/// A fixed-capacity block cache with CLOCK (second-chance) eviction of
+/// clean blocks — O(1) amortized, unlike a strict LRU scan, which
+/// matters for the gigabyte-scale database workloads.
+///
+/// Dirty blocks are never evicted — the file system must clean them
+/// first (journal commit or data write-back), mirroring how a real
+/// kernel pins dirty buffers.
+#[derive(Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    map: HashMap<BlockNo, Buf>,
+    /// CLOCK ring of candidate victims (may contain stale keys).
+    ring: std::collections::VecDeque<BlockNo>,
+    /// Blocks currently dirty with [`DirtyKind::Data`], kept sorted so
+    /// the write-back path can merge runs without re-sorting the whole
+    /// cache (hot under throttling).
+    dirty_data: BTreeSet<BlockNo>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferCache {
+    /// Creates a cache holding up to `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        BufferCache {
+            capacity: capacity.max(8),
+            map: HashMap::new(),
+            ring: std::collections::VecDeque::new(),
+            dirty_data: BTreeSet::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up a block, counting a hit or miss.
+    pub fn get(&mut self, bno: BlockNo) -> Option<&[u8; BLOCK_SIZE]> {
+        match self.map.get_mut(&bno) {
+            Some(b) => {
+                self.hits += 1;
+                b.referenced = true;
+                Some(&*b.data)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// True if the block is resident (no hit/miss accounting).
+    pub fn contains(&self, bno: BlockNo) -> bool {
+        self.map.contains_key(&bno)
+    }
+
+    /// Inserts a block image read from the device (clean).
+    pub fn insert_clean(&mut self, bno: BlockNo, data: &[u8]) {
+        self.insert(bno, data, DirtyKind::Clean);
+    }
+
+    /// Inserts or overwrites a block with the given dirty state.
+    pub fn insert(&mut self, bno: BlockNo, data: &[u8], dirty: DirtyKind) {
+        match dirty {
+            DirtyKind::Data => {
+                self.dirty_data.insert(bno);
+            }
+            _ => {
+                self.dirty_data.remove(&bno);
+            }
+        }
+        debug_assert_eq!(data.len(), BLOCK_SIZE);
+        let mut boxed = Box::new([0u8; BLOCK_SIZE]);
+        boxed.copy_from_slice(data);
+        // The reference bit starts clear: a block earns its second
+        // chance by being *used* after insertion, as in classic CLOCK.
+        if self
+            .map
+            .insert(
+                bno,
+                Buf {
+                    data: boxed,
+                    dirty,
+                    referenced: false,
+                },
+            )
+            .is_none()
+        {
+            self.ring.push_back(bno);
+        }
+    }
+
+    /// Mutates a resident block in place and raises its dirty state to
+    /// at least `kind`. Returns `false` if the block is not resident.
+    pub fn modify(
+        &mut self,
+        bno: BlockNo,
+        kind: DirtyKind,
+        f: impl FnOnce(&mut [u8; BLOCK_SIZE]),
+    ) -> bool {
+        match self.map.get_mut(&bno) {
+            Some(b) => {
+                f(&mut b.data);
+                b.referenced = true;
+                if b.dirty == DirtyKind::Clean {
+                    b.dirty = kind;
+                } else if b.dirty == DirtyKind::Data && kind == DirtyKind::Meta {
+                    b.dirty = DirtyKind::Meta;
+                }
+                if b.dirty == DirtyKind::Data {
+                    self.dirty_data.insert(bno);
+                } else {
+                    self.dirty_data.remove(&bno);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Dirty state of a block (`Clean` if absent).
+    pub fn dirty_kind(&self, bno: BlockNo) -> DirtyKind {
+        self.map.get(&bno).map_or(DirtyKind::Clean, |b| b.dirty)
+    }
+
+    /// Marks a block clean after write-back (no-op if absent).
+    pub fn mark_clean(&mut self, bno: BlockNo) {
+        if let Some(b) = self.map.get_mut(&bno) {
+            b.dirty = DirtyKind::Clean;
+            self.dirty_data.remove(&bno);
+        }
+    }
+
+    /// Sorted list of blocks dirty with the given kind. `Data` is
+    /// served from the maintained index in O(n of dirty); other kinds
+    /// scan the map.
+    pub fn dirty_blocks(&self, kind: DirtyKind) -> Vec<BlockNo> {
+        if kind == DirtyKind::Data {
+            return self.dirty_data.iter().copied().collect();
+        }
+        let mut v: Vec<BlockNo> = self
+            .map
+            .iter()
+            .filter(|(_, b)| b.dirty == kind)
+            .map(|(&k, _)| k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The first `limit` dirty-data blocks, in block order (the
+    /// write-back path's working set).
+    pub fn dirty_data_prefix(&self, limit: usize) -> Vec<BlockNo> {
+        self.dirty_data.iter().copied().take(limit).collect()
+    }
+
+    /// Count of dirty blocks of the given kind.
+    pub fn dirty_count(&self, kind: DirtyKind) -> usize {
+        if kind == DirtyKind::Data {
+            return self.dirty_data.len();
+        }
+        self.map.values().filter(|b| b.dirty == kind).count()
+    }
+
+    /// A copy of the block's bytes (for journal commit images and
+    /// write-back), without touching LRU state.
+    pub fn peek(&self, bno: BlockNo) -> Option<[u8; BLOCK_SIZE]> {
+        self.map.get(&bno).map(|b| *b.data)
+    }
+
+    /// Evicts clean blocks (CLOCK second-chance order) until the cache
+    /// fits its capacity. Returns how many were evicted. Dirty blocks
+    /// are pinned, so the cache may remain over capacity until the
+    /// owner cleans them.
+    pub fn shrink_to_capacity(&mut self) -> usize {
+        let mut evicted = 0;
+        // Bound the sweep so an all-dirty/all-referenced cache cannot
+        // loop forever: two full passes clear every reference bit.
+        let mut budget = self.ring.len() * 2 + 2;
+        while self.map.len() > self.capacity && budget > 0 {
+            budget -= 1;
+            let Some(k) = self.ring.pop_front() else {
+                break;
+            };
+            match self.map.get_mut(&k) {
+                None => {} // stale ring entry: drop it
+                Some(b) if b.dirty != DirtyKind::Clean => self.ring.push_back(k),
+                Some(b) if b.referenced => {
+                    b.referenced = false; // second chance
+                    self.ring.push_back(k);
+                }
+                Some(_) => {
+                    self.map.remove(&k);
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Drops every block (crash, or unmount after flushing).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.ring.clear();
+        self.dirty_data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(fill: u8) -> Vec<u8> {
+        vec![fill; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = BufferCache::new(16);
+        assert!(c.get(5).is_none());
+        c.insert_clean(5, &blk(1));
+        assert_eq!(c.get(5).unwrap()[0], 1);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn modify_promotes_dirty_kind() {
+        let mut c = BufferCache::new(16);
+        c.insert_clean(1, &blk(0));
+        assert!(c.modify(1, DirtyKind::Data, |b| b[0] = 7));
+        assert_eq!(c.dirty_kind(1), DirtyKind::Data);
+        // Data → Meta promotes (journal owns it now).
+        assert!(c.modify(1, DirtyKind::Meta, |b| b[1] = 8));
+        assert_eq!(c.dirty_kind(1), DirtyKind::Meta);
+        // Meta never demotes to Data.
+        assert!(c.modify(1, DirtyKind::Data, |b| b[2] = 9));
+        assert_eq!(c.dirty_kind(1), DirtyKind::Meta);
+        assert_eq!(c.peek(1).unwrap()[..3], [7, 8, 9]);
+    }
+
+    #[test]
+    fn modify_missing_block_fails() {
+        let mut c = BufferCache::new(16);
+        assert!(!c.modify(9, DirtyKind::Meta, |_| {}));
+    }
+
+    #[test]
+    fn lru_evicts_cleanest_oldest() {
+        let mut c = BufferCache::new(8);
+        for i in 0..8 {
+            c.insert_clean(i, &blk(i as u8));
+        }
+        c.get(0); // 0 is now most recent
+        c.insert_clean(100, &blk(0));
+        assert_eq!(c.shrink_to_capacity(), 1);
+        assert!(c.contains(0), "recently used survives");
+        assert!(!c.contains(1), "oldest clean is evicted");
+    }
+
+    #[test]
+    fn dirty_blocks_are_pinned() {
+        let mut c = BufferCache::new(8);
+        for i in 0..8 {
+            c.insert(i, &blk(0), DirtyKind::Data);
+        }
+        c.insert_clean(100, &blk(0));
+        // Only the clean newcomer can go.
+        assert_eq!(c.shrink_to_capacity(), 1);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.dirty_count(DirtyKind::Data), 8);
+    }
+
+    #[test]
+    fn dirty_lists_are_sorted() {
+        let mut c = BufferCache::new(16);
+        for &b in &[9u64, 3, 7, 1] {
+            c.insert(b, &blk(0), DirtyKind::Data);
+        }
+        c.insert(5, &blk(0), DirtyKind::Meta);
+        assert_eq!(c.dirty_blocks(DirtyKind::Data), vec![1, 3, 7, 9]);
+        assert_eq!(c.dirty_blocks(DirtyKind::Meta), vec![5]);
+    }
+
+    #[test]
+    fn mark_clean_unpins() {
+        let mut c = BufferCache::new(8);
+        c.insert(1, &blk(0), DirtyKind::Meta);
+        c.mark_clean(1);
+        assert_eq!(c.dirty_kind(1), DirtyKind::Clean);
+        assert_eq!(c.dirty_count(DirtyKind::Meta), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = BufferCache::new(8);
+        c.insert(1, &blk(0), DirtyKind::Data);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

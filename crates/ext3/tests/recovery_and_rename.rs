@@ -1,0 +1,118 @@
+//! Integration tests: truncate semantics, crash recovery through the
+//! journal, and rename cycle prevention.
+
+use blockdev::MemDisk;
+use ext3::{Ext3, Options, SetAttr};
+use simkit::{Sim, SimDuration};
+use std::rc::Rc;
+
+#[test]
+fn truncate_then_fsck_clean() {
+    let sim = Sim::new(7);
+    let disk = Rc::new(MemDisk::new("d0", 300_000));
+    let fs = Ext3::mkfs(sim.clone(), disk.clone(), Options::default()).unwrap();
+    let f = fs.create(fs.root(), "f", 0o644).unwrap();
+    fs.write(f, 0, &vec![7u8; 50_000]).unwrap();
+    fs.setattr(
+        f,
+        SetAttr {
+            size: Some(100),
+            ..SetAttr::default()
+        },
+    )
+    .unwrap();
+    let rep = fs.fsck().unwrap();
+    println!("truncate: {rep}");
+    assert!(rep.ok(), "{rep}");
+}
+
+#[test]
+fn crash_recovery_replays_committed_txn() {
+    let sim = Sim::new(7);
+    let disk = Rc::new(MemDisk::new("d0", 300_000));
+    let fs = Ext3::mkfs(sim.clone(), disk.clone(), Options::default()).unwrap();
+    fs.mkdir(fs.root(), "committed", 0o755).unwrap();
+    sim.advance(SimDuration::from_secs(6));
+    println!(
+        "commits after advance: {}",
+        sim.counters().get("ext3.journal.commits")
+    );
+    fs.crash();
+    drop(fs);
+    let fs2 = Ext3::mount(sim, disk, Options::default()).unwrap();
+    println!("lookup: {:?}", fs2.lookup(fs2.root(), "committed"));
+    let rep = fs2.fsck().unwrap();
+    println!("fsck: {rep}");
+    assert!(fs2.lookup(fs2.root(), "committed").is_ok());
+}
+
+#[test]
+fn rename_into_own_subtree_rejected() {
+    let sim = Sim::new(7);
+    let disk = Rc::new(MemDisk::new("d0", 300_000));
+    let fs = Ext3::mkfs(sim, disk, Options::default()).unwrap();
+    let a = fs.mkdir(fs.root(), "a", 0o755).unwrap();
+    let b = fs.mkdir(a, "b", 0o755).unwrap();
+    let c = fs.mkdir(b, "c", 0o755).unwrap();
+    // /a -> /a/b/c/a would create a cycle.
+    assert_eq!(
+        fs.rename(fs.root(), "a", c, "a2"),
+        Err(ext3::FsError::InvalidArgument)
+    );
+    // Legal sibling moves still work.
+    fs.rename(b, "c", a, "c_moved").unwrap();
+    assert!(fs.fsck().unwrap().ok());
+}
+
+#[test]
+fn file_size_boundaries_at_indirect_transitions() {
+    // Exactly 12 blocks (all direct), 13 (first indirect), 12+1024
+    // (last single-indirect), and one into the double indirect.
+    let sim = Sim::new(11);
+    let disk = Rc::new(MemDisk::new("d0", 300_000));
+    let fs = Ext3::mkfs(sim, disk, Options::default()).unwrap();
+    let bs = 4096u64;
+    for (name, blocks) in [
+        ("direct_full", 12u64),
+        ("first_indirect", 13),
+        ("last_single", 12 + 1024),
+        ("into_double", 12 + 1024 + 1),
+    ] {
+        let f = fs.create(fs.root(), name, 0o644).unwrap();
+        // Write one tagged byte into the final block.
+        let last_off = (blocks - 1) * bs + 17;
+        fs.write(f, last_off, &[0xEE]).unwrap();
+        let attr = fs.getattr(f).unwrap();
+        assert_eq!(attr.size, last_off + 1, "{name}");
+        assert_eq!(fs.read(f, last_off, 1).unwrap(), vec![0xEE], "{name}");
+        // Earlier holes read as zero.
+        assert_eq!(fs.read(f, 0, 1).unwrap(), vec![0], "{name}");
+    }
+    assert!(fs.fsck().unwrap().ok());
+}
+
+#[test]
+fn truncate_across_indirect_boundary_frees_pointer_blocks() {
+    let sim = Sim::new(12);
+    let disk = Rc::new(MemDisk::new("d0", 300_000));
+    let fs = Ext3::mkfs(sim, disk, Options::default()).unwrap();
+    let f = fs.create(fs.root(), "big", 0o644).unwrap();
+    // 20 blocks: 12 direct + 8 through the single indirect.
+    fs.write(f, 0, &vec![5u8; 20 * 4096]).unwrap();
+    let before = fs.getattr(f).unwrap().nblocks;
+    assert_eq!(before, 21, "20 data + 1 pointer block");
+    fs.setattr(
+        f,
+        ext3::SetAttr {
+            size: Some(10 * 4096),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        fs.getattr(f).unwrap().nblocks,
+        10,
+        "pointer block freed too"
+    );
+    assert!(fs.fsck().unwrap().ok());
+}

@@ -1,0 +1,709 @@
+//! iSCSI initiator and target for the `ipstorage` testbed.
+//!
+//! Models the protocol stack of the paper's Figure 1(b)/2(b): the
+//! client runs a local file system over a [`RemoteDisk`]; each block
+//! I/O becomes a SCSI command encapsulated in iSCSI PDUs and carried
+//! over the simulated TCP link to the [`Target`], which executes it
+//! against the server-side block device (the RAID-5 array).
+//!
+//! The model covers what the paper's measurements depend on:
+//!
+//! * a login phase negotiating session parameters
+//!   ([`SessionParams`]: burst lengths, immediate data),
+//! * command/status sequence numbers (`CmdSN`/`StatSN`) with ordering
+//!   checks,
+//! * data segmentation into `MaxRecvDataSegmentLength`-sized Data-In /
+//!   Data-Out PDUs,
+//! * per-command accounting: **one SCSI command counts as one
+//!   transaction** (`proto.iscsi.txns`), mirroring how the paper
+//!   tallies iSCSI messages against NFS RPCs.
+//!
+//! # Example
+//!
+//! ```
+//! use std::rc::Rc;
+//! use simkit::Sim;
+//! use net::{LinkParams, Network, Transport};
+//! use blockdev::{BlockDevice, MemDisk, BLOCK_SIZE};
+//! use iscsi::{Initiator, Target};
+//!
+//! let sim = Sim::new(1);
+//! let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+//! let target = Rc::new(Target::new(Rc::new(MemDisk::new("lun0", 1024))));
+//! let initiator = Initiator::new(netw.channel("iscsi", Transport::Tcp), target);
+//! let disk = initiator.login(Default::default()).unwrap();
+//! disk.write(0, &vec![9u8; BLOCK_SIZE]).unwrap();
+//! let mut buf = vec![0u8; BLOCK_SIZE];
+//! disk.read(0, 1, &mut buf).unwrap();
+//! assert_eq!(buf[0], 9);
+//! ```
+
+mod pdu;
+
+pub use pdu::{BasicHeader, Opcode, Pdu, BHS_LEN};
+
+use blockdev::{BlockDevice, BlockNo, IoCost, Result as BlockResult, BLOCK_SIZE};
+use net::Channel;
+use scsi::{Cdb, ScsiStatus, ScsiTarget, SenseKey};
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Negotiated session parameters (a practical subset of RFC 3720
+/// login keys, plus the initiator's command queue depth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionParams {
+    /// Largest data segment either side will put in one PDU.
+    pub max_recv_data_segment: u32,
+    /// Unsolicited data the initiator may send with a command.
+    pub first_burst: u32,
+    /// Whether write data may ride along with the command PDU.
+    pub immediate_data: bool,
+    /// Whether the target demands an R2T before any data-out.
+    pub initial_r2t: bool,
+    /// Tagged commands kept in flight for sequential read streams:
+    /// back-to-back reads amortize the round-trip latency by this
+    /// factor.
+    pub queue_depth: u32,
+    /// TCP connections multiplexed into this session (RFC 3720 MC/S;
+    /// the paper's §2.2 feature (ii)). Data phases stripe across
+    /// connections, dividing serialization delay.
+    pub connections: u32,
+}
+
+impl Default for SessionParams {
+    fn default() -> Self {
+        SessionParams {
+            max_recv_data_segment: 256 * 1024,
+            first_burst: 64 * 1024,
+            immediate_data: true,
+            initial_r2t: false,
+            queue_depth: 4,
+            connections: 1,
+        }
+    }
+}
+
+/// Errors surfaced by the iSCSI layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IscsiError {
+    /// Login was rejected by the target.
+    LoginRejected(&'static str),
+    /// The target returned CHECK CONDITION.
+    CheckCondition(SenseKey),
+    /// A PDU arrived out of sequence.
+    SequenceError {
+        /// Expected sequence number.
+        expected: u32,
+        /// Observed sequence number.
+        got: u32,
+    },
+}
+
+impl fmt::Display for IscsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IscsiError::LoginRejected(why) => write!(f, "login rejected: {why}"),
+            IscsiError::CheckCondition(k) => write!(f, "scsi check condition: {k:?}"),
+            IscsiError::SequenceError { expected, got } => {
+                write!(f, "sequence error: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IscsiError {}
+
+/// The target-side endpoint: session state plus the SCSI execution
+/// layer over the exported volume.
+pub struct Target {
+    scsi: ScsiTarget,
+    exp_cmd_sn: Cell<u32>,
+    stat_sn: Cell<u32>,
+    commands_executed: Cell<u64>,
+}
+
+impl fmt::Debug for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Target")
+            .field("exp_cmd_sn", &self.exp_cmd_sn.get())
+            .field("commands_executed", &self.commands_executed.get())
+            .finish()
+    }
+}
+
+impl Target {
+    /// Exports `volume` as LUN 0.
+    pub fn new(volume: Rc<dyn BlockDevice>) -> Self {
+        Target {
+            scsi: ScsiTarget::new(volume),
+            exp_cmd_sn: Cell::new(0),
+            stat_sn: Cell::new(0),
+            commands_executed: Cell::new(0),
+        }
+    }
+
+    /// The exported volume.
+    pub fn volume(&self) -> &Rc<dyn BlockDevice> {
+        self.scsi.device()
+    }
+
+    /// Commands executed over the session's lifetime.
+    pub fn commands_executed(&self) -> u64 {
+        self.commands_executed.get()
+    }
+
+    /// Starts a fresh session: sequence numbers reset (called during
+    /// login).
+    pub fn reset_session(&self) {
+        self.exp_cmd_sn.set(0);
+        self.stat_sn.set(0);
+    }
+
+    /// Executes a command PDU, enforcing CmdSN ordering.
+    fn execute(
+        &self,
+        cmd_sn: u32,
+        cdb: Cdb,
+        data_out: &[u8],
+    ) -> Result<scsi::ScsiCompletion, IscsiError> {
+        let expected = self.exp_cmd_sn.get();
+        if cmd_sn != expected {
+            return Err(IscsiError::SequenceError {
+                expected,
+                got: cmd_sn,
+            });
+        }
+        self.exp_cmd_sn.set(expected.wrapping_add(1));
+        self.stat_sn.set(self.stat_sn.get().wrapping_add(1));
+        self.commands_executed.set(self.commands_executed.get() + 1);
+        Ok(self.scsi.execute(cdb, data_out))
+    }
+}
+
+/// The initiator-side endpoint. [`login`](Initiator::login) performs
+/// the (accounted) login exchange and yields a [`RemoteDisk`].
+pub struct Initiator {
+    chan: Channel,
+    target: Rc<Target>,
+}
+
+impl fmt::Debug for Initiator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Initiator")
+            .field("channel", &self.chan.label())
+            .finish()
+    }
+}
+
+impl Initiator {
+    /// Creates an initiator that will connect to `target` over `chan`.
+    pub fn new(chan: Channel, target: Rc<Target>) -> Self {
+        Initiator { chan, target }
+    }
+
+    /// Performs the login phase (security + operational negotiation:
+    /// two PDU round trips, counted) and returns the remote disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IscsiError::LoginRejected`] if parameters are
+    /// unacceptable (zero burst sizes).
+    pub fn login(&self, params: SessionParams) -> Result<RemoteDisk, IscsiError> {
+        if params.max_recv_data_segment == 0 || params.first_burst == 0 {
+            return Err(IscsiError::LoginRejected("zero-length bursts"));
+        }
+        let sim = self.chan.network().sim().clone();
+        self.target.reset_session();
+        // Security negotiation stage, then operational stage.
+        for stage in ["security", "operational"] {
+            let d = self.chan.round_trip(512, 512);
+            sim.counters().incr("proto.iscsi.txns");
+            sim.counters().incr(&format!("proto.iscsi.login.{stage}"));
+            sim.advance(d);
+        }
+        Ok(RemoteDisk {
+            chan: self.chan.clone(),
+            target: Rc::clone(&self.target),
+            params,
+            cmd_sn: Cell::new(0),
+            exp_stat_sn: Cell::new(0),
+            read_head: Cell::new(u64::MAX),
+            name: format!("iscsi:{}", self.target.volume().name()),
+        })
+    }
+}
+
+/// A [`BlockDevice`] whose I/Os travel over iSCSI. This is what the
+/// client-side ext3 instance mounts.
+///
+/// The returned [`IoCost`] of each operation is the full remote
+/// service time: command propagation, target device time, and
+/// data/status return. As everywhere in the testbed, the caller
+/// decides whether that cost is foreground latency or background
+/// (asynchronous write-back) time.
+pub struct RemoteDisk {
+    chan: Channel,
+    target: Rc<Target>,
+    params: SessionParams,
+    cmd_sn: Cell<u32>,
+    exp_stat_sn: Cell<u32>,
+    /// End of the previous read, for tagged-command pipelining of
+    /// sequential streams.
+    read_head: Cell<BlockNo>,
+    name: String,
+}
+
+impl fmt::Debug for RemoteDisk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteDisk")
+            .field("name", &self.name)
+            .field("cmd_sn", &self.cmd_sn.get())
+            .finish()
+    }
+}
+
+impl RemoteDisk {
+    /// Negotiated session parameters.
+    pub fn params(&self) -> SessionParams {
+        self.params
+    }
+
+    /// Issues one SCSI command as a full iSCSI exchange and returns
+    /// the completion and its end-to-end cost.
+    fn transact(
+        &self,
+        cdb: Cdb,
+        data_out: &[u8],
+    ) -> Result<(scsi::ScsiCompletion, IoCost), IscsiError> {
+        let sim = self.chan.network().sim().clone();
+        let cmd_sn = self.cmd_sn.get();
+        self.cmd_sn.set(cmd_sn.wrapping_add(1));
+        sim.counters().incr("proto.iscsi.txns");
+        sim.counters()
+            .incr(&format!("proto.iscsi.cmd.{}", opcode_name(&cdb)));
+
+        let seg = self.params.max_recv_data_segment as usize;
+        let p = self.chan.network().params();
+        let conns = self.params.connections.max(1) as u64;
+        let mut wire = simkit::SimDuration::ZERO;
+
+        // Command PDU, possibly carrying immediate write data.
+        let immediate = if self.params.immediate_data {
+            data_out.len().min(self.params.first_burst as usize)
+        } else {
+            0
+        };
+        wire += send_accounted(&self.chan, BHS_LEN as u64 + immediate as u64);
+
+        // Remaining data-out PDUs (solicited; we fold the R2T into the
+        // stream as one extra header when initial_r2t is set).
+        let mut remaining = data_out.len() - immediate;
+        if remaining > 0 && self.params.initial_r2t {
+            wire += send_accounted(&self.chan, BHS_LEN as u64); // R2T
+        }
+        while remaining > 0 {
+            let chunk = remaining.min(seg);
+            // Multiple connections drain data-out PDUs in parallel.
+            wire += p.serialize(BHS_LEN as u64 + chunk as u64) / conns;
+            self.account_bytes(BHS_LEN as u64 + chunk as u64);
+            remaining -= chunk;
+        }
+
+        // Target executes the command.
+        let completion = self.target.execute(cmd_sn, cdb, data_out)?;
+
+        // Data-in PDUs then the SCSI response (status piggybacked on
+        // the final Data-In when there is data).
+        let mut data_len = completion.data.len();
+        if data_len == 0 {
+            wire += p.one_way(BHS_LEN as u64); // status-only response
+            self.account_bytes(BHS_LEN as u64);
+        } else {
+            let mut first = true;
+            while data_len > 0 {
+                let chunk = data_len.min(seg);
+                let bytes = BHS_LEN as u64 + chunk as u64;
+                if first {
+                    wire += p.one_way(bytes);
+                    first = false;
+                } else {
+                    // Subsequent Data-In PDUs stripe across the
+                    // session's connections.
+                    wire += p.serialize(bytes) / conns;
+                }
+                self.account_bytes(bytes);
+                data_len -= chunk;
+            }
+        }
+
+        let exp = self.exp_stat_sn.get();
+        self.exp_stat_sn.set(exp.wrapping_add(1));
+
+        let total = IoCost::new(wire).then(completion.cost);
+        match completion.status {
+            ScsiStatus::Good => Ok((completion, total)),
+            ScsiStatus::CheckCondition(k) => Err(IscsiError::CheckCondition(k)),
+        }
+    }
+
+    /// Sends a NOP-Out ping (keepalive); the target answers NOP-In.
+    /// One transaction on the wire, returning the measured round trip.
+    pub fn nop(&self) -> simkit::SimDuration {
+        let sim = self.chan.network().sim().clone();
+        sim.counters().incr("proto.iscsi.txns");
+        sim.counters().incr("proto.iscsi.nop");
+        let d = self.chan.round_trip(BHS_LEN as u64, BHS_LEN as u64);
+        sim.advance(d);
+        d
+    }
+
+    /// Session-level error recovery (RFC 3720 within-connection
+    /// recovery, the paper's §2.2 feature (iv)): after a detected
+    /// loss, the initiator issues an explicit retransmission request
+    /// (SNACK) and the target resends the affected PDUs. Counts the
+    /// recovery messages and returns the time the exchange took.
+    pub fn recover(&self, missing_pdus: u32) -> simkit::SimDuration {
+        let sim = self.chan.network().sim().clone();
+        let p = self.chan.network().params();
+        sim.counters().incr("proto.iscsi.txns");
+        sim.counters().incr("proto.iscsi.snack");
+        // SNACK out, then the resent PDUs stream back.
+        let mut d = self.chan.round_trip(BHS_LEN as u64, BHS_LEN as u64);
+        for _ in 1..missing_pdus.max(1) {
+            self.account_bytes(BHS_LEN as u64);
+            d += p.serialize(BHS_LEN as u64 + self.params.max_recv_data_segment as u64);
+        }
+        sim.advance(d);
+        d
+    }
+
+    fn account_bytes(&self, bytes: u64) {
+        let c = self.chan.network().sim().counters();
+        c.add(&format!("net.{}.bytes", self.chan.label()), bytes);
+        c.add("net.total.bytes", bytes);
+    }
+}
+
+/// Sends a one-way PDU through the channel (counted in `net.*`) and
+/// returns its latency.
+fn send_accounted(chan: &Channel, bytes: u64) -> simkit::SimDuration {
+    match chan.send(bytes) {
+        net::Delivery::Delivered(d) => d,
+        // iSCSI runs over TCP; loss is invisible above the transport.
+        net::Delivery::Lost => chan.network().params().one_way(bytes),
+    }
+}
+
+fn opcode_name(cdb: &Cdb) -> &'static str {
+    match cdb {
+        Cdb::Read10 { .. } => "read",
+        Cdb::Write10 { .. } => "write",
+        Cdb::ReadCapacity10 => "read_capacity",
+        Cdb::Inquiry => "inquiry",
+        Cdb::SynchronizeCache10 { .. } => "sync_cache",
+        Cdb::TestUnitReady => "test_unit_ready",
+        Cdb::ModeSense6 { .. } => "mode_sense",
+        Cdb::ReportLuns => "report_luns",
+    }
+}
+
+impl BlockDevice for RemoteDisk {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn block_count(&self) -> u64 {
+        self.target.volume().block_count()
+    }
+
+    fn read(&self, start: BlockNo, nblocks: u32, buf: &mut [u8]) -> BlockResult<IoCost> {
+        if buf.len() != nblocks as usize * BLOCK_SIZE {
+            return Err(blockdev::BlockError::Misaligned { len: buf.len() });
+        }
+        let sequential = self.read_head.get() == start;
+        self.read_head.set(start + nblocks as u64);
+        let (completion, mut cost) = self
+            .transact(
+                Cdb::Read10 {
+                    lba: start as u32,
+                    blocks: nblocks as u16,
+                },
+                &[],
+            )
+            .map_err(|e| blockdev::BlockError::DeviceFailed {
+                device: format!("{}: {e}", self.name),
+            })?;
+        buf.copy_from_slice(&completion.data);
+        if sequential && self.params.queue_depth > 1 {
+            // Tagged commands keep the pipe full on a sequential
+            // stream: propagation is amortized across the queue depth.
+            let rtt = self.chan.network().params().rtt;
+            let hidden = rtt - rtt / self.params.queue_depth as u64;
+            cost = IoCost::new(cost.time.saturating_sub(hidden));
+        }
+        Ok(cost)
+    }
+
+    fn write(&self, start: BlockNo, data: &[u8]) -> BlockResult<IoCost> {
+        let nblocks = data.len() / BLOCK_SIZE;
+        let (_completion, cost) = self
+            .transact(
+                Cdb::Write10 {
+                    lba: start as u32,
+                    blocks: nblocks as u16,
+                },
+                data,
+            )
+            .map_err(|e| blockdev::BlockError::DeviceFailed {
+                device: format!("{}: {e}", self.name),
+            })?;
+        Ok(cost)
+    }
+
+    fn flush(&self) -> BlockResult<IoCost> {
+        let (_completion, cost) = self
+            .transact(Cdb::SynchronizeCache10 { lba: 0, blocks: 0 }, &[])
+            .map_err(|e| blockdev::BlockError::DeviceFailed {
+                device: format!("{}: {e}", self.name),
+            })?;
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::MemDisk;
+    use net::{LinkParams, Network, Transport};
+    use simkit::Sim;
+
+    fn setup() -> (Rc<Sim>, RemoteDisk) {
+        let sim = Sim::new(3);
+        let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+        let target = Rc::new(Target::new(Rc::new(MemDisk::new("lun0", 4096))));
+        let init = Initiator::new(netw.channel("iscsi", Transport::Tcp), target);
+        let disk = init.login(SessionParams::default()).unwrap();
+        (sim, disk)
+    }
+
+    #[test]
+    fn login_counts_two_transactions() {
+        let (sim, _disk) = setup();
+        assert_eq!(sim.counters().get("proto.iscsi.txns"), 2);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let (_sim, disk) = setup();
+        let data = vec![0x42u8; 3 * BLOCK_SIZE];
+        disk.write(100, &data).unwrap();
+        let mut buf = vec![0u8; 3 * BLOCK_SIZE];
+        disk.read(100, 3, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn each_command_is_one_transaction() {
+        let (sim, disk) = setup();
+        let base = sim.counters().get("proto.iscsi.txns");
+        let data = vec![0u8; BLOCK_SIZE];
+        disk.write(0, &data).unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        disk.read(0, 1, &mut buf).unwrap();
+        disk.flush().unwrap();
+        assert_eq!(sim.counters().get("proto.iscsi.txns"), base + 3);
+        assert_eq!(sim.counters().get("proto.iscsi.cmd.read"), 1);
+        assert_eq!(sim.counters().get("proto.iscsi.cmd.write"), 1);
+        assert_eq!(sim.counters().get("proto.iscsi.cmd.sync_cache"), 1);
+    }
+
+    #[test]
+    fn large_reads_segment_but_stay_one_transaction() {
+        let sim = Sim::new(3);
+        let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+        let target = Rc::new(Target::new(Rc::new(MemDisk::new("lun0", 4096))));
+        let init = Initiator::new(netw.channel("iscsi", Transport::Tcp), target);
+        let disk = init
+            .login(SessionParams {
+                max_recv_data_segment: 8 * 1024,
+                ..SessionParams::default()
+            })
+            .unwrap();
+        let base = sim.counters().get("proto.iscsi.txns");
+        let mut buf = vec![0u8; 32 * BLOCK_SIZE]; // 128 KiB over 8 KiB segments
+        disk.read(0, 32, &mut buf).unwrap();
+        assert_eq!(sim.counters().get("proto.iscsi.txns"), base + 1);
+    }
+
+    #[test]
+    fn out_of_range_read_is_device_failure() {
+        let (_sim, disk) = setup();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let err = disk.read(1_000_000, 1, &mut buf).unwrap_err();
+        assert!(matches!(err, blockdev::BlockError::DeviceFailed { .. }));
+    }
+
+    #[test]
+    fn zero_burst_login_rejected() {
+        let sim = Sim::new(3);
+        let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+        let target = Rc::new(Target::new(Rc::new(MemDisk::new("lun0", 64))));
+        let init = Initiator::new(netw.channel("iscsi", Transport::Tcp), target);
+        assert!(init
+            .login(SessionParams {
+                first_burst: 0,
+                ..SessionParams::default()
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn cmd_sn_ordering_enforced() {
+        let target = Target::new(Rc::new(MemDisk::new("lun0", 64)));
+        assert!(target.execute(0, Cdb::TestUnitReady, &[]).is_ok());
+        // Skipping a sequence number is rejected.
+        let err = target.execute(5, Cdb::TestUnitReady, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            IscsiError::SequenceError {
+                expected: 1,
+                got: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn remote_cost_exceeds_local_cost() {
+        let (_sim, disk) = setup();
+        let data = vec![0u8; BLOCK_SIZE];
+        let c = disk.write(0, &data).unwrap();
+        // Must include at least the LAN round trip.
+        assert!(c.time >= simkit::SimDuration::from_micros(200));
+    }
+}
+
+#[cfg(test)]
+mod write_tests {
+    use super::*;
+    use blockdev::MemDisk;
+    use net::{LinkParams, Network, Transport};
+    use simkit::Sim;
+    use std::rc::Rc;
+
+    fn disk_with(params: SessionParams) -> (Rc<Sim>, RemoteDisk) {
+        let sim = Sim::new(8);
+        let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+        let target = Rc::new(Target::new(Rc::new(MemDisk::new("lun0", 4096))));
+        let init = Initiator::new(netw.channel("iscsi", Transport::Tcp), target);
+        let d = init.login(params).unwrap();
+        (sim, d)
+    }
+
+    #[test]
+    fn large_write_segments_into_data_out_pdus() {
+        // 256 KiB write with 8 KiB segments and a 16 KiB first burst:
+        // one command + many data-out PDUs, still one transaction.
+        let (sim, d) = disk_with(SessionParams {
+            max_recv_data_segment: 8 * 1024,
+            first_burst: 16 * 1024,
+            immediate_data: true,
+            initial_r2t: false,
+            queue_depth: 4,
+            connections: 1,
+        });
+        let base = sim.counters().get("proto.iscsi.txns");
+        let bytes_before = sim.counters().get("net.iscsi.bytes");
+        d.write(0, &vec![9u8; 64 * BLOCK_SIZE]).unwrap();
+        assert_eq!(sim.counters().get("proto.iscsi.txns"), base + 1);
+        let sent = sim.counters().get("net.iscsi.bytes") - bytes_before;
+        assert!(
+            sent >= 64 * BLOCK_SIZE as u64,
+            "payload plus headers: {sent}"
+        );
+    }
+
+    #[test]
+    fn initial_r2t_adds_a_solicitation() {
+        let mk = |r2t| {
+            let (sim, d) = disk_with(SessionParams {
+                max_recv_data_segment: 8 * 1024,
+                first_burst: 8 * 1024,
+                immediate_data: true,
+                initial_r2t: r2t,
+                queue_depth: 4,
+                connections: 1,
+            });
+            let before = sim.counters().get("net.iscsi.msgs");
+            d.write(0, &vec![1u8; 16 * BLOCK_SIZE]).unwrap();
+            sim.counters().get("net.iscsi.msgs") - before
+        };
+        assert!(mk(true) > mk(false), "R2T costs an extra PDU");
+    }
+
+    #[test]
+    fn sequential_read_stream_amortizes_rtt() {
+        let (_sim, d) = disk_with(SessionParams::default());
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let first = d.read(10, 1, &mut buf).unwrap();
+        let second = d.read(11, 1, &mut buf).unwrap(); // sequential
+        let random = d.read(100, 1, &mut buf).unwrap(); // breaks the stream
+        assert!(second.time < first.time, "TCQ hides propagation");
+        assert!(random.time > second.time);
+    }
+}
+
+#[cfg(test)]
+mod session_tests {
+    use super::*;
+    use blockdev::MemDisk;
+    use net::{LinkParams, Network, Transport};
+    use simkit::Sim;
+    use std::rc::Rc;
+
+    fn disk_with(params: SessionParams) -> (Rc<Sim>, RemoteDisk) {
+        let sim = Sim::new(21);
+        let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+        let target = Rc::new(Target::new(Rc::new(MemDisk::new("lun0", 8192))));
+        let init = Initiator::new(netw.channel("iscsi", Transport::Tcp), target);
+        let d = init.login(params).unwrap();
+        (sim, d)
+    }
+
+    #[test]
+    fn multiple_connections_speed_large_transfers() {
+        let run = |conns| {
+            let (_sim, d) = disk_with(SessionParams {
+                max_recv_data_segment: 8 * 1024,
+                connections: conns,
+                ..SessionParams::default()
+            });
+            let mut buf = vec![0u8; 256 * BLOCK_SIZE]; // 1 MiB read
+            d.read(0, 256, &mut buf).unwrap().time
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(four < one, "MC/S must cut data-phase time: {four} !< {one}");
+    }
+
+    #[test]
+    fn nop_is_one_transaction() {
+        let (sim, d) = disk_with(SessionParams::default());
+        let base = sim.counters().get("proto.iscsi.txns");
+        let t0 = sim.now();
+        d.nop();
+        assert_eq!(sim.counters().get("proto.iscsi.txns"), base + 1);
+        assert!(sim.now() > t0, "the ping takes a round trip");
+    }
+
+    #[test]
+    fn recovery_counts_a_snack_exchange() {
+        let (sim, d) = disk_with(SessionParams::default());
+        let base = sim.counters().get("proto.iscsi.txns");
+        let d_small = d.recover(1);
+        let d_large = d.recover(16);
+        assert_eq!(sim.counters().get("proto.iscsi.snack"), 2);
+        assert_eq!(sim.counters().get("proto.iscsi.txns"), base + 2);
+        assert!(d_large > d_small, "more lost PDUs, longer resend");
+    }
+}

@@ -1,0 +1,353 @@
+//! Simulated IP network for the `ipstorage` testbed.
+//!
+//! The paper's testbed is a single client and a single server on an
+//! isolated Gigabit Ethernet LAN, optionally with NISTNet-injected
+//! wide-area delay (§4.6). This crate models that link: a full-duplex
+//! [`Network`] with configurable round-trip time, bandwidth, and an
+//! optional loss rate, plus [`Channel`]s that protocols open over it.
+//!
+//! Channels do the accounting that every message-count column in the
+//! paper's tables is built from: each send bumps `net.<label>.msgs`
+//! and `net.<label>.bytes` counters on the shared [`Sim`].
+//!
+//! Like block devices, the network never advances the clock itself:
+//! sends and round trips return the [`SimDuration`] they would take,
+//! and the caller decides whether that time is foreground latency or
+//! overlapped background transfer.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{Sim, SimDuration};
+//! use net::{LinkParams, Network, Transport};
+//!
+//! let sim = Sim::new(1);
+//! let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+//! let ch = netw.channel("rpc", Transport::Tcp);
+//! let rt = ch.round_trip(128, 128);
+//! sim.advance(rt);
+//! assert_eq!(sim.counters().get("net.rpc.msgs"), 2);
+//! ```
+
+pub mod sniffer;
+
+pub use sniffer::{PacketRecord, Sniffer};
+
+use simkit::{Sim, SimDuration};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Transport used by a channel. The distinction matters for the RPC
+/// layer (NFS v2 runs over UDP, v3/v4 and iSCSI over TCP) and for the
+/// per-message header overhead added to the byte accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Datagram transport (no delivery guarantee; the RPC layer
+    /// retransmits).
+    Udp,
+    /// Stream transport (reliable and ordered; retransmission below
+    /// the RPC layer is invisible except as added latency).
+    Tcp,
+}
+
+impl Transport {
+    /// Ethernet + IP + transport header bytes added to each message.
+    pub fn header_bytes(self) -> u64 {
+        match self {
+            Transport::Udp => 14 + 20 + 8,
+            Transport::Tcp => 14 + 20 + 32, // options-bearing TCP header
+        }
+    }
+}
+
+/// Physical parameters of the simulated link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Round-trip time (propagation only, both directions).
+    pub rtt: SimDuration,
+    /// Link bandwidth in bits per second, each direction.
+    pub bandwidth_bps: u64,
+    /// Probability in `[0, 1)` that a message is lost (UDP only; TCP
+    /// masks loss as latency). Zero on the paper's isolated LAN.
+    pub loss: f64,
+}
+
+impl LinkParams {
+    /// The paper's isolated Gigabit Ethernet LAN: sub-millisecond RTT
+    /// (we use 200 µs), 1 Gb/s, no loss.
+    pub fn gigabit_lan() -> Self {
+        LinkParams {
+            rtt: SimDuration::from_micros(200),
+            bandwidth_bps: 1_000_000_000,
+            loss: 0.0,
+        }
+    }
+
+    /// A wide-area emulation in the style of the paper's NISTNet
+    /// setup: the given RTT at Gigabit bandwidth.
+    pub fn wan(rtt: SimDuration) -> Self {
+        LinkParams {
+            rtt,
+            bandwidth_bps: 1_000_000_000,
+            loss: 0.0,
+        }
+    }
+
+    /// Serialization (transmission) delay for `bytes` on this link.
+    pub fn serialize(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(bytes.saturating_mul(8_000_000_000) / self.bandwidth_bps)
+    }
+
+    /// One-way latency for a message of `bytes`.
+    pub fn one_way(&self, bytes: u64) -> SimDuration {
+        self.rtt / 2 + self.serialize(bytes)
+    }
+}
+
+/// The simulated client–server link.
+///
+/// Interior mutability lets experiments change the RTT mid-run, as the
+/// paper does when sweeping NISTNet delays for Figure 6.
+#[derive(Debug)]
+pub struct Network {
+    sim: Rc<Sim>,
+    rtt: Cell<SimDuration>,
+    bandwidth_bps: Cell<u64>,
+    loss: Cell<f64>,
+    /// Optional passive tap (the paper's Ethereal).
+    sniffer: RefCell<Option<Rc<Sniffer>>>,
+}
+
+impl Network {
+    /// Creates a link with the given parameters.
+    pub fn new(sim: Rc<Sim>, params: LinkParams) -> Rc<Self> {
+        Rc::new(Network {
+            sim,
+            rtt: Cell::new(params.rtt),
+            bandwidth_bps: Cell::new(params.bandwidth_bps),
+            loss: Cell::new(params.loss),
+            sniffer: RefCell::new(None),
+        })
+    }
+
+    /// Current link parameters.
+    pub fn params(&self) -> LinkParams {
+        LinkParams {
+            rtt: self.rtt.get(),
+            bandwidth_bps: self.bandwidth_bps.get(),
+            loss: self.loss.get(),
+        }
+    }
+
+    /// Reconfigures the round-trip time (the NISTNet knob).
+    pub fn set_rtt(&self, rtt: SimDuration) {
+        self.rtt.set(rtt);
+    }
+
+    /// Reconfigures the loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `loss` is in `[0, 1)`.
+    pub fn set_loss(&self, loss: f64) {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        self.loss.set(loss);
+    }
+
+    /// The shared simulation context.
+    pub fn sim(&self) -> &Rc<Sim> {
+        &self.sim
+    }
+
+    /// Attaches a passive packet monitor; every subsequent message is
+    /// recorded. Pass `None` to detach.
+    pub fn attach_sniffer(&self, s: Option<Rc<Sniffer>>) {
+        *self.sniffer.borrow_mut() = s;
+    }
+
+    /// Opens an accounting channel. The label appears in counter names
+    /// (`net.<label>.msgs`, `net.<label>.bytes`).
+    pub fn channel(self: &Rc<Self>, label: impl Into<String>, transport: Transport) -> Channel {
+        Channel {
+            net: Rc::clone(self),
+            label: label.into(),
+            transport,
+        }
+    }
+}
+
+/// One protocol's view of the link, with per-channel accounting.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    net: Rc<Network>,
+    label: String,
+    transport: Transport,
+}
+
+/// Outcome of an unreliable send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message arrives after the given delay.
+    Delivered(SimDuration),
+    /// The message was lost in transit (UDP only).
+    Lost,
+}
+
+impl Channel {
+    /// The channel's transport.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// The channel's accounting label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The network this channel runs over.
+    pub fn network(&self) -> &Rc<Network> {
+        &self.net
+    }
+
+    fn account(&self, payload: u64) {
+        if let Some(s) = self.net.sniffer.borrow().as_ref() {
+            s.observe(self.net.sim.now(), &self.label, payload);
+        }
+        let c = self.net.sim.counters();
+        c.incr(&format!("net.{}.msgs", self.label));
+        c.add(
+            &format!("net.{}.bytes", self.label),
+            payload + self.transport.header_bytes(),
+        );
+        c.incr("net.total.msgs");
+        c.add("net.total.bytes", payload + self.transport.header_bytes());
+    }
+
+    /// Sends one message of `payload` bytes; returns its fate. TCP
+    /// never reports `Lost` (loss shows up as retransmission latency
+    /// below the transport, which we fold into serialization).
+    pub fn send(&self, payload: u64) -> Delivery {
+        self.account(payload);
+        let p = self.net.params();
+        if self.transport == Transport::Udp && p.loss > 0.0 {
+            let draw = self.net.sim.rng_u64() as f64 / u64::MAX as f64;
+            if draw < p.loss {
+                return Delivery::Lost;
+            }
+        }
+        Delivery::Delivered(p.one_way(payload + self.transport.header_bytes()))
+    }
+
+    /// A request-response exchange: two messages, both delivered
+    /// (callers needing loss semantics use [`send`](Channel::send)
+    /// twice). Returns the total elapsed time.
+    pub fn round_trip(&self, request: u64, response: u64) -> SimDuration {
+        self.account(request);
+        self.account(response);
+        let p = self.net.params();
+        p.one_way(request + self.transport.header_bytes())
+            + p.one_way(response + self.transport.header_bytes())
+    }
+
+    /// Time to stream `bytes` in `nmsgs` back-to-back messages after
+    /// an initial half-RTT (used for multi-segment data transfers
+    /// where only the first segment pays propagation).
+    pub fn stream(&self, bytes: u64, nmsgs: u64) -> SimDuration {
+        let p = self.net.params();
+        for _ in 0..nmsgs {
+            self.account(bytes / nmsgs.max(1));
+        }
+        p.rtt / 2 + p.serialize(bytes + nmsgs * self.transport.header_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Rc<Sim>, Rc<Network>) {
+        let sim = Sim::new(7);
+        let net = Network::new(sim.clone(), LinkParams::gigabit_lan());
+        (sim, net)
+    }
+
+    #[test]
+    fn serialization_delay_scales() {
+        let p = LinkParams::gigabit_lan();
+        // 1 Gb/s → 125 MB/s → 4096 B ≈ 32.768 µs
+        assert_eq!(p.serialize(4096).as_nanos(), 32_768);
+        assert_eq!(p.serialize(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn round_trip_counts_two_messages() {
+        let (sim, net) = setup();
+        let ch = net.channel("rpc", Transport::Tcp);
+        let d = ch.round_trip(100, 200);
+        assert!(d >= sim.now().since(simkit::SimTime::ZERO)); // positive
+        assert_eq!(sim.counters().get("net.rpc.msgs"), 2);
+        let hdr = Transport::Tcp.header_bytes();
+        assert_eq!(sim.counters().get("net.rpc.bytes"), 300 + 2 * hdr);
+        assert_eq!(sim.counters().get("net.total.msgs"), 2);
+    }
+
+    #[test]
+    fn rtt_reconfiguration_takes_effect() {
+        let (_sim, net) = setup();
+        let ch = net.channel("x", Transport::Tcp);
+        let fast = ch.round_trip(0, 0);
+        net.set_rtt(SimDuration::from_millis(90));
+        let slow = ch.round_trip(0, 0);
+        assert!(slow > fast);
+        assert!(slow >= SimDuration::from_millis(90));
+    }
+
+    #[test]
+    fn udp_loses_messages_at_configured_rate() {
+        let (_sim, net) = setup();
+        net.set_loss(0.5);
+        let ch = net.channel("u", Transport::Udp);
+        let mut lost = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if ch.send(64) == Delivery::Lost {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((0.4..0.6).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn tcp_never_reports_loss() {
+        let (_sim, net) = setup();
+        net.set_loss(0.9);
+        let ch = net.channel("t", Transport::Tcp);
+        for _ in 0..100 {
+            assert!(matches!(ch.send(64), Delivery::Delivered(_)));
+        }
+    }
+
+    #[test]
+    fn stream_pays_one_propagation() {
+        let (_sim, net) = setup();
+        let ch = net.channel("s", Transport::Tcp);
+        let p = net.params();
+        let d = ch.stream(1_000_000, 8);
+        let expected = p.rtt / 2 + p.serialize(1_000_000 + 8 * Transport::Tcp.header_bytes());
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn separate_channels_account_separately() {
+        let (sim, net) = setup();
+        let a = net.channel("a", Transport::Tcp);
+        let b = net.channel("b", Transport::Udp);
+        a.send(10);
+        b.send(10);
+        b.send(10);
+        assert_eq!(sim.counters().get("net.a.msgs"), 1);
+        assert_eq!(sim.counters().get("net.b.msgs"), 2);
+        assert_eq!(sim.counters().get("net.total.msgs"), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! An Ethereal-style packet monitor.
+//!
+//! The paper instruments its testbed with Ethereal to count and
+//! classify messages; this module gives the simulated LAN the same
+//! facility: when attached, every message on every channel is recorded
+//! as a [`PacketRecord`] (timestamp, channel, payload size), and
+//! summaries can be dumped per channel — without influencing the
+//! measured workload, exactly like a passive tap.
+
+use simkit::SimTime;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One captured message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Capture timestamp (virtual).
+    pub at: SimTime,
+    /// Channel label (`nfs`, `iscsi`, ...).
+    pub channel: String,
+    /// Payload bytes (headers excluded).
+    pub payload: u64,
+}
+
+/// A passive tap on the simulated link.
+#[derive(Debug, Default)]
+pub struct Sniffer {
+    records: RefCell<Vec<PacketRecord>>,
+    enabled: std::cell::Cell<bool>,
+}
+
+/// Per-channel capture summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelSummary {
+    /// Messages captured.
+    pub messages: u64,
+    /// Payload bytes captured.
+    pub bytes: u64,
+}
+
+impl Sniffer {
+    /// Creates a tap; it starts enabled.
+    pub fn new() -> Rc<Sniffer> {
+        let s = Rc::new(Sniffer::default());
+        s.enabled.set(true);
+        s
+    }
+
+    /// Starts or stops capturing (records are kept either way).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    /// Records one message (called by the network layer).
+    pub fn observe(&self, at: SimTime, channel: &str, payload: u64) {
+        if self.enabled.get() {
+            self.records.borrow_mut().push(PacketRecord {
+                at,
+                channel: channel.to_owned(),
+                payload,
+            });
+        }
+    }
+
+    /// Number of records captured.
+    pub fn len(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.borrow().is_empty()
+    }
+
+    /// Clears the capture buffer.
+    pub fn clear(&self) {
+        self.records.borrow_mut().clear();
+    }
+
+    /// A copy of the records in `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Vec<PacketRecord> {
+        self.records
+            .borrow()
+            .iter()
+            .filter(|r| r.at >= from && r.at < to)
+            .cloned()
+            .collect()
+    }
+
+    /// Per-channel message/byte summary of everything captured.
+    pub fn summary(&self) -> BTreeMap<String, ChannelSummary> {
+        let mut out: BTreeMap<String, ChannelSummary> = BTreeMap::new();
+        for r in self.records.borrow().iter() {
+            let e = out.entry(r.channel.clone()).or_default();
+            e.messages += 1;
+            e.bytes += r.payload;
+        }
+        out
+    }
+
+    /// Mean payload size over the capture (the paper quotes mean
+    /// request sizes: 4.7 KB for NFS writes vs 128 KB for iSCSI).
+    pub fn mean_payload(&self, channel: &str) -> f64 {
+        let records = self.records.borrow();
+        let (n, total) = records
+            .iter()
+            .filter(|r| r.channel == channel)
+            .fold((0u64, 0u64), |(n, t), r| (n + 1, t + r.payload));
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_and_summarize() {
+        let s = Sniffer::new();
+        s.observe(SimTime::from_nanos(10), "nfs", 100);
+        s.observe(SimTime::from_nanos(20), "nfs", 300);
+        s.observe(SimTime::from_nanos(30), "iscsi", 4096);
+        let sum = s.summary();
+        assert_eq!(sum["nfs"].messages, 2);
+        assert_eq!(sum["nfs"].bytes, 400);
+        assert_eq!(sum["iscsi"].messages, 1);
+        assert_eq!(s.mean_payload("nfs"), 200.0);
+        assert_eq!(s.mean_payload("missing"), 0.0);
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let s = Sniffer::new();
+        for t in [5u64, 10, 15] {
+            s.observe(SimTime::from_nanos(t), "x", 1);
+        }
+        let w = s.window(SimTime::from_nanos(5), SimTime::from_nanos(15));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn disabling_stops_capture() {
+        let s = Sniffer::new();
+        s.observe(SimTime::from_nanos(1), "x", 1);
+        s.set_enabled(false);
+        s.observe(SimTime::from_nanos(2), "x", 1);
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

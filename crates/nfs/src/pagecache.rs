@@ -1,0 +1,263 @@
+//! The NFS client's data page cache.
+//!
+//! Stores real page contents keyed by `(file handle, page index)` with
+//! LRU eviction, dirty tracking (for v3/v4 write-back), and per-file
+//! revalidation timestamps used for the 30-second consistency checks.
+
+use crate::Fh;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Page size: 4 KiB, as on the paper's testbed.
+pub const PAGE_SIZE: usize = 4096;
+
+#[derive(Debug)]
+struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    /// Reference bit for CLOCK second-chance eviction.
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct FileState {
+    /// When the file's cached data was last validated against the
+    /// server (ns).
+    validated_at: u64,
+    /// Server mtime observed at validation.
+    mtime: u64,
+}
+
+/// A page cache with CLOCK (second-chance) eviction and dirty pinning.
+#[derive(Debug)]
+pub struct PageCache {
+    capacity: usize,
+    pages: RefCell<HashMap<(Fh, u64), Page>>,
+    files: RefCell<HashMap<Fh, FileState>>,
+    /// CLOCK ring of candidate victims (may contain stale keys).
+    ring: RefCell<std::collections::VecDeque<(Fh, u64)>>,
+}
+
+impl PageCache {
+    /// Creates a cache of at most `capacity` pages.
+    pub fn new(capacity: usize) -> PageCache {
+        PageCache {
+            capacity: capacity.max(8),
+            pages: RefCell::new(HashMap::new()),
+            files: RefCell::new(HashMap::new()),
+            ring: RefCell::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.pages.borrow().len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.pages.borrow().is_empty()
+    }
+
+    /// Copies a cached page out, if resident.
+    pub fn get(&self, fh: Fh, page: u64) -> Option<[u8; PAGE_SIZE]> {
+        let mut pages = self.pages.borrow_mut();
+        pages.get_mut(&(fh, page)).map(|p| {
+            p.referenced = true;
+            *p.data
+        })
+    }
+
+    /// True if the page is resident (no LRU side effects).
+    pub fn contains(&self, fh: Fh, page: u64) -> bool {
+        self.pages.borrow().contains_key(&(fh, page))
+    }
+
+    /// Installs a clean page fetched from the server.
+    pub fn insert_clean(&self, fh: Fh, page: u64, data: &[u8]) {
+        self.insert(fh, page, data, false);
+    }
+
+    /// Installs or overwrites a page.
+    pub fn insert(&self, fh: Fh, page: u64, data: &[u8], dirty: bool) {
+        debug_assert!(data.len() <= PAGE_SIZE);
+        let mut boxed = Box::new([0u8; PAGE_SIZE]);
+        boxed[..data.len()].copy_from_slice(data);
+        if self
+            .pages
+            .borrow_mut()
+            .insert(
+                (fh, page),
+                Page {
+                    data: boxed,
+                    dirty,
+                    referenced: false,
+                },
+            )
+            .is_none()
+        {
+            self.ring.borrow_mut().push_back((fh, page));
+        }
+        self.shrink();
+    }
+
+    /// Mutates a page in place and marks it dirty; returns `false` if
+    /// absent.
+    pub fn modify(&self, fh: Fh, page: u64, f: impl FnOnce(&mut [u8; PAGE_SIZE])) -> bool {
+        let mut pages = self.pages.borrow_mut();
+        match pages.get_mut(&(fh, page)) {
+            Some(p) => {
+                f(&mut p.data);
+                p.dirty = true;
+                p.referenced = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks one page clean (its WRITE was sent to the server).
+    pub fn clean_page(&self, fh: Fh, page: u64) {
+        if let Some(p) = self.pages.borrow_mut().get_mut(&(fh, page)) {
+            p.dirty = false;
+        }
+    }
+
+    /// Marks every page of the file clean (after a COMMIT).
+    pub fn clean_file(&self, fh: Fh) {
+        for ((f, _), p) in self.pages.borrow_mut().iter_mut() {
+            if *f == fh {
+                p.dirty = false;
+            }
+        }
+    }
+
+    /// Dirty page count across all files.
+    pub fn dirty_pages(&self) -> usize {
+        self.pages.borrow().values().filter(|p| p.dirty).count()
+    }
+
+    /// Drops every page of `fh` (cache invalidation after an mtime
+    /// mismatch).
+    pub fn invalidate_file(&self, fh: Fh) {
+        self.pages.borrow_mut().retain(|(f, _), _| *f != fh);
+        self.files.borrow_mut().remove(&fh);
+    }
+
+    /// Drops everything (fresh mount).
+    pub fn clear(&self) {
+        self.pages.borrow_mut().clear();
+        self.files.borrow_mut().clear();
+        self.ring.borrow_mut().clear();
+    }
+
+    /// Validation state: `(validated_at, mtime)` recorded for the file.
+    pub fn validation(&self, fh: Fh) -> Option<(u64, u64)> {
+        self.files
+            .borrow()
+            .get(&fh)
+            .map(|s| (s.validated_at, s.mtime))
+    }
+
+    /// Records a successful validation against server `mtime` at `now`.
+    pub fn set_validation(&self, fh: Fh, now: u64, mtime: u64) {
+        self.files.borrow_mut().insert(
+            fh,
+            FileState {
+                validated_at: now,
+                mtime,
+            },
+        );
+    }
+
+    fn shrink(&self) {
+        let mut pages = self.pages.borrow_mut();
+        let mut ring = self.ring.borrow_mut();
+        let mut budget = ring.len() * 2 + 2;
+        while pages.len() > self.capacity && budget > 0 {
+            budget -= 1;
+            let Some(k) = ring.pop_front() else { break };
+            match pages.get_mut(&k) {
+                None => {} // stale ring entry
+                Some(p) if p.dirty => ring.push_back(k),
+                Some(p) if p.referenced => {
+                    p.referenced = false;
+                    ring.push_back(k);
+                }
+                Some(_) => {
+                    pages.remove(&k);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: Fh = Fh(7);
+
+    #[test]
+    fn insert_get_round_trip() {
+        let c = PageCache::new(16);
+        c.insert_clean(F, 3, &[9u8; PAGE_SIZE]);
+        assert_eq!(c.get(F, 3).unwrap()[0], 9);
+        assert!(c.get(F, 4).is_none());
+    }
+
+    #[test]
+    fn modify_marks_dirty() {
+        let c = PageCache::new(16);
+        c.insert_clean(F, 0, &[0u8; PAGE_SIZE]);
+        assert_eq!(c.dirty_pages(), 0);
+        assert!(c.modify(F, 0, |p| p[0] = 1));
+        assert_eq!(c.dirty_pages(), 1);
+        c.clean_file(F);
+        assert_eq!(c.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_spares_dirty() {
+        let c = PageCache::new(8);
+        for i in 0..8 {
+            c.insert(F, i, &[i as u8; PAGE_SIZE], i < 4); // 0..4 dirty
+        }
+        for i in 8..12 {
+            c.insert_clean(F, i, &[0u8; PAGE_SIZE]);
+        }
+        assert_eq!(c.len(), 8);
+        for i in 0..4 {
+            assert!(c.contains(F, i), "dirty page {i} must survive");
+        }
+    }
+
+    #[test]
+    fn invalidate_file_is_selective() {
+        let c = PageCache::new(16);
+        c.insert_clean(F, 0, &[1u8; PAGE_SIZE]);
+        c.insert_clean(Fh(9), 0, &[2u8; PAGE_SIZE]);
+        c.set_validation(F, 100, 50);
+        c.invalidate_file(F);
+        assert!(!c.contains(F, 0));
+        assert!(c.contains(Fh(9), 0));
+        assert!(c.validation(F).is_none());
+    }
+
+    #[test]
+    fn validation_round_trips() {
+        let c = PageCache::new(16);
+        assert!(c.validation(F).is_none());
+        c.set_validation(F, 123, 456);
+        assert_eq!(c.validation(F), Some((123, 456)));
+    }
+
+    #[test]
+    fn partial_page_insert_zero_pads() {
+        let c = PageCache::new(16);
+        c.insert_clean(F, 0, &[5u8; 100]);
+        let p = c.get(F, 0).unwrap();
+        assert_eq!(p[99], 5);
+        assert_eq!(p[100], 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The NFS server: an RPC-procedure façade over a server-side
+//! [`ext3::Ext3`] instance (the paper's Figure 2(a) stack: network →
+//! RPC → NFS server → VFS → ext3 → block → driver).
+//!
+//! Each procedure charges the server CPU its processing-path cost
+//! (twice an iSCSI command's — paper §5.4) and executes against the
+//! server file system, whose cache misses consume simulated disk time
+//! while the client waits.
+
+use crate::Fh;
+use cpu::{CostModel, CpuAccount};
+use ext3::{Attr, DirEntry, Ext3, FsResult, SetAttr};
+use std::rc::Rc;
+
+/// The server-side endpoint shared by all NFS versions.
+pub struct NfsServer {
+    fs: Ext3,
+    cpu: Rc<CpuAccount>,
+    cost: CostModel,
+}
+
+impl std::fmt::Debug for NfsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NfsServer").field("fs", &self.fs).finish()
+    }
+}
+
+impl NfsServer {
+    /// Creates a server exporting `fs`, charging CPU time to `cpu`.
+    pub fn new(fs: Ext3, cpu: Rc<CpuAccount>, cost: CostModel) -> NfsServer {
+        NfsServer { fs, cpu, cost }
+    }
+
+    /// The exported root file handle.
+    pub fn root_fh(&self) -> Fh {
+        Fh(self.fs.root())
+    }
+
+    /// Direct access to the exported file system (used by tests and by
+    /// the experiment harness for server-side checks).
+    pub fn fs(&self) -> &Ext3 {
+        &self.fs
+    }
+
+    /// The server CPU account (Table 9 is derived from it).
+    pub fn cpu(&self) -> &Rc<CpuAccount> {
+        &self.cpu
+    }
+
+    /// Runs one procedure `f`, charging the per-RPC processing path up
+    /// front and, afterwards, the extra VFS/file-system/block
+    /// traversals caused by server buffer-cache misses — the effect
+    /// that drives NFS server CPU up under meta-data workloads that
+    /// defeat its cache (paper §5.4, PostMark).
+    fn run<T>(
+        &self,
+        proc_name: &str,
+        bytes: u64,
+        f: impl FnOnce(&Ext3) -> FsResult<T>,
+    ) -> FsResult<T> {
+        let sim = self.fs.sim().clone();
+        sim.counters().incr(&format!("nfs.server.proc.{proc_name}"));
+        let c = self.cost.nfs_request(bytes);
+        self.cpu.charge(sim.now(), c);
+        // Synchronous RPCs hold the client until the server's
+        // processing path completes; asynchronous WRITEs pay this cost
+        // at the client's drain rate instead (see the client's write
+        // pipeline).
+        if proc_name != "write" {
+            sim.advance(c);
+        }
+        let misses_before = self.fs.cache_stats().1;
+        let r = f(&self.fs);
+        let misses = self.fs.cache_stats().1 - misses_before;
+        if misses > 0 {
+            let extra = self.cost.layer * (3 * misses);
+            self.cpu.charge(sim.now(), extra);
+            if proc_name != "write" {
+                sim.advance(extra);
+            }
+        }
+        r
+    }
+
+    /// Restarts the server's caches (the paper's cold-cache protocol
+    /// restarts the NFS server).
+    pub fn drop_caches(&self) {
+        let _ = self.fs.drop_caches();
+    }
+
+    /// Extra CPU charged when the server's own meta-data cache misses
+    /// and the VFS/FS/block layers are traversed repeatedly (the
+    /// PostMark effect in the paper's Table 9 discussion).
+    pub fn charge_metadata_miss(&self) {
+        let sim = self.fs.sim();
+        self.cpu
+            .charge(sim.now(), self.cost.nfs_metadata_miss_request());
+    }
+
+    /// LOOKUP: name → file handle + attributes.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors the underlying file-system errors.
+    pub fn lookup(&self, dir: Fh, name: &str) -> FsResult<(Fh, Attr)> {
+        self.run("lookup", 0, |fs| {
+            let ino = fs.lookup(dir.0, name)?;
+            Ok((Fh(ino), fs.getattr(ino)?))
+        })
+    }
+
+    /// GETATTR.
+    ///
+    /// # Errors
+    ///
+    /// [`ext3::FsError::NotFound`] on a stale handle.
+    pub fn getattr(&self, fh: Fh) -> FsResult<Attr> {
+        self.run("getattr", 0, |fs| fs.getattr(fh.0))
+    }
+
+    /// SETATTR (chmod/chown/utimes/truncate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn setattr(&self, fh: Fh, set: SetAttr) -> FsResult<Attr> {
+        self.run("setattr", 0, |fs| fs.setattr(fh.0, set))
+    }
+
+    /// ACCESS (v3+) — permission probe.
+    ///
+    /// # Errors
+    ///
+    /// [`ext3::FsError::NotFound`] on a stale handle.
+    pub fn access(&self, fh: Fh) -> FsResult<Attr> {
+        self.run("access", 0, |fs| fs.getattr(fh.0))
+    }
+
+    /// CREATE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors ([`ext3::FsError::Exists`], ...).
+    pub fn create(&self, dir: Fh, name: &str, perm: u16) -> FsResult<(Fh, Attr)> {
+        self.run("create", 0, |fs| {
+            let ino = fs.create(dir.0, name, perm)?;
+            Ok((Fh(ino), fs.getattr(ino)?))
+        })
+    }
+
+    /// MKDIR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn mkdir(&self, dir: Fh, name: &str, perm: u16) -> FsResult<(Fh, Attr)> {
+        self.run("mkdir", 0, |fs| {
+            let ino = fs.mkdir(dir.0, name, perm)?;
+            Ok((Fh(ino), fs.getattr(ino)?))
+        })
+    }
+
+    /// RMDIR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn rmdir(&self, dir: Fh, name: &str) -> FsResult<()> {
+        self.run("rmdir", 0, |fs| fs.rmdir(dir.0, name))
+    }
+
+    /// REMOVE (unlink).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn remove(&self, dir: Fh, name: &str) -> FsResult<()> {
+        self.run("remove", 0, |fs| fs.unlink(dir.0, name))
+    }
+
+    /// LINK.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn link(&self, dir: Fh, name: &str, target: Fh) -> FsResult<()> {
+        self.run("link", 0, |fs| fs.link(dir.0, name, target.0))
+    }
+
+    /// SYMLINK.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn symlink(&self, dir: Fh, name: &str, target: &str) -> FsResult<Fh> {
+        self.run("symlink", 0, |fs| Ok(Fh(fs.symlink(dir.0, name, target)?)))
+    }
+
+    /// READLINK.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn readlink(&self, fh: Fh) -> FsResult<String> {
+        self.run("readlink", 0, |fs| fs.readlink(fh.0))
+    }
+
+    /// RENAME.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn rename(&self, sdir: Fh, sname: &str, ddir: Fh, dname: &str) -> FsResult<()> {
+        self.run("rename", 0, |fs| fs.rename(sdir.0, sname, ddir.0, dname))
+    }
+
+    /// READDIR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn readdir(&self, dir: Fh) -> FsResult<Vec<DirEntry>> {
+        self.run("readdir", 0, |fs| fs.readdir(dir.0))
+    }
+
+    /// READ: returns up to `len` bytes. Server cache misses consume
+    /// simulated disk time (the client is waiting on this RPC).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn read(&self, fh: Fh, off: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.run("read", len as u64, |fs| fs.read(fh.0, off, len))
+    }
+
+    /// WRITE: applied to the server's page cache; stability is the
+    /// client's business (v2 waits for a flush, v3 COMMITs later).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write(&self, fh: Fh, off: u64, data: &[u8]) -> FsResult<usize> {
+        self.run("write", data.len() as u64, |fs| fs.write(fh.0, off, data))
+    }
+
+    /// FSSTAT/STATFS: file-system-wide statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn fsstat(&self) -> FsResult<ext3::StatFs> {
+        self.run("fsstat", 0, |fs| fs.statfs())
+    }
+
+    /// COMMIT (v3): force the written data to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn commit(&self, fh: Fh) -> FsResult<()> {
+        self.run("commit", 0, |fs| fs.fsync(fh.0))
+    }
+}

@@ -1,0 +1,235 @@
+//! XDR marshalling for the NFS procedures the testbed exchanges (a
+//! practical subset of RFC 1813). The client sizes its RPC messages
+//! from these encodings rather than guessed constants, and the codec
+//! round-trips under test like the SCSI and RPC layers do.
+
+use crate::Fh;
+use ext3::{Attr, FileType};
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// XDR strings/opaques are length-prefixed and padded to 4 bytes.
+fn put_opaque(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+    out.extend(std::iter::repeat_n(
+        0,
+        bytes.len().div_ceil(4) * 4 - bytes.len(),
+    ));
+}
+
+fn get_u32(b: &[u8], off: &mut usize) -> Option<u32> {
+    let s = b.get(*off..*off + 4)?;
+    *off += 4;
+    Some(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn get_u64(b: &[u8], off: &mut usize) -> Option<u64> {
+    let s = b.get(*off..*off + 8)?;
+    *off += 8;
+    Some(u64::from_be_bytes(s.try_into().ok()?))
+}
+
+fn get_opaque(b: &[u8], off: &mut usize) -> Option<Vec<u8>> {
+    let len = get_u32(b, off)? as usize;
+    let s = b.get(*off..*off + len)?.to_vec();
+    *off += len.div_ceil(4) * 4;
+    Some(s)
+}
+
+/// Encodes an NFSv3 file handle (fixed 8-byte opaque in this testbed;
+/// real handles are up to 64 bytes).
+pub fn encode_fh(out: &mut Vec<u8>, fh: Fh) {
+    put_opaque(out, &(fh.0 as u64).to_be_bytes());
+}
+
+/// Decodes a file handle.
+pub fn decode_fh(b: &[u8], off: &mut usize) -> Option<Fh> {
+    let o = get_opaque(b, off)?;
+    let arr: [u8; 8] = o.try_into().ok()?;
+    Some(Fh(u64::from_be_bytes(arr) as u32))
+}
+
+/// Encodes `fattr3` (file attributes in replies).
+pub fn encode_fattr3(out: &mut Vec<u8>, a: &Attr) {
+    let ftype = match a.ftype {
+        FileType::Regular => 1u32,
+        FileType::Directory => 2,
+        FileType::Symlink => 5,
+    };
+    put_u32(out, ftype);
+    put_u32(out, a.perm as u32);
+    put_u32(out, a.links as u32);
+    put_u32(out, a.uid);
+    put_u32(out, a.gid);
+    put_u64(out, a.size);
+    put_u64(out, a.nblocks as u64 * 4096); // bytes used
+    put_u64(out, 0); // rdev
+    put_u64(out, 1); // fsid
+    put_u64(out, a.ino as u64);
+    for t in [a.atime, a.mtime, a.ctime] {
+        put_u32(out, (t / 1_000_000_000) as u32);
+        put_u32(out, (t % 1_000_000_000) as u32);
+    }
+}
+
+/// Size of an encoded `fattr3`: five u32 fields, five u64 fields, and
+/// three 8-byte timestamps.
+pub const FATTR3_LEN: usize = 5 * 4 + 5 * 8 + 3 * 8;
+
+/// LOOKUP3args: `(dir handle, name)`.
+pub fn encode_lookup_args(dir: Fh, name: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_fh(&mut out, dir);
+    put_opaque(&mut out, name.as_bytes());
+    out
+}
+
+/// Decodes LOOKUP3args.
+pub fn decode_lookup_args(b: &[u8]) -> Option<(Fh, String)> {
+    let mut off = 0;
+    let fh = decode_fh(b, &mut off)?;
+    let name = String::from_utf8(get_opaque(b, &mut off)?).ok()?;
+    Some((fh, name))
+}
+
+/// LOOKUP3resok: `(object handle, object attrs)`.
+pub fn encode_lookup_ok(fh: Fh, attr: &Attr) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, 0); // NFS3_OK
+    encode_fh(&mut out, fh);
+    put_u32(&mut out, 1); // attributes follow
+    encode_fattr3(&mut out, attr);
+    out
+}
+
+/// READ3args: `(handle, offset, count)`.
+pub fn encode_read_args(fh: Fh, offset: u64, count: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_fh(&mut out, fh);
+    put_u64(&mut out, offset);
+    put_u32(&mut out, count);
+    out
+}
+
+/// Decodes READ3args.
+pub fn decode_read_args(b: &[u8]) -> Option<(Fh, u64, u32)> {
+    let mut off = 0;
+    let fh = decode_fh(b, &mut off)?;
+    let o = get_u64(b, &mut off)?;
+    let c = get_u32(b, &mut off)?;
+    Some((fh, o, c))
+}
+
+/// WRITE3args header length (the payload rides after it).
+pub fn write_args_len(name_bytes: usize) -> usize {
+    // fh opaque (4+8) + offset + count + stable-how + data length word
+    12 + 8 + 4 + 4 + 4 + name_bytes.div_ceil(4) * 4
+}
+
+/// Wire size of a LOOKUP call: RPC header + args.
+pub fn lookup_call_len(name: &str) -> usize {
+    rpc::wire::CallHeader {
+        xid: 0,
+        prog: rpc::wire::NFS_PROGRAM,
+        vers: 3,
+        proc_num: 3,
+        auth: rpc::wire::AuthFlavor::Unix,
+    }
+    .encoded_len()
+        + encode_lookup_args(Fh(0), name).len()
+}
+
+/// Wire size of a LOOKUP reply carrying post-op attributes.
+pub fn lookup_reply_len() -> usize {
+    6 * 4 + 4 + 12 + 4 + FATTR3_LEN
+}
+
+/// Wire size of a GETATTR call / reply pair's halves.
+pub fn getattr_call_len() -> usize {
+    15 * 4 + 12
+}
+
+/// Wire size of a GETATTR reply.
+pub fn getattr_reply_len() -> usize {
+    6 * 4 + 4 + FATTR3_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr() -> Attr {
+        Attr {
+            ino: 42,
+            ftype: FileType::Regular,
+            perm: 0o644,
+            links: 2,
+            uid: 7,
+            gid: 8,
+            size: 123_456,
+            atime: 1_500_000_000,
+            mtime: 2_500_000_000,
+            ctime: 3_500_000_000,
+            nblocks: 31,
+        }
+    }
+
+    #[test]
+    fn fh_round_trips() {
+        let mut out = Vec::new();
+        encode_fh(&mut out, Fh(0xABCD));
+        let mut off = 0;
+        assert_eq!(decode_fh(&out, &mut off), Some(Fh(0xABCD)));
+        assert_eq!(off, out.len());
+    }
+
+    #[test]
+    fn lookup_args_round_trip() {
+        let enc = encode_lookup_args(Fh(5), "hello_world.txt");
+        let (fh, name) = decode_lookup_args(&enc).unwrap();
+        assert_eq!(fh, Fh(5));
+        assert_eq!(name, "hello_world.txt");
+        // XDR padding keeps everything 4-aligned.
+        assert_eq!(enc.len() % 4, 0);
+    }
+
+    #[test]
+    fn read_args_round_trip() {
+        let enc = encode_read_args(Fh(9), 1 << 40, 8192);
+        let (fh, off, count) = decode_read_args(&enc).unwrap();
+        assert_eq!((fh, off, count), (Fh(9), 1 << 40, 8192));
+    }
+
+    #[test]
+    fn fattr3_has_documented_length() {
+        let mut out = Vec::new();
+        encode_fattr3(&mut out, &attr());
+        assert_eq!(out.len(), FATTR3_LEN);
+    }
+
+    #[test]
+    fn lookup_reply_contains_attrs() {
+        let enc = encode_lookup_ok(Fh(42), &attr());
+        assert_eq!(u32::from_be_bytes(enc[0..4].try_into().unwrap()), 0);
+        assert!(enc.len() > FATTR3_LEN);
+    }
+
+    #[test]
+    fn call_sizes_scale_with_name_length() {
+        assert!(lookup_call_len("a_much_longer_file_name") > lookup_call_len("a"));
+        assert!(lookup_reply_len() > getattr_call_len());
+    }
+
+    #[test]
+    fn truncated_input_returns_none() {
+        assert!(decode_lookup_args(&[0, 0]).is_none());
+        assert!(decode_read_args(&[1, 2, 3]).is_none());
+    }
+}

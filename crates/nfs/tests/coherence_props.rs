@@ -1,0 +1,148 @@
+//! Cache-coherence property: whatever interleaving of operations and
+//! clock advances the NFS client sees, anything it *reads back* —
+//! names, attributes, data — must equal the server's ground truth once
+//! its caches have had a chance to time out. Weak consistency allows
+//! bounded staleness, never wrong answers on a quiescent server
+//! (there is one client, so its own writes are immediately visible —
+//! close-to-open made strict).
+
+use blockdev::MemDisk;
+use cpu::{CostModel, CpuAccount};
+use ext3::Ext3;
+use net::{LinkParams, Network};
+use nfs::{NfsClient, NfsConfig, NfsServer, Version};
+use proptest::prelude::*;
+use rpc::{RpcClient, RpcConfig};
+use simkit::{Sim, SimDuration};
+use std::rc::Rc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Write(u8, u16, u8),
+    ReadBack(u8),
+    Unlink(u8),
+    Rename(u8, u8),
+    Stat(u8),
+    Advance(u8),
+    DropCaches,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(Op::Create),
+        (0u8..8, 0u16..20_000, 1u8..255).prop_map(|(f, o, b)| Op::Write(f, o, b)),
+        (0u8..8).prop_map(Op::ReadBack),
+        (0u8..8).prop_map(Op::Unlink),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Rename(a, b)),
+        (0u8..8).prop_map(Op::Stat),
+        (1u8..40).prop_map(Op::Advance),
+        Just(Op::DropCaches),
+    ]
+}
+
+fn setup(version: Version, seed: u64) -> (Rc<Sim>, NfsClient) {
+    let sim = Sim::new(seed);
+    let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+    let fs = Ext3::mkfs(
+        sim.clone(),
+        Rc::new(MemDisk::new("srv", 300_000)),
+        ext3::Options::default(),
+    )
+    .unwrap();
+    let server = Rc::new(NfsServer::new(
+        fs,
+        Rc::new(CpuAccount::new()),
+        CostModel::p3_933(),
+    ));
+    let rpcc = RpcClient::new(
+        netw.channel("nfs", version.transport()),
+        RpcConfig::default(),
+    );
+    let client = NfsClient::new(
+        sim.clone(),
+        rpcc,
+        server,
+        NfsConfig::for_version(version),
+        Rc::new(CpuAccount::new()),
+        CostModel::p3_933(),
+    );
+    (sim, client)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn client_never_reads_wrong_data(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+        version in prop_oneof![Just(Version::V2), Just(Version::V3), Just(Version::V4)],
+        seed in 0u64..500,
+    ) {
+        let (sim, c) = setup(version, seed);
+        let root = c.root();
+        let name = |i: u8| format!("f{i}");
+        for op in &ops {
+            match op {
+                Op::Create(f) => {
+                    let _ = c.create(root, &name(*f), 0o644);
+                }
+                Op::Write(f, off, byte) => {
+                    if let Ok(fh) = c.lookup(root, &name(*f)) {
+                        c.write(fh, *off as u64, &[*byte; 64]).unwrap();
+                        // A single client's own writes must read back
+                        // immediately (no stale self-view).
+                        let got = c.read(fh, *off as u64, 64).unwrap();
+                        prop_assert_eq!(&got, &vec![*byte; 64]);
+                    }
+                }
+                Op::ReadBack(f) => {
+                    if let Ok(fh) = c.lookup(root, &name(*f)) {
+                        // Whatever the client reads must equal the
+                        // server's ground truth for that range.
+                        let client_view = c.read(fh, 0, 256).unwrap();
+                        let truth = c.server().fs().read(fh.0, 0, 256).unwrap();
+                        prop_assert_eq!(client_view, truth);
+                    }
+                }
+                Op::Unlink(f) => {
+                    let _ = c.unlink(root, &name(*f));
+                }
+                Op::Rename(a, b) => {
+                    let _ = c.rename(root, &name(*a), root, &name(*b));
+                }
+                Op::Stat(f) => {
+                    if let Ok(fh) = c.lookup(root, &name(*f)) {
+                        let a = c.getattr_revalidate(fh).unwrap();
+                        let truth = c.server().fs().getattr(fh.0).unwrap();
+                        prop_assert_eq!(a.size, truth.size);
+                        prop_assert_eq!(a.perm, truth.perm);
+                    }
+                }
+                Op::Advance(s) => sim.advance(SimDuration::from_secs(*s as u64)),
+                Op::DropCaches => c.drop_caches(),
+            }
+        }
+        // Quiesce: after the meta-data timeout, the namespace views
+        // must agree exactly.
+        sim.advance(SimDuration::from_secs(31));
+        let server_names: Vec<String> = c
+            .server()
+            .fs()
+            .readdir(root.0)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .filter(|n| n != "." && n != "..")
+            .collect();
+        for n in &server_names {
+            prop_assert!(c.lookup(root, n).is_ok(), "client missing {n}");
+        }
+        for i in 0u8..8 {
+            let n = name(i);
+            if !server_names.contains(&n) {
+                prop_assert!(c.lookup(root, &n).is_err(), "client has ghost {n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Named monotonic counters for message/byte accounting.
+//!
+//! Counters are the raw data behind every message-count column in the
+//! paper's tables: protocol layers bump counters as they exchange
+//! messages, and the experiment harness snapshots/deltas them around
+//! each measured operation.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// A set of named monotonic `u64` counters.
+///
+/// # Example
+///
+/// ```
+/// use simkit::Counters;
+/// let c = Counters::new();
+/// c.add("nfs.rpc_calls", 2);
+/// assert_eq!(c.get("nfs.rpc_calls"), 2);
+/// let snap = c.snapshot();
+/// c.add("nfs.rpc_calls", 3);
+/// assert_eq!(c.delta_since(&snap, "nfs.rpc_calls"), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counters {
+    map: RefCell<BTreeMap<String, u64>>,
+}
+
+/// A point-in-time copy of all counters, used to compute per-operation
+/// deltas.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSnapshot {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut map = self.map.borrow_mut();
+        if let Some(v) = map.get_mut(name) {
+            *v += n;
+        } else {
+            map.insert(name.to_owned(), n);
+        }
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Copies all counters for later delta computation.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            map: self.map.borrow().clone(),
+        }
+    }
+
+    /// Growth of counter `name` since `snap` was taken.
+    pub fn delta_since(&self, snap: &CounterSnapshot, name: &str) -> u64 {
+        self.get(name) - snap.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of current values over all counters whose name starts with
+    /// `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.map
+            .borrow()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Growth since `snap`, summed over all counters whose name starts
+    /// with `prefix`.
+    pub fn delta_prefix_since(&self, snap: &CounterSnapshot, prefix: &str) -> u64 {
+        let map = self.map.borrow();
+        map.iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| v - snap.map.get(k.as_str()).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// All `(name, value)` pairs in name order.
+    pub fn to_vec(&self) -> Vec<(String, u64)> {
+        self.map
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Resets every counter to zero (the names are retained).
+    pub fn reset(&self) {
+        for v in self.map.borrow_mut().values_mut() {
+            *v = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let c = Counters::new();
+        assert_eq!(c.get("x"), 0);
+        c.add("x", 5);
+        c.incr("x");
+        assert_eq!(c.get("x"), 6);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let c = Counters::new();
+        c.add("a", 10);
+        let snap = c.snapshot();
+        c.add("a", 7);
+        c.add("b", 2); // created after the snapshot
+        assert_eq!(c.delta_since(&snap, "a"), 7);
+        assert_eq!(c.delta_since(&snap, "b"), 2);
+        assert_eq!(c.delta_since(&snap, "missing"), 0);
+    }
+
+    #[test]
+    fn prefix_sums() {
+        let c = Counters::new();
+        c.add("nfs.calls.lookup", 3);
+        c.add("nfs.calls.getattr", 4);
+        c.add("iscsi.pdus", 9);
+        assert_eq!(c.sum_prefix("nfs.calls."), 7);
+        let snap = c.snapshot();
+        c.add("nfs.calls.lookup", 1);
+        assert_eq!(c.delta_prefix_since(&snap, "nfs."), 1);
+        assert_eq!(c.delta_prefix_since(&snap, "iscsi."), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_values() {
+        let c = Counters::new();
+        c.add("x", 3);
+        c.reset();
+        assert_eq!(c.get("x"), 0);
+    }
+
+    #[test]
+    fn to_vec_is_sorted() {
+        let c = Counters::new();
+        c.add("b", 1);
+        c.add("a", 2);
+        let v = c.to_vec();
+        assert_eq!(v[0].0, "a");
+        assert_eq!(v[1].0, "b");
+    }
+}

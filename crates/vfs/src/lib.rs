@@ -1,0 +1,588 @@
+//! The system-call layer of the testbed.
+//!
+//! Benchmarks (PostMark, the TPC emulations, the shell workloads, and
+//! every micro-benchmark) are written against the [`FileSystem`]
+//! trait — the sixteen meta-data calls of the paper's Table 1 plus
+//! open/read/write/fsync. Two implementations exist:
+//!
+//! * [`NfsMount`] — the paper's Figure 2(a): calls resolve component
+//!   by component through the [`nfs::NfsClient`] caches and become
+//!   RPCs;
+//! * [`LocalMount`] — Figure 2(b): calls run against a local
+//!   [`ext3::Ext3`] whose block device is an iSCSI
+//!   `iscsi::RemoteDisk`.
+//!
+//! Because both mounts implement the same trait, every experiment runs
+//! the *identical* workload code over both protocols — the
+//! protocol-transparency property the integration tests verify.
+
+use ext3::{Attr, FsError, FsResult, SetAttr};
+use nfs::{Fh, NfsClient};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// An open-file descriptor returned by [`FileSystem::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(pub u64);
+
+/// The system-call interface exercised by all workloads.
+///
+/// Paths are `/`-separated; relative paths resolve against the mount's
+/// current working directory (set by [`chdir`](FileSystem::chdir)).
+pub trait FileSystem {
+    /// Creates a directory (paper syscall: `mkdir`).
+    fn mkdir(&self, path: &str) -> FsResult<()>;
+    /// Changes the working directory (`chdir`).
+    fn chdir(&self, path: &str) -> FsResult<()>;
+    /// Lists a directory (`readdir`); returns names.
+    fn readdir(&self, path: &str) -> FsResult<Vec<String>>;
+    /// Removes an empty directory (`rmdir`).
+    fn rmdir(&self, path: &str) -> FsResult<()>;
+    /// Creates a symlink at `linkpath` pointing to `target` (`symlink`).
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()>;
+    /// Reads a symlink (`readlink`).
+    fn readlink(&self, path: &str) -> FsResult<String>;
+    /// Removes a file name (`unlink`).
+    fn unlink(&self, path: &str) -> FsResult<()>;
+    /// Creates a regular file (`creat`).
+    fn creat(&self, path: &str) -> FsResult<()>;
+    /// Opens an existing file (`open`).
+    fn open(&self, path: &str) -> FsResult<Fd>;
+    /// Closes a descriptor.
+    fn close(&self, fd: Fd) -> FsResult<()>;
+    /// Creates a hard link `newpath` → `existing` (`link`).
+    fn link(&self, existing: &str, newpath: &str) -> FsResult<()>;
+    /// Renames (`rename`).
+    fn rename(&self, from: &str, to: &str) -> FsResult<()>;
+    /// Truncates to `size` (`truncate`).
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()>;
+    /// Changes permission bits (`chmod`).
+    fn chmod(&self, path: &str, perm: u16) -> FsResult<()>;
+    /// Changes ownership (`chown`).
+    fn chown(&self, path: &str, uid: u32, gid: u32) -> FsResult<()>;
+    /// Permission probe (`access`).
+    fn access(&self, path: &str) -> FsResult<()>;
+    /// File attributes (`stat`).
+    fn stat(&self, path: &str) -> FsResult<Attr>;
+    /// Sets access/modification times to now (`utime`).
+    fn utime(&self, path: &str) -> FsResult<()>;
+    /// Reads from an open file.
+    fn read(&self, fd: Fd, off: u64, len: usize) -> FsResult<Vec<u8>>;
+    /// Writes to an open file.
+    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> FsResult<usize>;
+    /// Flushes a file to stable storage.
+    fn fsync(&self, fd: Fd) -> FsResult<()>;
+    /// File-system-wide statistics (`statfs`).
+    fn statfs(&self) -> FsResult<ext3::StatFs>;
+}
+
+/// Splits a path into components, ignoring empty segments.
+pub fn components(path: &str) -> Vec<&str> {
+    path.split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .collect()
+}
+
+/// Splits into `(parent components, final name)`.
+///
+/// # Errors
+///
+/// [`FsError::InvalidName`] for paths with no final component.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut comps = components(path);
+    let name = comps.pop().ok_or(FsError::InvalidName)?;
+    Ok((comps, name))
+}
+
+// ---------------------------------------------------------------------
+// NFS mount
+// ---------------------------------------------------------------------
+
+/// A mount of an NFS export (any protocol version).
+pub struct NfsMount {
+    client: Rc<NfsClient>,
+    cwd: Cell<Fh>,
+}
+
+impl std::fmt::Debug for NfsMount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NfsMount")
+            .field("cwd", &self.cwd.get())
+            .finish()
+    }
+}
+
+impl NfsMount {
+    /// Mounts the export of `client`'s server.
+    pub fn new(client: Rc<NfsClient>) -> NfsMount {
+        let root = client.root();
+        NfsMount {
+            client,
+            cwd: Cell::new(root),
+        }
+    }
+
+    /// The protocol client (for cache-dropping and §7 flushes).
+    pub fn client(&self) -> &Rc<NfsClient> {
+        &self.client
+    }
+
+    fn start(&self, path: &str) -> Fh {
+        if path.starts_with('/') {
+            self.client.root()
+        } else {
+            self.cwd.get()
+        }
+    }
+
+    fn resolve_dir(&self, comps: &[&str], from: Fh) -> FsResult<Fh> {
+        let mut cur = from;
+        for c in comps {
+            cur = if *c == ".." {
+                self.client.lookup(cur, "..")?
+            } else {
+                self.client.lookup(cur, c)?
+            };
+        }
+        Ok(cur)
+    }
+
+    fn resolve(&self, path: &str) -> FsResult<Fh> {
+        self.resolve_dir(&components(path), self.start(path))
+    }
+
+    fn resolve_parent<'a>(&self, path: &'a str) -> FsResult<(Fh, &'a str)> {
+        let (parent, name) = split_parent(path)?;
+        Ok((self.resolve_dir(&parent, self.start(path))?, name))
+    }
+}
+
+impl FileSystem for NfsMount {
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.client.mkdir(dir, name, 0o755).map(|_| ())
+    }
+
+    fn chdir(&self, path: &str) -> FsResult<()> {
+        let fh = self.resolve(path)?;
+        self.cwd.set(fh);
+        Ok(())
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        let fh = self.resolve(path)?;
+        Ok(self
+            .client
+            .readdir(fh)?
+            .into_iter()
+            .map(|e| e.name)
+            .collect())
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.client.rmdir(dir, name)
+    }
+
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()> {
+        let (dir, name) = self.resolve_parent(linkpath)?;
+        self.client.symlink(dir, name, target).map(|_| ())
+    }
+
+    fn readlink(&self, path: &str) -> FsResult<String> {
+        let fh = self.resolve(path)?;
+        self.client.readlink(fh)
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.client.unlink(dir, name)
+    }
+
+    fn creat(&self, path: &str) -> FsResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.client.create(dir, name, 0o644).map(|_| ())
+    }
+
+    fn open(&self, path: &str) -> FsResult<Fd> {
+        let fh = self.resolve(path)?;
+        let of = self.client.open(fh)?;
+        Ok(Fd(of.fh.0 as u64))
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        self.client.close(Fh(fd.0 as u32));
+        Ok(())
+    }
+
+    fn link(&self, existing: &str, newpath: &str) -> FsResult<()> {
+        let target = self.resolve(existing)?;
+        let (dir, name) = self.resolve_parent(newpath)?;
+        self.client.link(dir, name, target)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let (sdir, sname) = self.resolve_parent(from)?;
+        let (ddir, dname) = self.resolve_parent(to)?;
+        self.client.rename(sdir, sname, ddir, dname)
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        let fh = self.resolve(path)?;
+        self.client
+            .setattr(
+                fh,
+                SetAttr {
+                    size: Some(size),
+                    ..SetAttr::default()
+                },
+                "trunc",
+            )
+            .map(|_| ())
+    }
+
+    fn chmod(&self, path: &str, perm: u16) -> FsResult<()> {
+        let fh = self.resolve(path)?;
+        self.client
+            .setattr(
+                fh,
+                SetAttr {
+                    perm: Some(perm),
+                    ..SetAttr::default()
+                },
+                "chmod",
+            )
+            .map(|_| ())
+    }
+
+    fn chown(&self, path: &str, uid: u32, gid: u32) -> FsResult<()> {
+        let fh = self.resolve(path)?;
+        self.client
+            .setattr(
+                fh,
+                SetAttr {
+                    uid: Some(uid),
+                    gid: Some(gid),
+                    ..SetAttr::default()
+                },
+                "chown",
+            )
+            .map(|_| ())
+    }
+
+    fn access(&self, path: &str) -> FsResult<()> {
+        let fh = self.resolve(path)?;
+        self.client.access(fh).map(|_| ())
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Attr> {
+        let fh = self.resolve(path)?;
+        self.client.getattr_revalidate(fh)
+    }
+
+    fn utime(&self, path: &str) -> FsResult<()> {
+        let fh = self.resolve(path)?;
+        let now = 0; // SETATTR carries the server's time in practice
+        self.client
+            .setattr(
+                fh,
+                SetAttr {
+                    atime: Some(now),
+                    mtime: Some(now),
+                    ..SetAttr::default()
+                },
+                "utime",
+            )
+            .map(|_| ())
+    }
+
+    fn read(&self, fd: Fd, off: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.client.read(Fh(fd.0 as u32), off, len)
+    }
+
+    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> FsResult<usize> {
+        self.client.write(Fh(fd.0 as u32), off, data)
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        self.client.commit(Fh(fd.0 as u32))
+    }
+
+    fn statfs(&self) -> FsResult<ext3::StatFs> {
+        self.client.statfs()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Local (iSCSI-backed) mount
+// ---------------------------------------------------------------------
+
+/// A mount of a local ext3 file system — in the testbed, ext3 over an
+/// iSCSI remote disk. Charges the client CPU the full local-filesystem
+/// processing path per call (the paper's Table 10 effect).
+pub struct LocalMount {
+    fs: Rc<ext3::Ext3>,
+    cwd: Cell<ext3::Ino>,
+    cpu: Rc<cpu::CpuAccount>,
+    cost: cpu::CostModel,
+}
+
+impl std::fmt::Debug for LocalMount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalMount")
+            .field("cwd", &self.cwd.get())
+            .finish()
+    }
+}
+
+impl LocalMount {
+    /// Mounts `fs`, charging per-syscall CPU to `cpu`.
+    pub fn new(fs: Rc<ext3::Ext3>, cpu: Rc<cpu::CpuAccount>, cost: cpu::CostModel) -> LocalMount {
+        let root = fs.root();
+        LocalMount {
+            fs,
+            cwd: Cell::new(root),
+            cpu,
+            cost,
+        }
+    }
+
+    /// The underlying file system.
+    pub fn fs(&self) -> &Rc<ext3::Ext3> {
+        &self.fs
+    }
+
+    fn charge(&self) {
+        let c = self.cost.iscsi_client_syscall();
+        self.cpu.charge(self.fs.sim().now(), c);
+        // Local-filesystem processing happens on the client CPU, in
+        // line with the calling application.
+        self.fs.sim().advance(c);
+    }
+
+    fn charge_data(&self) {
+        let c = self.cost.data_syscall();
+        self.cpu.charge(self.fs.sim().now(), c);
+        self.fs.sim().advance(c);
+    }
+
+    fn start(&self, path: &str) -> ext3::Ino {
+        if path.starts_with('/') {
+            self.fs.root()
+        } else {
+            self.cwd.get()
+        }
+    }
+
+    fn resolve_dir(&self, comps: &[&str], from: ext3::Ino) -> FsResult<ext3::Ino> {
+        let mut cur = from;
+        for c in comps {
+            cur = self.fs.lookup(cur, c)?;
+        }
+        Ok(cur)
+    }
+
+    fn resolve(&self, path: &str) -> FsResult<ext3::Ino> {
+        self.resolve_dir(&components(path), self.start(path))
+    }
+
+    fn resolve_parent<'a>(&self, path: &'a str) -> FsResult<(ext3::Ino, &'a str)> {
+        let (parent, name) = split_parent(path)?;
+        Ok((self.resolve_dir(&parent, self.start(path))?, name))
+    }
+}
+
+impl FileSystem for LocalMount {
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.charge();
+        let (dir, name) = self.resolve_parent(path)?;
+        self.fs.mkdir(dir, name, 0o755).map(|_| ())
+    }
+
+    fn chdir(&self, path: &str) -> FsResult<()> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        let attr = self.fs.getattr(ino)?;
+        if attr.ftype != ext3::FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        self.cwd.set(ino);
+        Ok(())
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        Ok(self.fs.readdir(ino)?.into_iter().map(|e| e.name).collect())
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.charge();
+        let (dir, name) = self.resolve_parent(path)?;
+        self.fs.rmdir(dir, name)
+    }
+
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()> {
+        self.charge();
+        let (dir, name) = self.resolve_parent(linkpath)?;
+        self.fs.symlink(dir, name, target).map(|_| ())
+    }
+
+    fn readlink(&self, path: &str) -> FsResult<String> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        self.fs.readlink(ino)
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.charge();
+        let (dir, name) = self.resolve_parent(path)?;
+        self.fs.unlink(dir, name)
+    }
+
+    fn creat(&self, path: &str) -> FsResult<()> {
+        self.charge();
+        let (dir, name) = self.resolve_parent(path)?;
+        self.fs.create(dir, name, 0o644).map(|_| ())
+    }
+
+    fn open(&self, path: &str) -> FsResult<Fd> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        let _ = self.fs.getattr(ino)?;
+        Ok(Fd(ino as u64))
+    }
+
+    fn close(&self, _fd: Fd) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn link(&self, existing: &str, newpath: &str) -> FsResult<()> {
+        self.charge();
+        let target = self.resolve(existing)?;
+        let (dir, name) = self.resolve_parent(newpath)?;
+        self.fs.link(dir, name, target)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.charge();
+        let (sdir, sname) = self.resolve_parent(from)?;
+        let (ddir, dname) = self.resolve_parent(to)?;
+        self.fs.rename(sdir, sname, ddir, dname)
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        self.fs
+            .setattr(
+                ino,
+                SetAttr {
+                    size: Some(size),
+                    ..SetAttr::default()
+                },
+            )
+            .map(|_| ())
+    }
+
+    fn chmod(&self, path: &str, perm: u16) -> FsResult<()> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        self.fs
+            .setattr(
+                ino,
+                SetAttr {
+                    perm: Some(perm),
+                    ..SetAttr::default()
+                },
+            )
+            .map(|_| ())
+    }
+
+    fn chown(&self, path: &str, uid: u32, gid: u32) -> FsResult<()> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        self.fs
+            .setattr(
+                ino,
+                SetAttr {
+                    uid: Some(uid),
+                    gid: Some(gid),
+                    ..SetAttr::default()
+                },
+            )
+            .map(|_| ())
+    }
+
+    fn access(&self, path: &str) -> FsResult<()> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        self.fs.getattr(ino).map(|_| ())
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Attr> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        self.fs.getattr(ino)
+    }
+
+    fn utime(&self, path: &str) -> FsResult<()> {
+        self.charge();
+        let ino = self.resolve(path)?;
+        let now = self.fs.sim().now().as_nanos();
+        self.fs
+            .setattr(
+                ino,
+                SetAttr {
+                    atime: Some(now),
+                    mtime: Some(now),
+                    ..SetAttr::default()
+                },
+            )
+            .map(|_| ())
+    }
+
+    fn read(&self, fd: Fd, off: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.charge_data();
+        self.fs.read(fd.0 as u32, off, len)
+    }
+
+    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> FsResult<usize> {
+        self.charge_data();
+        self.fs.write(fd.0 as u32, off, data)
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        self.charge();
+        self.fs.fsync(fd.0 as u32)
+    }
+
+    fn statfs(&self) -> FsResult<ext3::StatFs> {
+        self.charge();
+        self.fs.statfs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_parse() {
+        assert_eq!(components("/a/b/c"), vec!["a", "b", "c"]);
+        assert_eq!(components("a//b/"), vec!["a", "b"]);
+        assert_eq!(components("/"), Vec::<&str>::new());
+        assert_eq!(components("./a/./b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn split_parent_works() {
+        let (p, n) = split_parent("/a/b/c").unwrap();
+        assert_eq!(p, vec!["a", "b"]);
+        assert_eq!(n, "c");
+        let (p, n) = split_parent("f").unwrap();
+        assert!(p.is_empty());
+        assert_eq!(n, "f");
+        assert!(split_parent("/").is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! Application workloads from the paper's macro-benchmarks (§5),
+//! written against the protocol-agnostic [`vfs::FileSystem`] trait so
+//! the *same* code drives both NFS and iSCSI testbeds:
+//!
+//! * [`postmark`] — a reimplementation of PostMark 1.5 (small-file,
+//!   meta-data-intensive Internet-application workload);
+//! * [`oltp`] — a TPC-C-style profile: small (4 KB) random I/Os,
+//!   two-thirds reads, measured in transactions per minute;
+//! * [`dss`] — a TPC-H-style decision-support profile: large
+//!   sequential scans over a scale-1 (1 GB) database, measured in
+//!   queries per hour;
+//! * [`shell`] — the paper's Table 8 workloads: `tar -xzf` of a
+//!   kernel-like tree, `ls -lR`, a compile pass, and `rm -rf`.
+
+pub mod dss;
+pub mod oltp;
+pub mod postmark;
+pub mod shell;
+
+pub use dss::{DssConfig, DssReport};
+pub use oltp::{OltpConfig, OltpReport};
+pub use postmark::{PostmarkConfig, PostmarkReport};
+pub use shell::{ShellReport, TreeSpec};

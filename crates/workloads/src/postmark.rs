@@ -1,0 +1,191 @@
+//! PostMark (Katcher, NetApp TR-3022) reimplemented.
+//!
+//! The benchmark creates an initial pool of small random text files,
+//! then runs transactions, each either *create-or-delete* a file or
+//! *read-or-append* one, with equal bias (the paper's configuration),
+//! and finally deletes the pool. Its meta-data intensity — creates,
+//! deletes, and lookups dominating data transfer — is what exposes the
+//! NFS/iSCSI gap in the paper's Table 5.
+
+use simkit::SplitMix64;
+use vfs::FileSystem;
+
+/// PostMark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PostmarkConfig {
+    /// Initial (and steady-state target) number of files.
+    pub file_count: usize,
+    /// Minimum file size in bytes.
+    pub min_size: usize,
+    /// Maximum file size in bytes.
+    pub max_size: usize,
+    /// Number of transactions to run.
+    pub transactions: usize,
+    /// Buffered transfer unit for reads/appends.
+    pub io_unit: usize,
+    /// Number of subdirectories the pool is spread over (PostMark's
+    /// `-s` option; keeps directories at a realistic size).
+    pub subdirs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PostmarkConfig {
+    fn default() -> Self {
+        PostmarkConfig {
+            file_count: 1000,
+            min_size: 500,
+            max_size: 9_977, // PostMark's classic default ceiling
+            transactions: 10_000,
+            io_unit: 4096,
+            subdirs: 10,
+            seed: 1,
+        }
+    }
+}
+
+/// Operation counts reported after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostmarkReport {
+    /// Files created (pool + transactions).
+    pub created: u64,
+    /// Files deleted.
+    pub deleted: u64,
+    /// Read transactions.
+    pub reads: u64,
+    /// Append transactions.
+    pub appends: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+/// Runs PostMark in `dir` (created if needed) on any file system.
+///
+/// # Errors
+///
+/// Propagates file-system errors (e.g. out of space).
+///
+/// # Panics
+///
+/// Panics if `min_size > max_size` or `file_count == 0`.
+pub fn run(
+    fs: &dyn FileSystem,
+    dir: &str,
+    cfg: PostmarkConfig,
+) -> Result<PostmarkReport, ext3::FsError> {
+    assert!(cfg.min_size <= cfg.max_size && cfg.file_count > 0);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut report = PostmarkReport::default();
+    match fs.mkdir(dir) {
+        Ok(()) | Err(ext3::FsError::Exists) => {}
+        Err(e) => return Err(e),
+    }
+
+    let subdirs = cfg.subdirs.max(1) as u64;
+    for s in 0..subdirs {
+        match fs.mkdir(&format!("{dir}/s{s}")) {
+            Ok(()) | Err(ext3::FsError::Exists) => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    let mut next_id: u64 = 0;
+    let mut pool: Vec<(u64, usize)> = Vec::with_capacity(cfg.file_count); // (id, size)
+    let path = |id: u64| format!("{dir}/s{}/pm{id}", id % subdirs);
+    let payload = |rng: &mut SplitMix64, len: usize| -> Vec<u8> {
+        // "Random text": mixed printable bytes, deterministic.
+        (0..len).map(|_| (rng.below(94) + 32) as u8).collect()
+    };
+
+    // Phase 1: create the initial pool.
+    for _ in 0..cfg.file_count {
+        let id = next_id;
+        next_id += 1;
+        let size = rng.range_inclusive(cfg.min_size as u64, cfg.max_size as u64) as usize;
+        fs.creat(&path(id))?;
+        let fd = fs.open(&path(id))?;
+        let data = payload(&mut rng, size);
+        fs.write(fd, 0, &data)?;
+        fs.close(fd)?;
+        report.created += 1;
+        report.bytes_written += size as u64;
+        pool.push((id, size));
+    }
+
+    // Phase 2: transactions.
+    for _ in 0..cfg.transactions {
+        let create_delete = rng.below(2) == 0;
+        if create_delete {
+            if rng.below(2) == 0 || pool.is_empty() {
+                // Create.
+                let id = next_id;
+                next_id += 1;
+                let size = rng.range_inclusive(cfg.min_size as u64, cfg.max_size as u64) as usize;
+                fs.creat(&path(id))?;
+                let fd = fs.open(&path(id))?;
+                let data = payload(&mut rng, size);
+                fs.write(fd, 0, &data)?;
+                fs.close(fd)?;
+                report.created += 1;
+                report.bytes_written += size as u64;
+                pool.push((id, size));
+            } else {
+                // Delete a random file.
+                let idx = rng.below(pool.len() as u64) as usize;
+                let (id, _) = pool.swap_remove(idx);
+                fs.unlink(&path(id))?;
+                report.deleted += 1;
+            }
+        } else if !pool.is_empty() {
+            let idx = rng.below(pool.len() as u64) as usize;
+            if rng.below(2) == 0 {
+                // Read the whole file in io_unit chunks.
+                let (id, size) = pool[idx];
+                let fd = fs.open(&path(id))?;
+                let mut off = 0usize;
+                while off < size {
+                    let n = fs.read(fd, off as u64, cfg.io_unit)?.len();
+                    if n == 0 {
+                        break;
+                    }
+                    off += n;
+                }
+                fs.close(fd)?;
+                report.reads += 1;
+                report.bytes_read += size as u64;
+            } else {
+                // Append a random amount.
+                let (id, size) = pool[idx];
+                let extra = rng.range_inclusive(cfg.min_size as u64, cfg.max_size as u64) as usize;
+                let fd = fs.open(&path(id))?;
+                let data = payload(&mut rng, extra);
+                fs.write(fd, size as u64, &data)?;
+                fs.close(fd)?;
+                pool[idx].1 = size + extra;
+                report.appends += 1;
+                report.bytes_written += extra as u64;
+            }
+        }
+    }
+
+    // Phase 3: delete the remaining pool.
+    for (id, _) in pool.drain(..) {
+        fs.unlink(&path(id))?;
+        report.deleted += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = PostmarkConfig::default();
+        assert!(c.min_size < c.max_size);
+        assert!(c.transactions > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Workload tests against a local ext3 mount: operation accounting,
+//! determinism, and the structural properties the experiments rely on.
+
+use blockdev::MemDisk;
+use cpu::{CostModel, CpuAccount};
+use ext3::Ext3;
+use simkit::Sim;
+use std::rc::Rc;
+use vfs::{FileSystem, LocalMount};
+use workloads::{dss, oltp, postmark, shell};
+use workloads::{DssConfig, OltpConfig, PostmarkConfig, TreeSpec};
+
+fn mount(seed: u64) -> (Rc<Sim>, LocalMount) {
+    let sim = Sim::new(seed);
+    let fs = Rc::new(
+        Ext3::mkfs(
+            sim.clone(),
+            Rc::new(MemDisk::new("d", 400_000)),
+            ext3::Options::default(),
+        )
+        .unwrap(),
+    );
+    (
+        sim.clone(),
+        LocalMount::new(fs, Rc::new(CpuAccount::new()), CostModel::p3_933()),
+    )
+}
+
+#[test]
+fn postmark_accounting_balances() {
+    let (_sim, fs) = mount(3);
+    let cfg = PostmarkConfig {
+        file_count: 50,
+        transactions: 300,
+        subdirs: 5,
+        ..PostmarkConfig::default()
+    };
+    let r = postmark::run(&fs, "/pm", cfg).unwrap();
+    // Everything created is eventually deleted (pool teardown).
+    assert_eq!(r.created, r.deleted);
+    assert!(r.created >= cfg.file_count as u64);
+    assert!(r.reads + r.appends > 0);
+    assert!(r.bytes_written > 0);
+    // The pool directories are empty afterwards.
+    for s in 0..5 {
+        let names = fs.readdir(&format!("/pm/s{s}")).unwrap();
+        assert_eq!(names.len(), 2, "only . and .. remain");
+    }
+}
+
+#[test]
+fn postmark_is_deterministic() {
+    let runs: Vec<_> = (0..2)
+        .map(|_| {
+            let (_sim, fs) = mount(9);
+            postmark::run(
+                &fs,
+                "/pm",
+                PostmarkConfig {
+                    file_count: 30,
+                    transactions: 200,
+                    subdirs: 3,
+                    ..PostmarkConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+}
+
+#[test]
+fn oltp_reports_throughput() {
+    let (sim, fs) = mount(5);
+    let cfg = OltpConfig {
+        db_pages: 1024,
+        transactions: 50,
+        ..OltpConfig::default()
+    };
+    let db = oltp::load(&fs, "/db", cfg).unwrap();
+    fs.creat("/log").unwrap();
+    let log = fs.open("/log").unwrap();
+    let r = oltp::run(&fs, &sim, db, log, cfg).unwrap();
+    assert_eq!(r.transactions, 50);
+    assert!(r.tpm > 0.0);
+    // Client CPU per txn bounds the rate from above.
+    assert!(r.elapsed.as_secs_f64() >= 50.0 * cfg.cpu_per_txn.as_secs_f64());
+}
+
+#[test]
+fn dss_scans_the_database() {
+    let (sim, fs) = mount(6);
+    let cfg = DssConfig {
+        db_pages: 2048, // 8 MB
+        queries: 3,
+        ..DssConfig::default()
+    };
+    let db = dss::load(&fs, "/db", cfg).unwrap();
+    let r = dss::run(&fs, &sim, db, cfg).unwrap();
+    assert_eq!(r.queries, 3);
+    assert!(r.qph > 0.0);
+    assert_eq!(fs.stat("/db").unwrap().size, 2048 * 4096);
+}
+
+#[test]
+fn shell_workloads_round_trip() {
+    let (sim, fs) = mount(7);
+    let spec = TreeSpec {
+        top_dirs: 3,
+        sub_dirs: 2,
+        files_per_dir: 4,
+        mean_file_size: 2000,
+        seed: 1,
+    };
+    let t_tar = shell::tar_extract(&fs, &sim, "/src", &spec).unwrap();
+    assert!(!t_tar.is_zero());
+    // Everything the tree spec promises exists.
+    assert_eq!(fs.readdir("/src").unwrap().len(), 2 + spec.top_dirs);
+    assert!(fs.stat("/src/sub0/dir0/file0.c").unwrap().size > 0);
+    let t_ls = shell::ls_lr(&fs, &sim, "/src", &spec).unwrap();
+    assert!(!t_ls.is_zero());
+    let t_make = shell::compile(&fs, &sim, "/src", &spec).unwrap();
+    assert!(t_make > t_ls, "compilation is CPU-heavy");
+    assert!(fs.stat("/src/sub0/dir0/file0.o").unwrap().size > 0);
+    shell::rm_rf(&fs, &sim, "/src").unwrap();
+    assert!(fs.stat("/src").is_err());
+}

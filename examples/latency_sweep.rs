@@ -1,0 +1,47 @@
+//! Wide-area behaviour (the paper's §4.6 / Figure 6): sweep the RTT
+//! with a NISTNet-style delay and watch NFS degrade faster than iSCSI.
+//!
+//! ```sh
+//! cargo run --release --example latency_sweep
+//! ```
+
+use ipstorage::core::experiments::data::{read_file, write_file, Pattern};
+use ipstorage::core::{Protocol, Testbed, TestbedConfig};
+use ipstorage::net::LinkParams;
+use ipstorage::simkit::SimDuration;
+
+fn main() {
+    let mb = 16; // a scaled-down 128 MB file
+    println!("{} MB sequential file, completion time in seconds\n", mb);
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "RTT(ms)", "NFS read", "iSCSI read", "NFS write", "iSCSI write"
+    );
+    for rtt_ms in [0u64, 10, 30, 60, 90] {
+        let mut row = vec![format!("{rtt_ms:>8}")];
+        for is_read in [true, false] {
+            for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+                let mut cfg = TestbedConfig::new(proto);
+                cfg.link = if rtt_ms == 0 {
+                    LinkParams::gigabit_lan()
+                } else {
+                    LinkParams::wan(SimDuration::from_millis(rtt_ms))
+                };
+                let tb = Testbed::build(cfg);
+                let t = if is_read {
+                    let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
+                    read_file(&tb, "/f", mb, Pattern::Sequential).time
+                } else {
+                    write_file(&tb, "/w", mb, Pattern::Sequential).time
+                };
+                row.push(format!("{:>14.1}", t.as_secs_f64()));
+            }
+        }
+        // Reorder: reads then writes, NFS before iSCSI.
+        println!("{}{}{}{}{}", row[0], row[1], row[2], row[3], row[4]);
+    }
+    println!("\nWrites: iSCSI stays flat (asynchronous write-back); NFS grows with");
+    println!("RTT once its bounded write window turns writes pseudo-synchronous.");
+    println!("Reads: both grow, but premature RPC retransmissions at high RTT");
+    println!("push NFS up faster (paper §4.6).");
+}

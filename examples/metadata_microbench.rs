@@ -1,0 +1,32 @@
+//! Per-syscall message counting — a slice of the paper's Tables 2/3
+//! methodology you can play with: pick an operation, a directory
+//! depth, and cold/warm cache, and see what each protocol puts on the
+//! wire.
+//!
+//! ```sh
+//! cargo run --release --example metadata_microbench -- mkdir 3
+//! ```
+
+use ipstorage::core::experiments::micro::{measure_op, CacheState, SYSCALLS};
+use ipstorage::core::Protocol;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let op = args.first().map(|s| s.as_str()).unwrap_or("mkdir");
+    let depth: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    assert!(
+        SYSCALLS.contains(&op),
+        "unknown op {op}; choose one of {SYSCALLS:?}"
+    );
+
+    println!("syscall `{op}` at directory depth {depth}\n");
+    println!("{:<8} {:>6} {:>6}", "proto", "cold", "warm");
+    for proto in Protocol::ALL {
+        let cold = measure_op(proto, op, depth, CacheState::Cold);
+        let warm = measure_op(proto, op, depth, CacheState::Warm);
+        println!("{:<8} {:>6} {:>6}", proto.label(), cold, warm);
+    }
+    println!("\ncold = fresh mount before the call; warm = a similar call (same");
+    println!("directory, different name) ran moments earlier. Counts include the");
+    println!("deferred journal writes that make iSCSI's warm numbers flat.");
+}

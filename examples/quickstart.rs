@@ -1,0 +1,54 @@
+//! Quickstart: build both testbeds, do the same work on each, and
+//! compare what went over the wire.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ipstorage::core::{Protocol, Testbed};
+
+fn main() {
+    for protocol in [Protocol::NfsV3, Protocol::Iscsi] {
+        let tb = Testbed::with_protocol(protocol);
+        let fs = tb.fs();
+
+        // A little meta-data work plus a small file.
+        fs.mkdir("/projects").unwrap();
+        fs.mkdir("/projects/paper").unwrap();
+        fs.creat("/projects/paper/draft.txt").unwrap();
+        let fd = fs.open("/projects/paper/draft.txt").unwrap();
+        fs.write(fd, 0, b"IP-networked storage: file access or block access?")
+            .unwrap();
+        let text = fs.read(fd, 0, 64).unwrap();
+        fs.close(fd).unwrap();
+        fs.chmod("/projects/paper/draft.txt", 0o600).unwrap();
+        let attr = fs.stat("/projects/paper/draft.txt").unwrap();
+
+        // Let asynchronous meta-data (journal commits, write-back)
+        // reach the wire so the counts are complete.
+        tb.settle();
+        let cold_msgs = tb.messages();
+
+        // Now repeat similar work warm: this is where the protocols
+        // diverge (paper Table 3).
+        for i in 0..20 {
+            fs.creat(&format!("/projects/paper/note{i}.txt")).unwrap();
+            fs.chmod(&format!("/projects/paper/note{i}.txt"), 0o600)
+                .unwrap();
+        }
+        tb.settle();
+        let warm_msgs = tb.messages() - cold_msgs;
+
+        println!("== {:?}", protocol);
+        println!("   read back  : {}", String::from_utf8_lossy(&text));
+        println!("   file size  : {} bytes, mode {:o}", attr.size, attr.perm);
+        println!("   cold msgs  : {cold_msgs}");
+        println!("   40 warm ops: {warm_msgs} msgs");
+        println!("   bytes      : {}", tb.bytes());
+        println!("   sim time   : {}", tb.now());
+        println!();
+    }
+    println!("Cold, iSCSI pays more (it must fetch whole meta-data blocks); warm,");
+    println!("its client-side cache and journal aggregation need only a couple of");
+    println!("writes while every NFS meta-data update stays a synchronous RPC.");
+}

@@ -1,0 +1,48 @@
+//! `ipstorage` — a simulation testbed reproducing *A Performance
+//! Comparison of NFS and iSCSI for IP-Networked Storage* (FAST 2004).
+//!
+//! This umbrella crate re-exports every subsystem of the workspace so
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`simkit`] — deterministic clock, daemons, RNG, counters
+//! * [`blockdev`] — disks, mechanical timing model, RAID-5
+//! * [`net`] — simulated LAN with configurable RTT and accounting
+//! * [`rpc`] — ONC-RPC-like transport used by NFS
+//! * [`scsi`] — SCSI command set used by iSCSI
+//! * [`iscsi`] — iSCSI initiator/target exposing a remote block device
+//! * [`ext3`] — journaling file system with buffer cache and write-back
+//! * [`nfs`] — NFS v2/v3/v4 client and server, plus §7 enhancements
+//! * [`vfs`] — the unified system-call interface used by workloads
+//! * [`cpu`] — processing-path cost model and utilization sampling
+//! * [`workloads`] — PostMark, OLTP/DSS emulations, shell workloads
+//! * [`traces`] — Harvard-like trace synthesis and sharing analysis
+//! * `core` ([`ipstorage_core`]) — the testbed builder and one runner per
+//!   paper table/figure
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ipstorage::core::{Testbed, Protocol};
+//!
+//! // Build the paper's testbed and run one operation over each protocol.
+//! let nfs = Testbed::with_protocol(Protocol::NfsV3);
+//! let iscsi = Testbed::with_protocol(Protocol::Iscsi);
+//! nfs.fs().mkdir("/a").unwrap();
+//! iscsi.fs().mkdir("/a").unwrap();
+//! iscsi.settle(); // asynchronous meta-data reaches the wire later
+//! assert!(nfs.messages() > 0 && iscsi.messages() > 0);
+//! ```
+
+pub use blockdev;
+pub use cpu;
+pub use ext3;
+pub use ipstorage_core as core;
+pub use iscsi;
+pub use net;
+pub use nfs;
+pub use rpc;
+pub use scsi;
+pub use simkit;
+pub use traces;
+pub use vfs;
+pub use workloads;
