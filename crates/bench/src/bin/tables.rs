@@ -4,42 +4,62 @@
 //! tables                    # everything (can take a while)
 //! tables table2 figure5 ... # a selection
 //! tables --quick            # reduced-scale versions of the slow ones
+//! tables --json table4      # also emit each runner's RunReport as one
+//!                           # JSON line on stdout (see EXPERIMENTS.md)
 //! ```
 
 use ipstorage_core::experiments::{data, enhance, macrob, micro};
+use ipstorage_core::RunReport;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
+    let emit = |r: &RunReport| {
+        if json {
+            println!("{}", r.to_json());
+        }
+    };
 
     if want("table2") {
-        println!("{}\n", micro::table2().render());
+        let (t, r) = micro::table2_report();
+        println!("{}\n", t.render());
+        emit(&r);
     }
     if want("table3") {
-        println!("{}\n", micro::table3().render());
+        let (t, r) = micro::table3_report();
+        println!("{}\n", t.render());
+        emit(&r);
     }
     if want("figure3") {
-        println!("{}\n", micro::figure3().render());
+        let (t, r) = micro::figure3_report();
+        println!("{}\n", t.render());
+        emit(&r);
     }
     if want("figure4") {
-        println!("{}\n", micro::figure4().render());
+        let (t, r) = micro::figure4_report();
+        println!("{}\n", t.render());
+        emit(&r);
     }
     if want("figure5") {
-        println!("{}\n", micro::figure5().render());
+        let (t, r) = micro::figure5_report();
+        println!("{}\n", t.render());
+        emit(&r);
     }
     if want("table4") {
-        let t = if quick {
-            data::table4_with(16)
+        let (t, r) = if quick {
+            data::table4_report_with(16)
         } else {
-            data::table4()
+            data::table4_report()
         };
         println!("{}\n", t.render());
+        emit(&r);
     }
     if want("figure6") {
         let (rtts, mb): (&[u64], u64) = if quick {
@@ -47,52 +67,62 @@ fn main() {
         } else {
             (&[10, 30, 50, 70, 90], data::FILE_MB)
         };
-        let d = data::figure6_data(rtts, mb);
+        let (d, r) = data::figure6_data_report(rtts, mb);
         println!("{}\n", data::figure6_table(&d, rtts, mb).render());
         let (reads, writes) = data::figure6_plots(&d);
         println!("{}\n{}\n", reads.render(), writes.render());
+        emit(&r);
     }
     if want("table5") {
-        let t = if quick {
-            macrob::table5_with(&[1000, 5000], 10_000)
+        let (t, r) = if quick {
+            macrob::table5_report_with(&[1000, 5000], 10_000)
         } else {
-            macrob::table5()
+            macrob::table5_report()
         };
         println!("{}\n", t.render());
+        emit(&r);
     }
     if want("table6") {
-        println!("{}\n", macrob::table6().render());
+        let (t, r) = macrob::table6_report();
+        println!("{}\n", t.render());
+        emit(&r);
     }
     if want("table7") {
-        let t = if quick {
-            macrob::table7_with(workloads::DssConfig {
+        let (t, r) = if quick {
+            macrob::table7_report_with(workloads::DssConfig {
                 db_pages: 32_768,
                 ..workloads::DssConfig::default()
             })
         } else {
-            macrob::table7()
+            macrob::table7_report()
         };
         println!("{}\n", t.render());
+        emit(&r);
     }
     if want("table8") {
-        println!("{}\n", macrob::table8().render());
+        let (t, r) = macrob::table8_report();
+        println!("{}\n", t.render());
+        emit(&r);
     }
     if want("table9") || want("table10") {
-        let (t9, t10) = macrob::table9_10();
+        let (t9, t10, r) = macrob::table9_10_report();
         println!("{}\n", t9.render());
         println!("{}\n", t10.render());
+        emit(&r);
     }
     if want("figure7") {
         println!("{}\n", enhance::figure7().render());
     }
     if want("section7") {
-        for t in enhance::section7() {
-            println!("{}\n", t.render());
-        }
+        println!("{}\n", enhance::section7_traces().render());
+        let (t, r) = enhance::section7_postmark_report(1000, 10_000);
+        println!("{}\n", t.render());
+        emit(&r);
     }
     if want("ablations") && !selected.is_empty() {
-        for t in ipstorage_core::experiments::ablation::all() {
+        for (t, r) in ipstorage_core::experiments::ablation::all_reports() {
             println!("{}\n", t.render());
+            emit(&r);
         }
     }
 }

@@ -6,8 +6,9 @@
 //! proportional to its size.
 
 use crate::{BlockDevice, BlockNo, IoCost, Result, BLOCK_SIZE};
-use simkit::SimDuration;
+use simkit::{Sim, SimDuration};
 use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 /// Mechanical parameters of a disk.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +76,9 @@ pub struct DiskModel<D> {
     /// Block just past the previous request (for sequentiality).
     head: Cell<Option<BlockNo>>,
     stats: RefCell<DiskStats>,
+    /// Observability handle; devices sit below the layers that own an
+    /// `Rc<Sim>`, so the testbed attaches one explicitly.
+    sim: RefCell<Option<Rc<Sim>>>,
 }
 
 impl<D: BlockDevice> DiskModel<D> {
@@ -85,7 +89,15 @@ impl<D: BlockDevice> DiskModel<D> {
             params,
             head: Cell::new(None),
             stats: RefCell::new(DiskStats::default()),
+            sim: RefCell::new(None),
         }
+    }
+
+    /// Attaches an observability handle: every serviced request is
+    /// then recorded in the `disk.<name>.service` histogram and (when
+    /// tracing is enabled) as a `disk` span.
+    pub fn instrument(&self, sim: Rc<Sim>) {
+        *self.sim.borrow_mut() = Some(sim);
     }
 
     /// The timing parameters in use.
@@ -122,6 +134,27 @@ impl<D: BlockDevice> DiskModel<D> {
             s.write_blocks += nblocks;
         }
         s.busy += t;
+        drop(s);
+        if let Some(sim) = self.sim.borrow().as_ref() {
+            sim.metrics()
+                .record_duration(&format!("disk.{}.service", self.inner.name()), t);
+            let tracer = sim.tracer();
+            if tracer.enabled() {
+                let now = sim.now();
+                tracer.record(
+                    "disk",
+                    if is_read { "read" } else { "write" },
+                    now,
+                    now + t,
+                    vec![
+                        ("dev", self.inner.name().to_owned()),
+                        ("start", start.to_string()),
+                        ("blocks", nblocks.to_string()),
+                        ("seq", sequential.to_string()),
+                    ],
+                );
+            }
+        }
         t
     }
 }
@@ -205,6 +238,29 @@ mod tests {
         assert_eq!(s.read_blocks, 2);
         assert_eq!(s.write_blocks, 2);
         assert!(s.busy > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn instrumented_model_records_service_times() {
+        use simkit::Sim;
+        let sim = Sim::new(1);
+        let d = disk();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        d.read(50, 1, &mut buf).unwrap(); // before attach: unrecorded
+        d.instrument(sim.clone());
+        d.read(51, 1, &mut buf).unwrap();
+        d.write(60, &buf).unwrap();
+        let h = sim.metrics().histogram("disk.d.service").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(h.max() > 0);
+        // Spans only when the tracer is on.
+        assert!(sim.tracer().is_empty());
+        sim.tracer().set_enabled(true);
+        d.read(0, 1, &mut buf).unwrap();
+        let spans = sim.tracer().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].layer, "disk");
+        assert_eq!(spans[0].op, "read");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! property tests validate parity maintenance.
 
 use crate::{check_request, BlockDevice, BlockError, BlockNo, IoCost, Result, BLOCK_SIZE};
-use simkit::SimDuration;
+use simkit::{Sim, SimDuration};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -34,6 +34,8 @@ pub struct Raid5 {
     geometry: Raid5Geometry,
     failed: RefCell<Vec<bool>>,
     capacity: u64,
+    /// Observability handle, attached by the testbed.
+    sim: RefCell<Option<Rc<Sim>>>,
 }
 
 impl std::fmt::Debug for Raid5 {
@@ -84,6 +86,38 @@ impl Raid5 {
             geometry,
             failed: RefCell::new(vec![false; count]),
             capacity,
+            sim: RefCell::new(None),
+        }
+    }
+
+    /// Attaches an observability handle: parity updates are then
+    /// recorded in the `raid5.<name>.parity_update` histogram and
+    /// (when tracing is enabled) as `raid5` spans.
+    pub fn instrument(&self, sim: Rc<Sim>) {
+        *self.sim.borrow_mut() = Some(sim);
+    }
+
+    /// Records one parity-update cycle (the RMW penalty the paper
+    /// measures as RAID-5's small-write cost).
+    fn note_parity_update(&self, lb: BlockNo, t: SimDuration, degraded: bool) {
+        if let Some(sim) = self.sim.borrow().as_ref() {
+            sim.metrics()
+                .record_duration(&format!("raid5.{}.parity_update", self.name), t);
+            let tracer = sim.tracer();
+            if tracer.enabled() {
+                let now = sim.now();
+                tracer.record(
+                    "raid5",
+                    "parity_update",
+                    now,
+                    now + t,
+                    vec![
+                        ("array", self.name.clone()),
+                        ("lb", lb.to_string()),
+                        ("degraded", degraded.to_string()),
+                    ],
+                );
+            }
         }
     }
 
@@ -194,7 +228,9 @@ impl Raid5 {
             let w1 = self.write_member(p.data_disk, p.member_block, data)?;
             let w2 = self.write_member(p.parity_disk, p.member_block, &parity)?;
             // Reads in parallel, then writes in parallel.
-            Ok(IoCost::new(r1.time.max(r2.time) + w1.time.max(w2.time)))
+            let t = r1.time.max(r2.time) + w1.time.max(w2.time);
+            self.note_parity_update(lb, t, false);
+            Ok(IoCost::new(t))
         } else if data_ok {
             // Parity disk failed: just write the data.
             self.write_member(p.data_disk, p.member_block, data)
@@ -209,7 +245,9 @@ impl Raid5 {
                 parity[i] ^= old_data[i] ^ data[i];
             }
             let w = self.write_member(p.parity_disk, p.member_block, &parity)?;
-            Ok(IoCost::new(rc.time.max(r2.time) + w.time))
+            let t = rc.time.max(r2.time) + w.time;
+            self.note_parity_update(lb, t, true);
+            Ok(IoCost::new(t))
         } else {
             Err(BlockError::DeviceFailed {
                 device: self.name.clone(),
@@ -356,6 +394,31 @@ mod tests {
             }
         }
         assert!(failures > 0, "some reads must hit the failed pair");
+    }
+
+    #[test]
+    fn parity_updates_are_observable_when_instrumented() {
+        use simkit::Sim;
+        let sim = Sim::new(7);
+        sim.tracer().set_enabled(true);
+        let r = array(5, 100);
+        r.instrument(sim.clone());
+        r.write(0, &block(1)).unwrap();
+        let h = sim.metrics().histogram("raid5.r5.parity_update").unwrap();
+        assert_eq!(h.count(), 1);
+        let spans = sim.tracer().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].layer, "raid5");
+        assert_eq!(spans[0].op, "parity_update");
+        // Degraded fold path records too, flagged as such.
+        r.fail_member(r.placement(0).data_disk);
+        r.write(0, &block(2)).unwrap();
+        let spans = sim.tracer().spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[1]
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "degraded" && v == "true"));
     }
 
     #[test]

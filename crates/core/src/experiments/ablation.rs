@@ -3,7 +3,7 @@
 //! its effect in isolation.
 
 use crate::table::{fmt_f, fmt_secs, Table};
-use crate::{Protocol, Testbed, TestbedConfig};
+use crate::{Protocol, ReportBuilder, RunReport, Testbed, TestbedConfig};
 use simkit::SimDuration;
 
 /// **Ablation A — the update-aggregation window.** The ext3 journal's
@@ -11,6 +11,12 @@ use simkit::SimDuration;
 /// batches more meta-data updates per commit. Sweeping it shows iSCSI
 /// PostMark messages falling as the window grows.
 pub fn commit_interval_sweep() -> Table {
+    commit_interval_sweep_report().0
+}
+
+/// [`commit_interval_sweep`] plus the machine-readable run report.
+pub fn commit_interval_sweep_report() -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("ablation_commit_interval");
     let mut t = Table::new(
         "Ablation A: ext3 commit interval vs iSCSI meta-data traffic \
          (500 mkdirs spread over 60s)",
@@ -29,13 +35,14 @@ pub fn commit_interval_sweep() -> Table {
         }
         tb.sim().advance(SimDuration::from_secs(60));
         let msgs = tb.messages() - m0;
+        rb.absorb(&tb);
         t.row(&[
             secs.to_string(),
             msgs.to_string(),
             fmt_f(msgs as f64 / 500.0),
         ]);
     }
-    t
+    (t, rb.finish())
 }
 
 /// **Ablation B — the Linux pending-write limit.** §4.5's
@@ -43,6 +50,12 @@ pub fn commit_interval_sweep() -> Table {
 /// window. Sweeping the limit shows NFS v3 write completion moving
 /// from write-through-like to iSCSI-like.
 pub fn write_window_sweep() -> Table {
+    write_window_sweep_report().0
+}
+
+/// [`write_window_sweep`] plus the machine-readable run report.
+pub fn write_window_sweep_report() -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("ablation_write_window");
     let mut t = Table::new(
         "Ablation B: NFS dirty-page limit vs 32 MB write completion",
         &["limit (pages)", "time (s)"],
@@ -57,9 +70,10 @@ pub fn write_window_sweep() -> Table {
             32,
             crate::experiments::data::Pattern::Sequential,
         );
+        rb.absorb(&tb);
         t.row(&[limit.to_string(), fmt_secs(r.time)]);
     }
-    t
+    (t, rb.finish())
 }
 
 /// **Ablation C — the meta-data cache timeout.** Linux revalidates
@@ -68,6 +82,12 @@ pub fn write_window_sweep() -> Table {
 /// approaches the §7 consistent cache. Measured as messages for 100
 /// stats of the same file spread over 60 s.
 pub fn attr_timeout_sweep() -> Table {
+    attr_timeout_sweep_report().0
+}
+
+/// [`attr_timeout_sweep`] plus the machine-readable run report.
+pub fn attr_timeout_sweep_report() -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("ablation_attr_timeout");
     let mut t = Table::new(
         "Ablation C: NFS meta-data timeout vs consistency-check traffic",
         &["timeout (s)", "messages for 100 spread stats"],
@@ -82,15 +102,22 @@ pub fn attr_timeout_sweep() -> Table {
             tb.fs().stat("/f").unwrap();
             tb.sim().advance(SimDuration::from_millis(600));
         }
+        rb.absorb(&tb);
         t.row(&[secs.to_string(), (tb.messages() - m0).to_string()]);
     }
-    t
+    (t, rb.finish())
 }
 
 /// **Ablation D — the read-ahead window.** Merging adjacent blocks
 /// into larger iSCSI commands trades message count against request
 /// latency; this sweep shows both for an 8 MB sequential read.
 pub fn readahead_sweep() -> Table {
+    readahead_sweep_report().0
+}
+
+/// [`readahead_sweep`] plus the machine-readable run report.
+pub fn readahead_sweep_report() -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("ablation_readahead");
     let mut t = Table::new(
         "Ablation D: command merging vs 8 MB sequential read (256 KB app reads)",
         &["merge limit (blocks)", "messages", "time (s)"],
@@ -115,13 +142,14 @@ pub fn readahead_sweep() -> Table {
             fs.read(fd, (i * chunk) as u64, chunk).unwrap();
         }
         let elapsed = tb.now().since(t0);
+        rb.absorb(&tb);
         t.row(&[
             window.to_string(),
             (tb.messages() - m0).to_string(),
             fmt_secs(elapsed),
         ]);
     }
-    t
+    (t, rb.finish())
 }
 
 /// **Ablation E — the §7 delegation batch size.** How aggressively
@@ -149,11 +177,22 @@ pub fn delegation_batch_sweep() -> Table {
 
 /// All ablations.
 pub fn all() -> Vec<Table> {
+    all_reports().into_iter().map(|(t, _)| t).collect()
+}
+
+/// All ablations, each paired with its machine-readable run report.
+///
+/// Ablation E is trace-driven (no testbed), so its report carries the
+/// runner name only — zero runs, empty sections.
+pub fn all_reports() -> Vec<(Table, RunReport)> {
     vec![
-        commit_interval_sweep(),
-        write_window_sweep(),
-        attr_timeout_sweep(),
-        readahead_sweep(),
-        delegation_batch_sweep(),
+        commit_interval_sweep_report(),
+        write_window_sweep_report(),
+        attr_timeout_sweep_report(),
+        readahead_sweep_report(),
+        (
+            delegation_batch_sweep(),
+            ReportBuilder::new("ablation_delegation_batch").finish(),
+        ),
     ]
 }

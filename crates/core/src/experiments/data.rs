@@ -1,6 +1,7 @@
 //! Data-path experiments: Table 4 (128 MB sequential/random transfers)
 //! and Figure 6 (wide-area latency sweep).
 
+use crate::report::{ReportBuilder, RunReport};
 use crate::table::{fmt_f, fmt_secs, Table};
 use crate::{Protocol, Testbed, TestbedConfig};
 use simkit::{SimDuration, SplitMix64};
@@ -99,24 +100,44 @@ pub fn read_file(tb: &Testbed, path: &str, mb: u64, pattern: Pattern) -> Transfe
 /// All four Table 4 rows for one protocol. `mb` scales the file (the
 /// paper uses 128).
 pub fn table4_rows(protocol: Protocol, mb: u64) -> [(&'static str, TransferResult); 4] {
+    table4_rows_into(protocol, mb, None)
+}
+
+fn table4_rows_into(
+    protocol: Protocol,
+    mb: u64,
+    mut rb: Option<&mut ReportBuilder>,
+) -> [(&'static str, TransferResult); 4] {
+    let mut absorb = |tb: &Testbed| {
+        if let Some(rb) = rb.as_deref_mut() {
+            rb.absorb(tb);
+        }
+    };
     // Reads use a testbed whose file was written sequentially.
     let tb = Testbed::with_protocol(protocol);
     let _ = write_file(&tb, "/seq", mb, Pattern::Sequential);
     let seq_read = read_file(&tb, "/seq", mb, Pattern::Sequential);
+    absorb(&tb);
     let rand_read = {
         let tb = Testbed::with_protocol(protocol);
         let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
-        read_file(&tb, "/f", mb, Pattern::Random)
+        let r = read_file(&tb, "/f", mb, Pattern::Random);
+        absorb(&tb);
+        r
     };
     let seq_write = {
         let tb = Testbed::with_protocol(protocol);
-        write_file(&tb, "/w", mb, Pattern::Sequential)
+        let r = write_file(&tb, "/w", mb, Pattern::Sequential);
+        absorb(&tb);
+        r
     };
     let rand_write = {
         let tb = Testbed::with_protocol(protocol);
         // The paper writes a random permutation of the 32K blocks of a
         // new file.
-        write_file(&tb, "/w", mb, Pattern::Random)
+        let r = write_file(&tb, "/w", mb, Pattern::Random);
+        absorb(&tb);
+        r
     };
     [
         ("Sequential reads", seq_read),
@@ -129,8 +150,14 @@ pub fn table4_rows(protocol: Protocol, mb: u64) -> [(&'static str, TransferResul
 /// **Table 4**: completion time, messages, and bytes for 128 MB
 /// sequential/random reads and writes, NFS v3 vs iSCSI.
 pub fn table4_with(mb: u64) -> Table {
-    let nfs = table4_rows(Protocol::NfsV3, mb);
-    let iscsi = table4_rows(Protocol::Iscsi, mb);
+    table4_report_with(mb).0
+}
+
+/// [`table4_with`] plus its machine-readable run report.
+pub fn table4_report_with(mb: u64) -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("table4");
+    let nfs = table4_rows_into(Protocol::NfsV3, mb, Some(&mut rb));
+    let iscsi = table4_rows_into(Protocol::Iscsi, mb, Some(&mut rb));
     let mut t = Table::new(
         format!("Table 4: {mb} MB transfers (NFS v3 vs iSCSI)"),
         &[
@@ -156,12 +183,17 @@ pub fn table4_with(mb: u64) -> Table {
             fmt_f(s.bytes as f64 / 1e6),
         ]);
     }
-    t
+    (t, rb.finish())
 }
 
 /// **Table 4** at the paper's full 128 MB.
 pub fn table4() -> Table {
     table4_with(FILE_MB)
+}
+
+/// **Table 4** report variant at the paper's full 128 MB.
+pub fn table4_report() -> (Table, RunReport) {
+    table4_report_with(FILE_MB)
 }
 
 /// One Figure 6 sample: completion time at a given RTT.
@@ -182,6 +214,14 @@ pub struct LatencyPoint {
 /// **Figure 6** data: completion time vs RTT for sequential/random
 /// reads and writes, NFS v3 vs iSCSI.
 pub fn figure6_data(rtts_ms: &[u64], mb: u64) -> Vec<LatencyPoint> {
+    figure6_data_into(rtts_ms, mb, None)
+}
+
+fn figure6_data_into(
+    rtts_ms: &[u64],
+    mb: u64,
+    mut rb: Option<&mut ReportBuilder>,
+) -> Vec<LatencyPoint> {
     let mut out = Vec::new();
     for &rtt in rtts_ms {
         for proto in [Protocol::NfsV3, Protocol::Iscsi] {
@@ -192,6 +232,9 @@ pub fn figure6_data(rtts_ms: &[u64], mb: u64) -> Vec<LatencyPoint> {
                 let tb = Testbed::build(cfg.clone());
                 let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
                 let r = read_file(&tb, "/f", mb, pattern);
+                if let Some(rb) = rb.as_deref_mut() {
+                    rb.absorb(&tb);
+                }
                 out.push(LatencyPoint {
                     protocol: proto,
                     pattern,
@@ -202,6 +245,9 @@ pub fn figure6_data(rtts_ms: &[u64], mb: u64) -> Vec<LatencyPoint> {
                 // Writes.
                 let tb = Testbed::build(cfg.clone());
                 let w = write_file(&tb, "/w", mb, pattern);
+                if let Some(rb) = rb.as_deref_mut() {
+                    rb.absorb(&tb);
+                }
                 out.push(LatencyPoint {
                     protocol: proto,
                     pattern,
@@ -219,6 +265,19 @@ pub fn figure6_data(rtts_ms: &[u64], mb: u64) -> Vec<LatencyPoint> {
 pub fn figure6_with(rtts_ms: &[u64], mb: u64) -> Table {
     let data = figure6_data(rtts_ms, mb);
     figure6_table(&data, rtts_ms, mb)
+}
+
+/// [`figure6_with`] plus its machine-readable run report.
+pub fn figure6_report_with(rtts_ms: &[u64], mb: u64) -> (Table, RunReport) {
+    let (data, report) = figure6_data_report(rtts_ms, mb);
+    (figure6_table(&data, rtts_ms, mb), report)
+}
+
+/// [`figure6_data`] plus its machine-readable run report.
+pub fn figure6_data_report(rtts_ms: &[u64], mb: u64) -> (Vec<LatencyPoint>, RunReport) {
+    let mut rb = ReportBuilder::new("figure6");
+    let data = figure6_data_into(rtts_ms, mb, Some(&mut rb));
+    (data, rb.finish())
 }
 
 /// Renders already-collected Figure 6 data as a table.
@@ -267,6 +326,11 @@ pub fn figure6_table(data: &[LatencyPoint], rtts_ms: &[u64], mb: u64) -> Table {
 /// **Figure 6** at the paper's sweep (10..=90 ms) and file size.
 pub fn figure6() -> Table {
     figure6_with(&[10, 30, 50, 70, 90], FILE_MB)
+}
+
+/// **Figure 6** report variant at the paper's sweep.
+pub fn figure6_report() -> (Table, RunReport) {
+    figure6_report_with(&[10, 30, 50, 70, 90], FILE_MB)
 }
 
 /// Renders the Figure 6 series as terminal plots (reads and writes),

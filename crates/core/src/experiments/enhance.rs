@@ -4,7 +4,7 @@
 //! (an enhanced-NFS PostMark run against iSCSI).
 
 use crate::table::{fmt_f, fmt_secs, Table};
-use crate::{Protocol, Testbed, TestbedConfig};
+use crate::{Protocol, ReportBuilder, RunReport, Testbed, TestbedConfig};
 use nfs::Enhancements;
 use traces::{
     generate, rw_shared_fraction, sharing_analysis, simulate_delegation, simulate_metadata_cache,
@@ -92,7 +92,13 @@ pub fn section7_traces() -> Table {
 /// (consistent meta-data cache + directory delegation), and iSCSI —
 /// the enhancements should close most of the meta-data gap.
 pub fn section7_postmark(files: usize, transactions: usize) -> Table {
-    let run = |enh: Option<Enhancements>| -> (simkit::SimDuration, u64) {
+    section7_postmark_report(files, transactions).0
+}
+
+/// [`section7_postmark`] plus the machine-readable run report.
+pub fn section7_postmark_report(files: usize, transactions: usize) -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("section7_postmark");
+    let mut run = |enh: Option<Enhancements>| -> (simkit::SimDuration, u64) {
         let tb = match enh {
             None => Testbed::with_protocol(Protocol::NfsV4),
             Some(e) => {
@@ -112,6 +118,7 @@ pub fn section7_postmark(files: usize, transactions: usize) -> Table {
         postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
         let time = tb.now().since(t0);
         tb.settle();
+        rb.absorb(&tb);
         (time, tb.messages() - m0)
     };
     let (plain_t, plain_m) = run(None);
@@ -133,6 +140,7 @@ pub fn section7_postmark(files: usize, transactions: usize) -> Table {
         postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
         let time = tb.now().since(t0);
         tb.settle();
+        rb.absorb(&tb);
         (time, tb.messages() - m0)
     };
     let mut t = Table::new(
@@ -146,7 +154,7 @@ pub fn section7_postmark(files: usize, transactions: usize) -> Table {
         enh_m.to_string(),
     ]);
     t.row(&["iSCSI".into(), fmt_secs(iscsi_t), iscsi_m.to_string()]);
-    t
+    (t, rb.finish())
 }
 
 /// **§7** composite runner at a representative scale.

@@ -2,6 +2,7 @@
 //! TPC-H (Table 7), the shell workloads (Table 8), and the CPU
 //! utilization tables (9 and 10).
 
+use crate::report::{ReportBuilder, RunReport};
 use crate::table::{fmt_f, fmt_secs, Table};
 use crate::{Protocol, Testbed};
 use simkit::{SimDuration, SimTime};
@@ -23,6 +24,15 @@ pub struct PostmarkRun {
 
 /// Runs PostMark once.
 pub fn postmark_run(protocol: Protocol, files: usize, transactions: usize) -> PostmarkRun {
+    postmark_run_into(protocol, files, transactions, None)
+}
+
+fn postmark_run_into(
+    protocol: Protocol,
+    files: usize,
+    transactions: usize,
+    rb: Option<&mut ReportBuilder>,
+) -> PostmarkRun {
     let tb = Testbed::with_protocol(protocol);
     let cfg = PostmarkConfig {
         file_count: files,
@@ -35,6 +45,9 @@ pub fn postmark_run(protocol: Protocol, files: usize, transactions: usize) -> Po
     postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
     let time = tb.now().since(t0);
     tb.settle();
+    if let Some(rb) = rb {
+        rb.absorb(&tb);
+    }
     PostmarkRun {
         protocol,
         files,
@@ -45,6 +58,12 @@ pub fn postmark_run(protocol: Protocol, files: usize, transactions: usize) -> Po
 
 /// **Table 5** with configurable scale.
 pub fn table5_with(file_counts: &[usize], transactions: usize) -> Table {
+    table5_report_with(file_counts, transactions).0
+}
+
+/// [`table5_with`] plus its machine-readable run report.
+pub fn table5_report_with(file_counts: &[usize], transactions: usize) -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("table5");
     let mut t = Table::new(
         format!("Table 5: PostMark, {transactions} transactions"),
         &[
@@ -56,8 +75,8 @@ pub fn table5_with(file_counts: &[usize], transactions: usize) -> Table {
         ],
     );
     for &files in file_counts {
-        let n = postmark_run(Protocol::NfsV3, files, transactions);
-        let s = postmark_run(Protocol::Iscsi, files, transactions);
+        let n = postmark_run_into(Protocol::NfsV3, files, transactions, Some(&mut rb));
+        let s = postmark_run_into(Protocol::Iscsi, files, transactions, Some(&mut rb));
         t.row(&[
             files.to_string(),
             fmt_secs(n.time),
@@ -66,13 +85,18 @@ pub fn table5_with(file_counts: &[usize], transactions: usize) -> Table {
             s.messages.to_string(),
         ]);
     }
-    t
+    (t, rb.finish())
 }
 
 /// **Table 5** at the paper's scale (1k/5k/25k files, 100k
 /// transactions).
 pub fn table5() -> Table {
     table5_with(&[1000, 5000, 25_000], 100_000)
+}
+
+/// **Table 5** report variant at the paper's scale.
+pub fn table5_report() -> (Table, RunReport) {
+    table5_report_with(&[1000, 5000, 25_000], 100_000)
 }
 
 /// One database-benchmark result.
@@ -88,6 +112,10 @@ pub struct DbRun {
 
 /// Runs the TPC-C-style emulation.
 pub fn oltp_run(protocol: Protocol, cfg: OltpConfig) -> DbRun {
+    oltp_run_into(protocol, cfg, None)
+}
+
+fn oltp_run_into(protocol: Protocol, cfg: OltpConfig, rb: Option<&mut ReportBuilder>) -> DbRun {
     let tb = Testbed::with_protocol(protocol);
     let db = oltp::load(tb.fs(), "/tpcc.db", cfg).expect("load");
     tb.fs().creat("/tpcc.log").unwrap();
@@ -95,6 +123,9 @@ pub fn oltp_run(protocol: Protocol, cfg: OltpConfig) -> DbRun {
     tb.settle();
     let m0 = tb.messages();
     let r = oltp::run(tb.fs(), tb.sim(), db, log, cfg).expect("oltp");
+    if let Some(rb) = rb {
+        rb.absorb(&tb);
+    }
     DbRun {
         protocol,
         throughput: r.tpm,
@@ -105,8 +136,14 @@ pub fn oltp_run(protocol: Protocol, cfg: OltpConfig) -> DbRun {
 /// **Table 6** with configurable scale. Throughput is normalized to
 /// NFS v3 = 1.0 as in the paper (unaudited runs).
 pub fn table6_with(cfg: OltpConfig) -> Table {
-    let n = oltp_run(Protocol::NfsV3, cfg);
-    let s = oltp_run(Protocol::Iscsi, cfg);
+    table6_report_with(cfg).0
+}
+
+/// [`table6_with`] plus its machine-readable run report.
+pub fn table6_report_with(cfg: OltpConfig) -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("table6");
+    let n = oltp_run_into(Protocol::NfsV3, cfg, Some(&mut rb));
+    let s = oltp_run_into(Protocol::Iscsi, cfg, Some(&mut rb));
     let mut t = Table::new(
         "Table 6: TPC-C (normalized tpmC)",
         &["metric", "NFSv3", "iSCSI"],
@@ -121,7 +158,7 @@ pub fn table6_with(cfg: OltpConfig) -> Table {
         n.messages.to_string(),
         s.messages.to_string(),
     ]);
-    t
+    (t, rb.finish())
 }
 
 /// **Table 6** at a representative scale.
@@ -129,8 +166,17 @@ pub fn table6() -> Table {
     table6_with(OltpConfig::default())
 }
 
+/// **Table 6** report variant at a representative scale.
+pub fn table6_report() -> (Table, RunReport) {
+    table6_report_with(OltpConfig::default())
+}
+
 /// Runs the TPC-H-style emulation.
 pub fn dss_run(protocol: Protocol, cfg: DssConfig) -> DbRun {
+    dss_run_into(protocol, cfg, None)
+}
+
+fn dss_run_into(protocol: Protocol, cfg: DssConfig, rb: Option<&mut ReportBuilder>) -> DbRun {
     let tb = Testbed::with_protocol(protocol);
     dss::load(tb.fs(), "/tpch.db", cfg).expect("load");
     tb.settle();
@@ -138,6 +184,9 @@ pub fn dss_run(protocol: Protocol, cfg: DssConfig) -> DbRun {
     let db = tb.fs().open("/tpch.db").unwrap();
     let m0 = tb.messages();
     let r = dss::run(tb.fs(), tb.sim(), db, cfg).expect("dss");
+    if let Some(rb) = rb {
+        rb.absorb(&tb);
+    }
     DbRun {
         protocol,
         throughput: r.qph,
@@ -147,8 +196,14 @@ pub fn dss_run(protocol: Protocol, cfg: DssConfig) -> DbRun {
 
 /// **Table 7** with configurable scale (normalized QphH).
 pub fn table7_with(cfg: DssConfig) -> Table {
-    let n = dss_run(Protocol::NfsV3, cfg);
-    let s = dss_run(Protocol::Iscsi, cfg);
+    table7_report_with(cfg).0
+}
+
+/// [`table7_with`] plus its machine-readable run report.
+pub fn table7_report_with(cfg: DssConfig) -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("table7");
+    let n = dss_run_into(Protocol::NfsV3, cfg, Some(&mut rb));
+    let s = dss_run_into(Protocol::Iscsi, cfg, Some(&mut rb));
     let mut t = Table::new(
         "Table 7: TPC-H (normalized QphH@1GB)",
         &["metric", "NFSv3", "iSCSI"],
@@ -163,7 +218,7 @@ pub fn table7_with(cfg: DssConfig) -> Table {
         n.messages.to_string(),
         s.messages.to_string(),
     ]);
-    t
+    (t, rb.finish())
 }
 
 /// **Table 7** at the paper's scale factor 1 (1 GB).
@@ -171,8 +226,19 @@ pub fn table7() -> Table {
     table7_with(DssConfig::default())
 }
 
+/// **Table 7** report variant at the paper's scale.
+pub fn table7_report() -> (Table, RunReport) {
+    table7_report_with(DssConfig::default())
+}
+
 /// **Table 8** with a configurable tree.
 pub fn table8_with(spec: TreeSpec) -> Table {
+    table8_report_with(spec).0
+}
+
+/// [`table8_with`] plus its machine-readable run report.
+pub fn table8_report_with(spec: TreeSpec) -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("table8");
     let mut t = Table::new(
         "Table 8: shell workload completion times (s)",
         &["benchmark", "NFSv3", "iSCSI"],
@@ -197,6 +263,7 @@ pub fn table8_with(spec: TreeSpec) -> Table {
         tb.settle();
         tb.cold_caches();
         let rm = shell::rm_rf(tb.fs(), &sim, "/src").unwrap();
+        rb.absorb(&tb);
         results[0][col] = fmt_secs(tar);
         results[1][col] = fmt_secs(ls);
         results[2][col] = fmt_secs(comp);
@@ -205,12 +272,17 @@ pub fn table8_with(spec: TreeSpec) -> Table {
     for r in &results {
         t.row(&[r[0].clone(), r[1].clone(), r[2].clone()]);
     }
-    t
+    (t, rb.finish())
 }
 
 /// **Table 8** at the default (scaled-kernel) tree.
 pub fn table8() -> Table {
     table8_with(TreeSpec::default())
+}
+
+/// **Table 8** report variant at the default tree.
+pub fn table8_report() -> (Table, RunReport) {
+    table8_report_with(TreeSpec::default())
 }
 
 /// Utilization measurements for one benchmark on one protocol.
@@ -241,6 +313,22 @@ pub fn cpu_runs(
     oltp_cfg: OltpConfig,
     dss_cfg: DssConfig,
 ) -> [(&'static str, CpuRun); 3] {
+    cpu_runs_into(protocol, pm_files, pm_txns, oltp_cfg, dss_cfg, None)
+}
+
+fn cpu_runs_into(
+    protocol: Protocol,
+    pm_files: usize,
+    pm_txns: usize,
+    oltp_cfg: OltpConfig,
+    dss_cfg: DssConfig,
+    mut rb: Option<&mut ReportBuilder>,
+) -> [(&'static str, CpuRun); 3] {
+    let mut absorb = |tb: &Testbed| {
+        if let Some(rb) = rb.as_deref_mut() {
+            rb.absorb(tb);
+        }
+    };
     // PostMark.
     let pm = {
         let tb = Testbed::with_protocol(protocol);
@@ -253,6 +341,7 @@ pub fn cpu_runs(
         let t0 = tb.now();
         postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
         let (s, c) = p95(&tb, t0);
+        absorb(&tb);
         CpuRun {
             protocol,
             server_p95: s,
@@ -271,6 +360,7 @@ pub fn cpu_runs(
         // The client is saturated by query processing: every 2 s
         // window during the run is busy with cpu_per_txn work.
         let (s, _c) = p95(&tb, t0);
+        absorb(&tb);
         CpuRun {
             protocol,
             server_p95: s,
@@ -287,6 +377,7 @@ pub fn cpu_runs(
         let t0 = tb.now();
         dss::run(tb.fs(), tb.sim(), db, dss_cfg).expect("dss");
         let (s, _c) = p95(&tb, t0);
+        absorb(&tb);
         CpuRun {
             protocol,
             server_p95: s,
@@ -304,8 +395,34 @@ pub fn table9_10_with(
     oltp_cfg: OltpConfig,
     dss_cfg: DssConfig,
 ) -> (Table, Table) {
-    let nfs = cpu_runs(Protocol::NfsV3, pm_files, pm_txns, oltp_cfg, dss_cfg);
-    let iscsi = cpu_runs(Protocol::Iscsi, pm_files, pm_txns, oltp_cfg, dss_cfg);
+    let (t9, t10, _) = table9_10_report_with(pm_files, pm_txns, oltp_cfg, dss_cfg);
+    (t9, t10)
+}
+
+/// [`table9_10_with`] plus the machine-readable run report.
+pub fn table9_10_report_with(
+    pm_files: usize,
+    pm_txns: usize,
+    oltp_cfg: OltpConfig,
+    dss_cfg: DssConfig,
+) -> (Table, Table, RunReport) {
+    let mut rb = ReportBuilder::new("table9_10");
+    let nfs = cpu_runs_into(
+        Protocol::NfsV3,
+        pm_files,
+        pm_txns,
+        oltp_cfg,
+        dss_cfg,
+        Some(&mut rb),
+    );
+    let iscsi = cpu_runs_into(
+        Protocol::Iscsi,
+        pm_files,
+        pm_txns,
+        oltp_cfg,
+        dss_cfg,
+        Some(&mut rb),
+    );
     let mut t9 = Table::new(
         "Table 9: server CPU utilization (p95 of 2s windows)",
         &["benchmark", "NFSv3", "iSCSI"],
@@ -328,12 +445,18 @@ pub fn table9_10_with(
             format!("{:.0}%", s.client_p95 * 100.0),
         ]);
     }
-    (t9, t10)
+    (t9, t10, rb.finish())
 }
 
 /// **Tables 9/10** at a representative scale.
 pub fn table9_10() -> (Table, Table) {
-    table9_10_with(
+    let (t9, t10, _) = table9_10_report();
+    (t9, t10)
+}
+
+/// [`table9_10`] plus the machine-readable run report.
+pub fn table9_10_report() -> (Table, Table, RunReport) {
+    table9_10_report_with(
         5000,
         20_000,
         OltpConfig::default(),

@@ -8,6 +8,7 @@
 //! ext3 journal's deferred commit lands in the count, as it does in
 //! the paper's Ethereal traces.
 
+use crate::report::{ReportBuilder, RunReport};
 use crate::table::Table;
 use crate::{Protocol, Testbed};
 use std::collections::BTreeMap;
@@ -120,10 +121,22 @@ fn run_op(fs: &dyn FileSystem, op: &str, depth: u32, x: &str) {
 
 /// Measures the message count of one syscall invocation.
 pub fn measure_op(protocol: Protocol, op: &str, depth: u32, state: CacheState) -> u64 {
+    measure_op_into(protocol, op, depth, state, None)
+}
+
+/// [`measure_op`] that also folds the testbed's observability state
+/// into a report before it is dropped.
+fn measure_op_into(
+    protocol: Protocol,
+    op: &str,
+    depth: u32,
+    state: CacheState,
+    rb: Option<&mut ReportBuilder>,
+) -> u64 {
     let tb = Testbed::with_protocol(protocol);
     prepare(&tb, depth);
     tb.cold_caches();
-    match state {
+    let msgs = match state {
         CacheState::Cold => {
             let before = tb.messages();
             run_op(tb.fs(), op, depth, "a");
@@ -137,16 +150,28 @@ pub fn measure_op(protocol: Protocol, op: &str, depth: u32, state: CacheState) -
             tb.settle();
             tb.messages() - before
         }
+    };
+    if let Some(rb) = rb {
+        rb.absorb(&tb);
     }
+    msgs
 }
 
 /// Full matrix over all syscalls, protocols, and the given depths.
 pub fn matrix(state: CacheState, depths: &[u32]) -> MicroMatrix {
+    matrix_into(state, depths, None)
+}
+
+fn matrix_into(
+    state: CacheState,
+    depths: &[u32],
+    mut rb: Option<&mut ReportBuilder>,
+) -> MicroMatrix {
     let mut m = MicroMatrix::new();
     for &depth in depths {
         for proto in Protocol::ALL {
             for op in SYSCALLS {
-                let v = measure_op(proto, op, depth, state);
+                let v = measure_op_into(proto, op, depth, state, rb.as_deref_mut());
                 m.insert((op.to_string(), depth, proto.label()), v);
             }
         }
@@ -178,28 +203,46 @@ fn render_micro(title: &str, m: &MicroMatrix, depths: &[u32]) -> Table {
 /// **Table 2**: cold-cache network message overheads at directory
 /// depths 0 and 3.
 pub fn table2() -> Table {
-    let m = matrix(CacheState::Cold, &[0, 3]);
-    render_micro(
+    table2_report().0
+}
+
+/// [`table2`] plus its machine-readable run report.
+pub fn table2_report() -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("table2");
+    let m = matrix_into(CacheState::Cold, &[0, 3], Some(&mut rb));
+    let t = render_micro(
         "Table 2: network messages per system call (cold cache)",
         &m,
         &[0, 3],
-    )
+    );
+    (t, rb.finish())
 }
 
 /// **Table 3**: warm-cache network message overheads.
 pub fn table3() -> Table {
-    let m = matrix(CacheState::Warm, &[0, 3]);
-    render_micro(
+    table3_report().0
+}
+
+/// [`table3`] plus its machine-readable run report.
+pub fn table3_report() -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("table3");
+    let m = matrix_into(CacheState::Warm, &[0, 3], Some(&mut rb));
+    let t = render_micro(
         "Table 3: network messages per system call (warm cache)",
         &m,
         &[0, 3],
-    )
+    );
+    (t, rb.finish())
 }
 
 /// **Figure 3**: iSCSI meta-data update aggregation — amortized
 /// messages per operation for batch sizes 1..=1024. Returns
 /// `(op, batch, messages/op)` points.
 pub fn figure3_data() -> Vec<(String, u32, f64)> {
+    figure3_data_into(None)
+}
+
+fn figure3_data_into(mut rb: Option<&mut ReportBuilder>) -> Vec<(String, u32, f64)> {
     let ops = [
         "creat", "link", "rename", "chmod", "stat", "access", "write", "mkdir",
     ];
@@ -242,6 +285,9 @@ pub fn figure3_data() -> Vec<(String, u32, f64)> {
             }
             tb.settle();
             let msgs = tb.messages() - before;
+            if let Some(rb) = rb.as_deref_mut() {
+                rb.absorb(&tb);
+            }
             out.push((op.to_string(), batch, msgs as f64 / batch as f64));
             batch *= 2;
         }
@@ -251,7 +297,17 @@ pub fn figure3_data() -> Vec<(String, u32, f64)> {
 
 /// **Figure 3** rendered as a table (rows = batch size, columns = op).
 pub fn figure3() -> Table {
-    let data = figure3_data();
+    figure3_report().0
+}
+
+/// [`figure3`] plus its machine-readable run report.
+pub fn figure3_report() -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("figure3");
+    let data = figure3_data_into(Some(&mut rb));
+    (render_figure3(&data), rb.finish())
+}
+
+fn render_figure3(data: &[(String, u32, f64)]) -> Table {
     let ops = [
         "creat", "link", "rename", "chmod", "stat", "access", "write", "mkdir",
     ];
@@ -279,12 +335,19 @@ pub fn figure3() -> Table {
 /// chdir, readdir; cold and warm. Returns `(op, state, proto, depth,
 /// messages)` points.
 pub fn figure4_data(depths: &[u32]) -> Vec<(String, CacheState, &'static str, u32, u64)> {
+    figure4_data_into(depths, None)
+}
+
+fn figure4_data_into(
+    depths: &[u32],
+    mut rb: Option<&mut ReportBuilder>,
+) -> Vec<(String, CacheState, &'static str, u32, u64)> {
     let mut out = Vec::new();
     for op in ["mkdir", "chdir", "readdir"] {
         for state in [CacheState::Cold, CacheState::Warm] {
             for proto in Protocol::ALL {
                 for &d in depths {
-                    let v = measure_op(proto, op, d, state);
+                    let v = measure_op_into(proto, op, d, state, rb.as_deref_mut());
                     out.push((op.to_string(), state, proto.label(), d, v));
                 }
             }
@@ -295,8 +358,14 @@ pub fn figure4_data(depths: &[u32]) -> Vec<(String, CacheState, &'static str, u3
 
 /// **Figure 4** rendered (one block per op/state).
 pub fn figure4() -> Table {
+    figure4_report().0
+}
+
+/// [`figure4`] plus its machine-readable run report.
+pub fn figure4_report() -> (Table, RunReport) {
     let depths: Vec<u32> = vec![0, 2, 4, 8, 12, 16];
-    let data = figure4_data(&depths);
+    let mut rb = ReportBuilder::new("figure4");
+    let data = figure4_data_into(&depths, Some(&mut rb));
     let mut t = Table::new(
         "Figure 4: messages vs directory depth (mkdir/chdir/readdir)",
         &["op", "cache", "proto", "d0", "d2", "d4", "d8", "d12", "d16"],
@@ -323,13 +392,17 @@ pub fn figure4() -> Table {
             }
         }
     }
-    t
+    (t, rb.finish())
 }
 
 /// **Figure 5**: messages for read/write calls of 128 B .. 64 KB.
 /// Modes: cold reads, warm reads, cold writes. Returns `(mode, proto,
 /// size, messages)`.
 pub fn figure5_data() -> Vec<(String, &'static str, u64, u64)> {
+    figure5_data_into(None)
+}
+
+fn figure5_data_into(mut rb: Option<&mut ReportBuilder>) -> Vec<(String, &'static str, u64, u64)> {
     let sizes: Vec<u64> = (7..=16).map(|e| 1u64 << e).collect(); // 128 B .. 64 KB
     let mut out = Vec::new();
     for proto in Protocol::ALL {
@@ -370,6 +443,9 @@ pub fn figure5_data() -> Vec<(String, &'static str, u64, u64)> {
                 tb.messages() - before,
             ));
             fs.close(fd).unwrap();
+            if let Some(rb) = rb.as_deref_mut() {
+                rb.absorb(&tb);
+            }
 
             // Cold write into a fresh file.
             let tb = Testbed::with_protocol(proto);
@@ -387,6 +463,9 @@ pub fn figure5_data() -> Vec<(String, &'static str, u64, u64)> {
                 size,
                 tb.messages() - before,
             ));
+            if let Some(rb) = rb.as_deref_mut() {
+                rb.absorb(&tb);
+            }
         }
     }
     out
@@ -394,7 +473,13 @@ pub fn figure5_data() -> Vec<(String, &'static str, u64, u64)> {
 
 /// **Figure 5** rendered.
 pub fn figure5() -> Table {
-    let data = figure5_data();
+    figure5_report().0
+}
+
+/// [`figure5`] plus its machine-readable run report.
+pub fn figure5_report() -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("figure5");
+    let data = figure5_data_into(Some(&mut rb));
     let mut t = Table::new(
         "Figure 5: messages for reads/writes of varying size",
         &["mode", "size", "v2", "v3", "v4", "iSCSI"],
@@ -415,5 +500,5 @@ pub fn figure5() -> Table {
             size *= 2;
         }
     }
-    t
+    (t, rb.finish())
 }

@@ -32,10 +32,12 @@
 pub mod calibration;
 pub mod experiments;
 pub mod plot;
+pub mod report;
 pub mod table;
 mod testbed;
 
 pub use plot::{Plot, Series};
+pub use report::{ChannelStats, ReportBuilder, RunReport};
 pub use table::Table;
 pub use testbed::{Protocol, Testbed, TestbedConfig};
 

@@ -1,0 +1,244 @@
+//! Machine-readable run reports.
+//!
+//! Every experiment runner can emit a [`RunReport`] next to its
+//! human-readable table: a snapshot of the testbed's counters, the
+//! per-layer latency histograms collected by [`simkit::Metrics`],
+//! per-tag CPU busy time, and (when a sniffer was attached) per-channel
+//! wire summaries. Reports serialize to a single JSON line via
+//! [`RunReport::to_json`]; the serializer is hand-rolled (no external
+//! dependencies) and emits integers only, so two runs with the same
+//! seed produce byte-identical lines that can be diffed directly.
+
+use crate::Testbed;
+use simkit::Histogram;
+use std::collections::BTreeMap;
+
+/// Per-channel wire summary copied out of a [`net::Sniffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages captured.
+    pub messages: u64,
+    /// Payload bytes captured.
+    pub bytes: u64,
+    /// Messages lost to the capture bound.
+    pub dropped: u64,
+}
+
+/// The machine-readable result of one experiment runner.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Runner name (`table2`, `figure6`, ...).
+    pub name: String,
+    /// Testbeds absorbed into this report.
+    pub runs: u64,
+    /// Virtual time summed over the absorbed testbeds, in ns.
+    pub sim_time_ns: u64,
+    /// Message/byte counters summed across runs, in name order.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-layer latency histograms merged across runs.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Per-channel wire summaries from attached sniffers.
+    pub channels: BTreeMap<String, ChannelStats>,
+    /// CPU busy ns per `<machine>.<tag>` (e.g. `server.nfs.server`).
+    pub cpu_busy_ns: BTreeMap<String, u64>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_u64_map(out: &mut String, key: &str, map: &BTreeMap<String, u64>) {
+    out.push_str(&format!("\"{key}\":{{"));
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", json_escape(k)));
+    }
+    out.push('}');
+}
+
+impl RunReport {
+    /// Serializes the report as one JSON line (no trailing newline).
+    ///
+    /// Schema: `{"report":name,"runs":n,"sim_time_ns":t,
+    /// "counters":{name:value},
+    /// "histograms":{name:{"count","p50","p90","p99","max","mean"}},
+    /// "channels":{name:{"messages","bytes","dropped"}},
+    /// "cpu_busy_ns":{tag:ns}}` — all values are integers
+    /// (nanoseconds for times), so equal-seed runs serialize
+    /// byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"report\":\"{}\",\"runs\":{},\"sim_time_ns\":{},",
+            json_escape(&self.name),
+            self.runs,
+            self.sim_time_ns
+        ));
+        push_u64_map(&mut out, "counters", &self.counters);
+        out.push_str(",\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"mean\":{}}}",
+                json_escape(k),
+                h.count(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max(),
+                h.mean()
+            ));
+        }
+        out.push_str("},\"channels\":{");
+        for (i, (k, c)) in self.channels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"messages\":{},\"bytes\":{},\"dropped\":{}}}",
+                json_escape(k),
+                c.messages,
+                c.bytes,
+                c.dropped
+            ));
+        }
+        out.push_str("},");
+        push_u64_map(&mut out, "cpu_busy_ns", &self.cpu_busy_ns);
+        out.push('}');
+        out
+    }
+}
+
+/// Accumulates testbed observability state into a [`RunReport`].
+///
+/// Runners that build a fresh [`Testbed`] per measurement call
+/// [`absorb`](ReportBuilder::absorb) on each before dropping it;
+/// histograms merge deterministically (see [`Histogram::merge`]), so
+/// the final report is independent of nothing but the workload.
+#[derive(Debug, Default)]
+pub struct ReportBuilder {
+    report: RunReport,
+}
+
+impl ReportBuilder {
+    /// Starts an empty report named after its runner.
+    pub fn new(name: impl Into<String>) -> ReportBuilder {
+        ReportBuilder {
+            report: RunReport {
+                name: name.into(),
+                ..RunReport::default()
+            },
+        }
+    }
+
+    /// Folds one testbed's counters, latency histograms, and CPU
+    /// attribution into the report.
+    pub fn absorb(&mut self, tb: &Testbed) {
+        let r = &mut self.report;
+        r.runs += 1;
+        r.sim_time_ns += tb.now().as_nanos();
+        for (name, v) in tb.sim().counters().to_vec() {
+            *r.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in tb.sim().metrics().snapshot() {
+            r.histograms.entry(name).or_default().merge(&h);
+        }
+        for (machine, cpu) in [("client", tb.client_cpu()), ("server", tb.server_cpu())] {
+            for (tag, busy) in cpu.busy_by_tag() {
+                *r.cpu_busy_ns.entry(format!("{machine}.{tag}")).or_insert(0) += busy.as_nanos();
+            }
+        }
+    }
+
+    /// Folds a sniffer's per-channel capture summary into the report.
+    pub fn absorb_sniffer(&mut self, sniffer: &net::Sniffer) {
+        for (chan, s) in sniffer.summary() {
+            let e = self.report.channels.entry(chan).or_default();
+            e.messages += s.messages;
+            e.bytes += s.bytes;
+            e.dropped += s.dropped;
+        }
+    }
+
+    /// The finished report.
+    pub fn finish(self) -> RunReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Protocol;
+
+    fn small_workload(name: &str) -> RunReport {
+        let tb = Testbed::with_protocol(Protocol::NfsV3);
+        let sniffer = tb.attach_sniffer();
+        tb.fs().mkdir("/a").unwrap();
+        tb.fs().creat("/a/f").unwrap();
+        tb.settle();
+        let mut rb = ReportBuilder::new(name);
+        rb.absorb(&tb);
+        rb.absorb_sniffer(&sniffer);
+        rb.finish()
+    }
+
+    #[test]
+    fn report_captures_all_sections() {
+        let r = small_workload("smoke");
+        assert_eq!(r.runs, 1);
+        assert!(r.sim_time_ns > 0);
+        assert!(r.counters.values().any(|&v| v > 0));
+        assert!(
+            r.histograms.keys().any(|k| k.starts_with("rpc.")),
+            "per-RPC latency histograms present: {:?}",
+            r.histograms.keys().collect::<Vec<_>>()
+        );
+        assert!(r.channels.contains_key("nfs"));
+        assert!(r.cpu_busy_ns.keys().any(|k| k.starts_with("server.")));
+    }
+
+    #[test]
+    fn same_seed_reports_are_byte_identical() {
+        let a = small_workload("det").to_json();
+        let b = small_workload("det").to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let r = small_workload("json");
+        let j = r.to_json();
+        assert!(j.starts_with("{\"report\":\"json\""));
+        assert!(j.ends_with('}'));
+        assert!(!j.contains('\n'));
+        // Crude structural check: braces balance.
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(j.contains("\"histograms\":{"));
+        assert!(j.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn escaping_handles_special_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

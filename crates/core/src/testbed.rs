@@ -84,7 +84,7 @@ impl BlockDevice for CpuChargedDevice {
     }
     fn read(&self, start: BlockNo, nblocks: u32, buf: &mut [u8]) -> blockdev::Result<IoCost> {
         let cpu = self.cost.iscsi_request(nblocks as u64 * 4096);
-        self.cpu.charge(self.sim.now(), cpu);
+        self.cpu.charge_tagged(self.sim.now(), cpu, "iscsi.target");
         // Target processing extends the command's service time.
         Ok(self.inner.read(start, nblocks, buf)?.then(IoCost::new(cpu)))
     }
@@ -93,8 +93,12 @@ impl BlockDevice for CpuChargedDevice {
         // Writes arrive in write-back bursts; vmstat sees the target's
         // processing as sustained background load across the flush
         // interval.
-        self.cpu
-            .charge_spread(self.sim.now(), cpu, simkit::SimDuration::from_secs(5));
+        self.cpu.charge_spread_tagged(
+            self.sim.now(),
+            cpu,
+            simkit::SimDuration::from_secs(5),
+            "iscsi.target",
+        );
         Ok(self.inner.write(start, data)?.then(IoCost::new(cpu)))
     }
     fn flush(&self) -> blockdev::Result<IoCost> {
@@ -189,22 +193,26 @@ impl Testbed {
         let member_blocks = (config.volume_blocks / (calibration::RAID_MEMBERS as u64 - 1)) + 1024;
         let members: Vec<Rc<dyn BlockDevice>> = (0..calibration::RAID_MEMBERS)
             .map(|i| {
-                Rc::new(DiskModel::new(
+                let m = Rc::new(DiskModel::new(
                     MemDisk::new(format!("sd{i}"), member_blocks),
                     calibration::raid_member_params(),
-                )) as Rc<dyn BlockDevice>
+                ));
+                m.instrument(sim.clone());
+                m as Rc<dyn BlockDevice>
             })
             .collect();
+        let r5 = Raid5::new(
+            "raid5",
+            members,
+            Raid5Geometry {
+                stripe_unit: calibration::RAID_STRIPE_UNIT,
+            },
+        );
+        r5.instrument(sim.clone());
         // The ServeRAID adapter's battery-backed write cache absorbs
         // synchronous writes (journal commits, v2 stable writes).
         let raid: Rc<dyn BlockDevice> = Rc::new(blockdev::WriteCache::new(
-            Raid5::new(
-                "raid5",
-                members,
-                Raid5Geometry {
-                    stripe_unit: calibration::RAID_STRIPE_UNIT,
-                },
-            ),
+            r5,
             calibration::controller_cache_hit(),
         ));
 
@@ -268,6 +276,8 @@ impl Testbed {
         // Formatting and login traffic is setup, not workload: start
         // the experiment's books clean.
         sim.counters().reset();
+        sim.metrics().reset();
+        sim.tracer().clear();
         Testbed {
             sim,
             network,

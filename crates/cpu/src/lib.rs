@@ -22,6 +22,7 @@
 
 use simkit::{SimDuration, SimTime};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 
 /// Kernel layers a request may traverse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,6 +126,8 @@ impl Default for CostModel {
 #[derive(Debug, Default)]
 pub struct CpuAccount {
     events: RefCell<Vec<(u64, u64)>>, // (at ns, busy ns)
+    /// Busy nanoseconds attributed per tag (software layer).
+    by_tag: RefCell<BTreeMap<&'static str, u64>>,
 }
 
 impl CpuAccount {
@@ -162,6 +165,45 @@ impl CpuAccount {
         }
     }
 
+    /// Like [`charge`](CpuAccount::charge), but also attributes the
+    /// busy time to `tag` (a software layer such as `"nfs_client"` or
+    /// `"iscsi_server"`), so reports can break utilization down by
+    /// processing path.
+    pub fn charge_tagged(&self, at: SimTime, busy: SimDuration, tag: &'static str) {
+        if busy.is_zero() {
+            return;
+        }
+        *self.by_tag.borrow_mut().entry(tag).or_insert(0) += busy.as_nanos();
+        self.charge(at, busy);
+    }
+
+    /// Like [`charge_spread`](CpuAccount::charge_spread), with the
+    /// whole amount attributed to `tag`.
+    pub fn charge_spread_tagged(
+        &self,
+        at: SimTime,
+        busy: SimDuration,
+        span: SimDuration,
+        tag: &'static str,
+    ) {
+        if busy.is_zero() {
+            return;
+        }
+        *self.by_tag.borrow_mut().entry(tag).or_insert(0) += busy.as_nanos();
+        self.charge_spread(at, busy, span);
+    }
+
+    /// Busy time attributed to each tag, in tag order. Untagged
+    /// charges do not appear here, so the sum can be below
+    /// [`total_busy`](CpuAccount::total_busy).
+    pub fn busy_by_tag(&self) -> Vec<(&'static str, SimDuration)> {
+        self.by_tag
+            .borrow()
+            .iter()
+            .map(|(&t, &n)| (t, SimDuration::from_nanos(n)))
+            .collect()
+    }
+
     /// Total busy time recorded.
     pub fn total_busy(&self) -> SimDuration {
         SimDuration::from_nanos(self.events.borrow().iter().map(|&(_, b)| b).sum())
@@ -170,6 +212,7 @@ impl CpuAccount {
     /// Discards all recorded events.
     pub fn reset(&self) {
         self.events.borrow_mut().clear();
+        self.by_tag.borrow_mut().clear();
     }
 
     /// Per-window utilizations over `[from, to)` using the given
@@ -287,6 +330,30 @@ mod tests {
         let p50 =
             a.utilization_percentile(SimTime::ZERO, SimTime::from_nanos(20_000_000_000), w, 50.0);
         assert_eq!(p50, 0.0);
+    }
+
+    #[test]
+    fn tagged_charges_attribute_per_layer() {
+        let a = CpuAccount::new();
+        a.charge_tagged(SimTime::ZERO, SimDuration::from_micros(10), "nfs_server");
+        a.charge_tagged(SimTime::ZERO, SimDuration::from_micros(5), "nfs_server");
+        a.charge_spread_tagged(
+            SimTime::ZERO,
+            SimDuration::from_micros(20),
+            SimDuration::from_secs(1),
+            "writeback",
+        );
+        a.charge(SimTime::ZERO, SimDuration::from_micros(100)); // untagged
+        assert_eq!(
+            a.busy_by_tag(),
+            vec![
+                ("nfs_server", SimDuration::from_micros(15)),
+                ("writeback", SimDuration::from_micros(20)),
+            ]
+        );
+        assert_eq!(a.total_busy(), SimDuration::from_micros(135));
+        a.reset();
+        assert!(a.busy_by_tag().is_empty());
     }
 
     #[test]

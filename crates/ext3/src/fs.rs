@@ -830,6 +830,7 @@ pub(crate) fn commit_journal(inner: &Inner, st: &mut State) {
         let Some(plan) = plan else { return };
         // Issue the merged commands to the device.
         let mut widx = 0usize;
+        let mut commit_time = SimDuration::ZERO;
         for &(start, len) in &plan.commands {
             let mut buf = Vec::with_capacity(len as usize * BLOCK_SIZE);
             for _ in 0..len {
@@ -837,7 +838,10 @@ pub(crate) fn commit_journal(inner: &Inner, st: &mut State) {
                 widx += 1;
             }
             match inner.dev.write(start, &buf) {
-                Ok(cost) => inner.charge(cost),
+                Ok(cost) => {
+                    commit_time += cost.time;
+                    inner.charge(cost);
+                }
                 Err(_) => return, // device failure: transaction stays dirty-ish
             }
         }
@@ -846,6 +850,25 @@ pub(crate) fn commit_journal(inner: &Inner, st: &mut State) {
             st.cache.mark_clean(*bno);
         }
         inner.sim.counters().incr("ext3.journal.commits");
+        inner
+            .sim
+            .metrics()
+            .record_duration("ext3.journal.commit", commit_time);
+        let tracer = inner.sim.tracer();
+        if tracer.enabled() {
+            let now = inner.sim.now();
+            tracer.record(
+                "ext3",
+                "journal_commit",
+                now,
+                now + commit_time,
+                vec![
+                    ("seq", plan.seq.to_string()),
+                    // Descriptor + commit block bracket the meta images.
+                    ("meta_blocks", (plan.writes.len() - 2).to_string()),
+                ],
+            );
+        }
         debug_assert!(plan.seq >= 1);
     }
 }

@@ -322,6 +322,31 @@ mod tests {
     }
 
     #[test]
+    fn journal_commits_emit_spans_and_latencies() {
+        let (sim, _disk, fs) = newfs();
+        // mkfs itself commits; only count what happens after.
+        let base = sim
+            .metrics()
+            .histogram("ext3.journal.commit")
+            .map_or(0, |h| h.count());
+        sim.tracer().set_enabled(true);
+        for i in 0..10 {
+            fs.mkdir(fs.root(), &format!("d{i}"), 0o755).unwrap();
+        }
+        sim.advance(SimDuration::from_secs(6));
+        let h = sim.metrics().histogram("ext3.journal.commit").unwrap();
+        assert_eq!(h.count() - base, 1, "one aggregated commit");
+        let spans = sim.tracer().spans();
+        let commits: Vec<_> = spans.iter().filter(|s| s.op == "journal_commit").collect();
+        assert_eq!(commits.len(), 1);
+        assert_eq!(commits[0].layer, "ext3");
+        assert!(commits[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "meta_blocks" && v.parse::<u64>().unwrap() > 0));
+    }
+
+    #[test]
     fn fsck_detects_corruption() {
         let (_sim, disk, fs) = newfs();
         let d = fs.mkdir(fs.root(), "x", 0o755).unwrap();

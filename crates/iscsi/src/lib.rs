@@ -341,6 +341,26 @@ impl RemoteDisk {
         self.exp_stat_sn.set(exp.wrapping_add(1));
 
         let total = IoCost::new(wire).then(completion.cost);
+        // Per-CDB round-trip latency (full exchange: command PDU
+        // through status) and a span over the same interval.
+        let op = opcode_name(&cdb);
+        sim.metrics()
+            .record_duration(&format!("iscsi.cdb.{op}"), total.time);
+        let tracer = sim.tracer();
+        if tracer.enabled() {
+            let start = sim.now();
+            tracer.record(
+                "iscsi",
+                op,
+                start,
+                start + total.time,
+                vec![
+                    ("cmd_sn", cmd_sn.to_string()),
+                    ("out_bytes", data_out.len().to_string()),
+                    ("in_bytes", completion.data.len().to_string()),
+                ],
+            );
+        }
         match completion.status {
             ScsiStatus::Good => Ok((completion, total)),
             ScsiStatus::CheckCondition(k) => Err(IscsiError::CheckCondition(k)),
@@ -534,6 +554,36 @@ mod tests {
         let mut buf = vec![0u8; 32 * BLOCK_SIZE]; // 128 KiB over 8 KiB segments
         disk.read(0, 32, &mut buf).unwrap();
         assert_eq!(sim.counters().get("proto.iscsi.txns"), base + 1);
+    }
+
+    #[test]
+    fn per_cdb_latency_histograms() {
+        let (sim, disk) = setup();
+        let data = vec![0u8; BLOCK_SIZE];
+        disk.write(0, &data).unwrap();
+        disk.write(1, &data).unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        disk.read(0, 1, &mut buf).unwrap();
+        let w = sim.metrics().histogram("iscsi.cdb.write").unwrap();
+        assert_eq!(w.count(), 2);
+        // At least the LAN round trip (200 us) shows up in every CDB.
+        assert!(w.min() >= simkit::SimDuration::from_micros(200).as_nanos());
+        assert_eq!(
+            sim.metrics().histogram("iscsi.cdb.read").unwrap().count(),
+            1
+        );
+    }
+
+    #[test]
+    fn cdb_spans_recorded_when_tracing() {
+        let (sim, disk) = setup();
+        sim.tracer().set_enabled(true);
+        disk.flush().unwrap();
+        let spans = sim.tracer().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].layer, "iscsi");
+        assert_eq!(spans[0].op, "sync_cache");
+        assert!(spans[0].end > spans[0].start);
     }
 
     #[test]

@@ -23,11 +23,33 @@ pub struct PacketRecord {
     pub payload: u64,
 }
 
+/// Default capture bound: enough for any micro-benchmark, small
+/// enough that a day-long macro run cannot exhaust memory.
+pub const DEFAULT_CAPTURE_CAPACITY: usize = 1 << 20;
+
 /// A passive tap on the simulated link.
-#[derive(Debug, Default)]
+///
+/// The capture buffer is bounded: once `capacity` records are held,
+/// further messages are *dropped* (newest-lost, like a kernel ring
+/// losing packets under load) but still counted per channel, so
+/// [`summary`](Sniffer::summary) stays honest about what was missed.
+#[derive(Debug)]
 pub struct Sniffer {
     records: RefCell<Vec<PacketRecord>>,
     enabled: std::cell::Cell<bool>,
+    capacity: std::cell::Cell<usize>,
+    dropped: RefCell<BTreeMap<String, u64>>,
+}
+
+impl Default for Sniffer {
+    fn default() -> Self {
+        Sniffer {
+            records: RefCell::new(Vec::new()),
+            enabled: std::cell::Cell::new(false),
+            capacity: std::cell::Cell::new(DEFAULT_CAPTURE_CAPACITY),
+            dropped: RefCell::new(BTreeMap::new()),
+        }
+    }
 }
 
 /// Per-channel capture summary.
@@ -37,13 +59,23 @@ pub struct ChannelSummary {
     pub messages: u64,
     /// Payload bytes captured.
     pub bytes: u64,
+    /// Messages seen but not recorded because the capture buffer was
+    /// full.
+    pub dropped: u64,
 }
 
 impl Sniffer {
-    /// Creates a tap; it starts enabled.
+    /// Creates a tap; it starts enabled, with the default capacity.
     pub fn new() -> Rc<Sniffer> {
         let s = Rc::new(Sniffer::default());
         s.enabled.set(true);
+        s
+    }
+
+    /// Creates a tap holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Rc<Sniffer> {
+        let s = Sniffer::new();
+        s.capacity.set(capacity);
         s
     }
 
@@ -52,15 +84,42 @@ impl Sniffer {
         self.enabled.set(on);
     }
 
+    /// Changes the record bound. Already-captured records above the
+    /// new bound are kept; only future captures are limited.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.set(capacity);
+    }
+
+    /// The current record bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity.get()
+    }
+
     /// Records one message (called by the network layer).
     pub fn observe(&self, at: SimTime, channel: &str, payload: u64) {
-        if self.enabled.get() {
-            self.records.borrow_mut().push(PacketRecord {
-                at,
-                channel: channel.to_owned(),
-                payload,
-            });
+        if !self.enabled.get() {
+            return;
         }
+        let mut records = self.records.borrow_mut();
+        if records.len() >= self.capacity.get() {
+            let mut dropped = self.dropped.borrow_mut();
+            if let Some(n) = dropped.get_mut(channel) {
+                *n += 1;
+            } else {
+                dropped.insert(channel.to_owned(), 1);
+            }
+            return;
+        }
+        records.push(PacketRecord {
+            at,
+            channel: channel.to_owned(),
+            payload,
+        });
+    }
+
+    /// Total messages dropped at the capacity limit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.borrow().values().sum()
     }
 
     /// Number of records captured.
@@ -73,9 +132,10 @@ impl Sniffer {
         self.records.borrow().is_empty()
     }
 
-    /// Clears the capture buffer.
+    /// Clears the capture buffer and the dropped counts.
     pub fn clear(&self) {
         self.records.borrow_mut().clear();
+        self.dropped.borrow_mut().clear();
     }
 
     /// A copy of the records in `[from, to)`.
@@ -88,13 +148,18 @@ impl Sniffer {
             .collect()
     }
 
-    /// Per-channel message/byte summary of everything captured.
+    /// Per-channel message/byte summary of everything captured, with
+    /// per-channel drop counts. Channels whose messages were *all*
+    /// dropped still appear (with `messages == 0`).
     pub fn summary(&self) -> BTreeMap<String, ChannelSummary> {
         let mut out: BTreeMap<String, ChannelSummary> = BTreeMap::new();
         for r in self.records.borrow().iter() {
             let e = out.entry(r.channel.clone()).or_default();
             e.messages += 1;
             e.bytes += r.payload;
+        }
+        for (chan, &n) in self.dropped.borrow().iter() {
+            out.entry(chan.clone()).or_default().dropped = n;
         }
         out
     }
@@ -152,5 +217,69 @@ mod tests {
         assert_eq!(s.len(), 1);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_drops_and_counts() {
+        let s = Sniffer::with_capacity(3);
+        assert_eq!(s.capacity(), 3);
+        for t in 0..5u64 {
+            s.observe(SimTime::from_nanos(t), "nfs", 100);
+        }
+        s.observe(SimTime::from_nanos(9), "iscsi", 4096);
+        assert_eq!(s.len(), 3, "buffer bounded at capacity");
+        assert_eq!(s.dropped(), 3);
+        let sum = s.summary();
+        assert_eq!(sum["nfs"].messages, 3);
+        assert_eq!(sum["nfs"].dropped, 2);
+        // A channel whose traffic was entirely dropped still shows up.
+        assert_eq!(sum["iscsi"].messages, 0);
+        assert_eq!(sum["iscsi"].bytes, 0);
+        assert_eq!(sum["iscsi"].dropped, 1);
+        // The retained records are the earliest ones (newest-lost).
+        assert_eq!(s.window(SimTime::ZERO, SimTime::from_nanos(3)).len(), 3);
+    }
+
+    #[test]
+    fn clear_resets_drop_counts() {
+        let s = Sniffer::with_capacity(1);
+        s.observe(SimTime::from_nanos(1), "x", 1);
+        s.observe(SimTime::from_nanos(2), "x", 1);
+        assert_eq!(s.dropped(), 1);
+        s.clear();
+        assert_eq!(s.dropped(), 0);
+        assert!(s.summary().is_empty());
+        // Capacity frees up again after clear.
+        s.observe(SimTime::from_nanos(3), "x", 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn window_edge_cases() {
+        let s = Sniffer::new();
+        // Empty capture: any window is empty.
+        assert!(s.window(SimTime::ZERO, SimTime::from_nanos(100)).is_empty());
+        s.observe(SimTime::from_nanos(10), "x", 1);
+        // from == to: half-open interval is empty even on a record.
+        assert!(s
+            .window(SimTime::from_nanos(10), SimTime::from_nanos(10))
+            .is_empty());
+        // Exact bounds: start inclusive, end exclusive.
+        assert_eq!(
+            s.window(SimTime::from_nanos(10), SimTime::from_nanos(11))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn mean_payload_edge_cases() {
+        let s = Sniffer::new();
+        // No records at all.
+        assert_eq!(s.mean_payload("nfs"), 0.0);
+        s.observe(SimTime::from_nanos(1), "iscsi", 128);
+        // Records exist, but not on the queried channel.
+        assert_eq!(s.mean_payload("nfs"), 0.0);
+        assert_eq!(s.mean_payload("iscsi"), 128.0);
     }
 }

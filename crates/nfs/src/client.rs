@@ -217,7 +217,7 @@ impl NfsClient {
 
     fn charge_client(&self) {
         let c = self.cost.nfs_client_syscall();
-        self.cpu.charge(self.sim.now(), c);
+        self.cpu.charge_tagged(self.sim.now(), c, "nfs.client");
         // The (single-threaded) application spends this time on the
         // client CPU before the request reaches the wire.
         self.sim.advance(c);
@@ -225,7 +225,7 @@ impl NfsClient {
 
     fn charge_client_data(&self) {
         let c = self.cost.data_syscall();
-        self.cpu.charge(self.sim.now(), c);
+        self.cpu.charge_tagged(self.sim.now(), c, "nfs.client");
         self.sim.advance(c);
     }
 

@@ -61,7 +61,7 @@ impl NfsServer {
         let sim = self.fs.sim().clone();
         sim.counters().incr(&format!("nfs.server.proc.{proc_name}"));
         let c = self.cost.nfs_request(bytes);
-        self.cpu.charge(sim.now(), c);
+        self.cpu.charge_tagged(sim.now(), c, "nfs.server");
         // Synchronous RPCs hold the client until the server's
         // processing path completes; asynchronous WRITEs pay this cost
         // at the client's drain rate instead (see the client's write
@@ -74,7 +74,7 @@ impl NfsServer {
         let misses = self.fs.cache_stats().1 - misses_before;
         if misses > 0 {
             let extra = self.cost.layer * (3 * misses);
-            self.cpu.charge(sim.now(), extra);
+            self.cpu.charge_tagged(sim.now(), extra, "nfs.server");
             if proc_name != "write" {
                 sim.advance(extra);
             }
@@ -93,8 +93,11 @@ impl NfsServer {
     /// PostMark effect in the paper's Table 9 discussion).
     pub fn charge_metadata_miss(&self) {
         let sim = self.fs.sim();
-        self.cpu
-            .charge(sim.now(), self.cost.nfs_metadata_miss_request());
+        self.cpu.charge_tagged(
+            sim.now(),
+            self.cost.nfs_metadata_miss_request(),
+            "nfs.server",
+        );
     }
 
     /// LOOKUP: name → file handle + attributes.

@@ -199,6 +199,28 @@ impl RpcClient {
         };
         self.srtt.set(SimDuration::from_nanos(next as u64));
 
+        // Per-procedure client-observed latency distribution, and a
+        // span covering the whole transaction (the clock has not been
+        // advanced yet — the caller does that — so the span runs from
+        // `now` to `now + latency`).
+        sim.metrics()
+            .record_duration(&format!("rpc.{label}.{proc_name}"), latency);
+        let tracer = sim.tracer();
+        if tracer.enabled() {
+            let start = sim.now();
+            tracer.record(
+                "rpc",
+                proc_name,
+                start,
+                start + latency,
+                vec![
+                    ("retrans", retransmits.to_string()),
+                    ("req_bytes", req_bytes.to_string()),
+                    ("resp_bytes", resp_bytes.to_string()),
+                ],
+            );
+        }
+
         CallOutcome {
             latency,
             retransmits,
@@ -282,6 +304,34 @@ mod tests {
         assert_eq!(sim.counters().get("proto.nfs.call.lookup"), 2);
         assert_eq!(sim.counters().get("proto.nfs.call.mkdir"), 1);
         assert_eq!(c.calls(), 3);
+    }
+
+    #[test]
+    fn per_procedure_latency_histograms() {
+        let (sim, c) = client(1);
+        for _ in 0..10 {
+            c.call("lookup", 64, 64, SimDuration::from_micros(50));
+        }
+        c.call("mkdir", 64, 64, SimDuration::ZERO);
+        let h = sim.metrics().histogram("rpc.nfs.lookup").unwrap();
+        assert_eq!(h.count(), 10);
+        assert!(h.p50() >= SimDuration::from_millis(1).as_nanos());
+        assert_eq!(sim.metrics().histogram("rpc.nfs.mkdir").unwrap().count(), 1);
+        assert!(sim.metrics().histogram("rpc.nfs.read").is_none());
+    }
+
+    #[test]
+    fn calls_emit_spans_when_tracing() {
+        let (sim, c) = client(1);
+        c.call("lookup", 64, 64, SimDuration::ZERO);
+        assert!(sim.tracer().is_empty(), "tracer off by default");
+        sim.tracer().set_enabled(true);
+        let out = c.call("getattr", 64, 128, SimDuration::from_micros(30));
+        let spans = sim.tracer().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].layer, "rpc");
+        assert_eq!(spans[0].op, "getattr");
+        assert_eq!(spans[0].end.since(spans[0].start), out.latency);
     }
 
     #[test]

@@ -66,9 +66,12 @@ impl Counters {
         }
     }
 
-    /// Growth of counter `name` since `snap` was taken.
+    /// Growth of counter `name` since `snap` was taken. Saturates at
+    /// zero if the counter shrank (e.g. a `reset()` after the
+    /// snapshot) rather than panicking on u64 underflow.
     pub fn delta_since(&self, snap: &CounterSnapshot, name: &str) -> u64 {
-        self.get(name) - snap.map.get(name).copied().unwrap_or(0)
+        self.get(name)
+            .saturating_sub(snap.map.get(name).copied().unwrap_or(0))
     }
 
     /// Sum of current values over all counters whose name starts with
@@ -83,12 +86,13 @@ impl Counters {
     }
 
     /// Growth since `snap`, summed over all counters whose name starts
-    /// with `prefix`.
+    /// with `prefix`. Each per-counter delta saturates at zero, so a
+    /// `reset()` between snapshot and query cannot underflow.
     pub fn delta_prefix_since(&self, snap: &CounterSnapshot, prefix: &str) -> u64 {
         let map = self.map.borrow();
         map.iter()
             .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| v - snap.map.get(k.as_str()).copied().unwrap_or(0))
+            .map(|(k, v)| v.saturating_sub(snap.map.get(k.as_str()).copied().unwrap_or(0)))
             .sum()
     }
 
@@ -145,6 +149,24 @@ mod tests {
         c.add("nfs.calls.lookup", 1);
         assert_eq!(c.delta_prefix_since(&snap, "nfs."), 1);
         assert_eq!(c.delta_prefix_since(&snap, "iscsi."), 0);
+    }
+
+    #[test]
+    fn deltas_saturate_after_reset() {
+        // Regression: a reset (or any shrink) between snapshot and
+        // delta used to underflow-panic in debug builds.
+        let c = Counters::new();
+        c.add("net.msgs", 10);
+        c.add("net.bytes", 4096);
+        let snap = c.snapshot();
+        c.reset();
+        c.add("net.msgs", 3);
+        assert_eq!(c.delta_since(&snap, "net.msgs"), 0);
+        assert_eq!(c.delta_since(&snap, "net.bytes"), 0);
+        assert_eq!(c.delta_prefix_since(&snap, "net."), 0);
+        // Growth past the snapshot value reports normally again.
+        c.add("net.msgs", 20);
+        assert_eq!(c.delta_since(&snap, "net.msgs"), 13);
     }
 
     #[test]

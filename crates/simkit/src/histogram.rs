@@ -1,0 +1,363 @@
+//! Log-bucketed latency histograms and a named-histogram registry.
+//!
+//! Buckets follow an HDR-style scheme: values below 8 get exact
+//! buckets; above that, each power of two is split into 8 sub-buckets,
+//! bounding the relative quantile error at 12.5%. All state is plain
+//! integers, so recording, querying, and [`Histogram::merge`] are
+//! fully deterministic — two runs that record the same value sequence
+//! produce bit-identical histograms, which is what lets run reports be
+//! byte-compared across runs.
+
+use crate::clock::SimDuration;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Sub-buckets per power of two (as a shift).
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS; // 8
+/// Enough buckets for the full u64 range: group 0 holds values 0..8
+/// exactly; groups 1..=61 each hold one power of two.
+const BUCKETS: usize = 62 * SUBS;
+
+/// Bucket index for `v`.
+fn index_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let group = (exp - SUB_BITS + 1) as usize;
+    let sub = ((v >> (exp - SUB_BITS)) as usize) - SUBS;
+    group * SUBS + sub
+}
+
+/// Inclusive upper bound of bucket `idx` (the value reported for
+/// quantiles landing in it).
+fn upper_bound(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let group = (idx / SUBS) as u32;
+    let sub = (idx % SUBS) as u128;
+    // The topmost buckets would overflow u64; clamp to u64::MAX.
+    let ub = ((SUBS as u128 + sub + 1) << (group - 1)) - 1;
+    ub.min(u64::MAX as u128) as u64
+}
+
+/// A log-bucketed histogram of `u64` samples (typically latencies in
+/// nanoseconds).
+///
+/// # Example
+///
+/// ```
+/// use simkit::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [100, 200, 300, 10_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.p50() >= 200 && h.p99() >= 10_000);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("p50", &self.p50())
+            .field("p90", &self.p90())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[index_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a duration as its nanosecond count.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the bucket containing the `ceil(q * count)`-th sample (0 if
+    /// empty). The true max is reported for `q = 1`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges `other` into `self` bucket-by-bucket. Deterministic:
+    /// merge order never changes any reported statistic.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs, in
+    /// ascending value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (upper_bound(i), n))
+            .collect()
+    }
+}
+
+/// A registry of named [`Histogram`]s, shared via [`crate::Sim`] so
+/// any layer can record latencies under a dotted name such as
+/// `rpc.nfs.lookup` or `disk.m0.service`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    map: RefCell<BTreeMap<String, Histogram>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records `v` into the histogram named `name`, creating it if
+    /// absent.
+    pub fn record(&self, name: &str, v: u64) {
+        let mut map = self.map.borrow_mut();
+        if let Some(h) = map.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::new();
+            h.record(v);
+            map.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Records a duration (in nanoseconds) under `name`.
+    pub fn record_duration(&self, name: &str, d: SimDuration) {
+        self.record(name, d.as_nanos());
+    }
+
+    /// A copy of the histogram named `name`, if any samples were
+    /// recorded under it.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.map.borrow().get(name).cloned()
+    }
+
+    /// Copies of all histograms, in name order.
+    pub fn snapshot(&self) -> Vec<(String, Histogram)> {
+        self.map
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of named histograms.
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.borrow().is_empty()
+    }
+
+    /// Drops all histograms.
+    pub fn reset(&self) {
+        self.map.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0 / 8.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_tight() {
+        let mut prev = 0;
+        for idx in 0..BUCKETS {
+            let ub = upper_bound(idx);
+            assert!(idx == 0 || ub > prev, "idx {idx}: {ub} <= {prev}");
+            prev = ub;
+        }
+        // Every value lands in a bucket whose bounds contain it, with
+        // bounded relative error.
+        for v in [1u64, 7, 8, 9, 100, 1_000, 123_456, 10_000_000_000] {
+            let ub = upper_bound(index_of(v));
+            assert!(ub >= v, "{v} above its bucket upper bound {ub}");
+            assert!(
+                ub as f64 <= v as f64 * 1.125 + 1.0,
+                "{v} bucket too wide: {ub}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_order_correctly() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.max());
+        // p50 of 1..=1000 (x1000 ns) is ~500_000 within bucket error.
+        let p50 = h.p50() as f64;
+        assert!((440_000.0..=570_000.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [5u64, 900, 32_000, 1_000_000] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [1u64, 64, 2_000_000_000] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn metrics_registry_records_and_snapshots() {
+        let m = Metrics::new();
+        assert!(m.is_empty());
+        m.record("rpc.nfs.lookup", 100);
+        m.record("rpc.nfs.lookup", 200);
+        m.record_duration("disk.service", SimDuration::from_micros(5));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.histogram("rpc.nfs.lookup").unwrap().count(), 2);
+        assert!(m.histogram("absent").is_none());
+        let snap = m.snapshot();
+        assert_eq!(snap[0].0, "disk.service");
+        assert_eq!(snap[0].1.max(), 5_000);
+        m.reset();
+        assert!(m.is_empty());
+    }
+}

@@ -27,11 +27,15 @@
 
 mod clock;
 mod counters;
+mod histogram;
 mod rng;
+mod trace;
 
 pub use clock::{SimDuration, SimTime};
-pub use counters::Counters;
+pub use counters::{CounterSnapshot, Counters};
+pub use histogram::{Histogram, Metrics};
 pub use rng::SplitMix64;
+pub use trace::{SpanRecord, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use std::cell::{Cell, RefCell};
 use std::rc::{Rc, Weak};
@@ -64,6 +68,8 @@ pub struct Sim {
     daemons: RefCell<Vec<Weak<dyn Daemon>>>,
     rng: RefCell<SplitMix64>,
     counters: Counters,
+    metrics: Metrics,
+    tracer: Tracer,
     /// Guards against re-entrant `advance` calls from daemon callbacks.
     advancing: Cell<bool>,
 }
@@ -85,6 +91,8 @@ impl Sim {
             daemons: RefCell::new(Vec::new()),
             rng: RefCell::new(SplitMix64::new(seed)),
             counters: Counters::new(),
+            metrics: Metrics::new(),
+            tracer: Tracer::new(),
             advancing: Cell::new(false),
         })
     }
@@ -97,6 +105,16 @@ impl Sim {
     /// Named counters shared by all components.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Named latency histograms shared by all components.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The span tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Draws a value from the simulation RNG.

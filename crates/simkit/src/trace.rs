@@ -1,0 +1,304 @@
+//! A lightweight span/event tracer keyed on virtual time.
+//!
+//! Layers record *spans* — a layer name, an operation, a start/end
+//! [`SimTime`], and free-form attributes — into a bounded ring buffer
+//! owned by the [`crate::Sim`]. The tracer is disabled by default and
+//! costs one branch per call site when off: callers should guard
+//! attribute construction with [`Tracer::enabled`], and
+//! [`Tracer::record`] itself returns before touching the buffer, so
+//! the disabled path never allocates.
+//!
+//! Enabled traces can be rendered as an Ethereal/Wireshark-style text
+//! listing with [`Tracer::dump`], mirroring how the paper's authors
+//! inspected packet captures.
+
+use crate::clock::SimTime;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Default ring-buffer bound (spans retained before the oldest are
+/// dropped).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One recorded span (or instantaneous event, when `start == end`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Monotonic sequence number (never reused, even after drops).
+    pub seq: u64,
+    /// Originating layer, e.g. `"rpc"`, `"iscsi"`, `"disk"`, `"ext3"`.
+    pub layer: &'static str,
+    /// Operation label, e.g. `"lookup"` or `"journal_commit"`.
+    pub op: String,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time.
+    pub end: SimTime,
+    /// Free-form `key=value` attributes.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// Bounded, deterministic span recorder. See the [module docs](self).
+pub struct Tracer {
+    enabled: Cell<bool>,
+    capacity: Cell<usize>,
+    ring: RefCell<VecDeque<SpanRecord>>,
+    dropped: Cell<u64>,
+    seq: Cell<u64>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled.get())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer with the default capacity.
+    pub fn new() -> Self {
+        Tracer {
+            enabled: Cell::new(false),
+            capacity: Cell::new(DEFAULT_TRACE_CAPACITY),
+            ring: RefCell::new(VecDeque::new()),
+            dropped: Cell::new(0),
+            seq: Cell::new(0),
+        }
+    }
+
+    /// Turns recording on or off. Disabling does not clear the buffer.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    /// True if spans are currently recorded. Call sites use this to
+    /// skip attribute construction entirely when tracing is off.
+    pub fn enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Sets the ring-buffer bound, evicting oldest spans if the buffer
+    /// already exceeds it.
+    pub fn set_capacity(&self, cap: usize) {
+        self.capacity.set(cap);
+        let mut ring = self.ring.borrow_mut();
+        while ring.len() > cap {
+            ring.pop_front();
+            self.dropped.set(self.dropped.get() + 1);
+        }
+    }
+
+    /// Records a span. No-op (and allocation-free) when disabled; when
+    /// the buffer is full the oldest span is evicted and counted in
+    /// [`dropped`](Tracer::dropped).
+    pub fn record(
+        &self,
+        layer: &'static str,
+        op: &str,
+        start: SimTime,
+        end: SimTime,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        if !self.enabled.get() {
+            return;
+        }
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let mut ring = self.ring.borrow_mut();
+        if self.capacity.get() == 0 {
+            self.dropped.set(self.dropped.get() + 1);
+            return;
+        }
+        while ring.len() >= self.capacity.get() {
+            ring.pop_front();
+            self.dropped.set(self.dropped.get() + 1);
+        }
+        ring.push_back(SpanRecord {
+            seq,
+            layer,
+            op: op.to_owned(),
+            start,
+            end,
+            attrs,
+        });
+    }
+
+    /// Records an instantaneous event (`start == end`).
+    pub fn event(
+        &self,
+        layer: &'static str,
+        op: &str,
+        at: SimTime,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        self.record(layer, op, at, at, attrs);
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.ring.borrow().len()
+    }
+
+    /// True if no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ring.borrow().is_empty()
+    }
+
+    /// Bytes of ring-buffer backing store currently allocated, in
+    /// spans. Zero until the first recorded span — the disabled path
+    /// never allocates.
+    pub fn buffer_capacity(&self) -> usize {
+        self.ring.borrow().capacity()
+    }
+
+    /// Spans evicted (or rejected at capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Copies the buffered spans in recording order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.ring.borrow().iter().cloned().collect()
+    }
+
+    /// Clears the buffer and the dropped count (sequence numbers keep
+    /// advancing).
+    pub fn clear(&self) {
+        self.ring.borrow_mut().clear();
+        self.dropped.set(0);
+    }
+
+    /// Renders the buffer as an Ethereal-style text listing:
+    ///
+    /// ```text
+    /// No.      Time          Layer  Duration      Op / Info
+    /// 12       0.004210s     rpc    210.000us     lookup retrans=0
+    /// ```
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:<13} {:<6} {:<13} Op / Info",
+            "No.", "Time", "Layer", "Duration"
+        );
+        for s in self.ring.borrow().iter() {
+            let mut info = s.op.clone();
+            for (k, v) in &s.attrs {
+                let _ = write!(info, " {k}={v}");
+            }
+            let _ = writeln!(
+                out,
+                "{:<8} {:<13} {:<6} {:<13} {}",
+                s.seq,
+                format!("{}", s.start),
+                s.layer,
+                format!("{}", s.end.saturating_since(s.start)),
+                info
+            );
+        }
+        if self.dropped.get() > 0 {
+            let _ = writeln!(out, "({} earlier spans dropped)", self.dropped.get());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_never_allocates() {
+        let tr = Tracer::new();
+        assert!(!tr.enabled());
+        for i in 0..100 {
+            tr.record("rpc", "lookup", t(i), t(i + 1), vec![]);
+        }
+        assert!(tr.is_empty());
+        assert_eq!(tr.len(), 0);
+        assert_eq!(tr.dropped(), 0);
+        assert_eq!(tr.buffer_capacity(), 0, "disabled path must not allocate");
+    }
+
+    #[test]
+    fn enabled_tracer_buffers_spans_in_order() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.record("rpc", "lookup", t(0), t(10), vec![("retrans", "0".into())]);
+        tr.event("ext3", "commit", t(20), vec![]);
+        let spans = tr.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].layer, "rpc");
+        assert_eq!(spans[0].op, "lookup");
+        assert_eq!(spans[0].seq, 0);
+        assert_eq!(spans[1].seq, 1);
+        assert_eq!(spans[1].start, spans[1].end);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_at_capacity() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.set_capacity(3);
+        for i in 0..5u64 {
+            tr.record("disk", "read", t(i), t(i + 1), vec![]);
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let spans = tr.spans();
+        assert_eq!(spans[0].seq, 2, "oldest spans evicted first");
+        assert_eq!(spans[2].seq, 4);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        for i in 0..10u64 {
+            tr.record("net", "send", t(i), t(i), vec![]);
+        }
+        tr.set_capacity(4);
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.dropped(), 6);
+    }
+
+    #[test]
+    fn dump_lists_spans_and_drop_count() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.set_capacity(1);
+        tr.record("rpc", "getattr", t(5), t(7), vec![("bytes", "128".into())]);
+        tr.record("iscsi", "read", t(8), t(9), vec![]);
+        let d = tr.dump();
+        assert!(d.contains("iscsi"), "{d}");
+        assert!(d.contains("read"), "{d}");
+        assert!(!d.contains("getattr"), "evicted span still dumped: {d}");
+        assert!(d.contains("1 earlier spans dropped"), "{d}");
+    }
+
+    #[test]
+    fn clear_resets_buffer_but_not_seq() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.record("rpc", "a", t(0), t(1), vec![]);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+        tr.record("rpc", "b", t(2), t(3), vec![]);
+        assert_eq!(tr.spans()[0].seq, 1, "sequence numbers keep advancing");
+    }
+}

@@ -354,7 +354,7 @@ impl LocalMount {
 
     fn charge(&self) {
         let c = self.cost.iscsi_client_syscall();
-        self.cpu.charge(self.fs.sim().now(), c);
+        self.cpu.charge_tagged(self.fs.sim().now(), c, "vfs.local");
         // Local-filesystem processing happens on the client CPU, in
         // line with the calling application.
         self.fs.sim().advance(c);
@@ -362,7 +362,7 @@ impl LocalMount {
 
     fn charge_data(&self) {
         let c = self.cost.data_syscall();
-        self.cpu.charge(self.fs.sim().now(), c);
+        self.cpu.charge_tagged(self.fs.sim().now(), c, "vfs.local");
         self.fs.sim().advance(c);
     }
 

@@ -3,15 +3,29 @@
 //! operations on each protocol, and dump what crossed the wire.
 //!
 //! ```sh
-//! cargo run --release --example wire_trace
+//! cargo run --release --example wire_trace            # packet capture
+//! cargo run --release --example wire_trace -- --trace # + span trace
+//! cargo run --release --example wire_trace -- --json  # + RunReport line
 //! ```
+//!
+//! `--trace` turns on the opt-in tracer and prints every recorded span
+//! (disk service, RAID parity updates, journal commits, per-RPC/CDB
+//! latency) in timestamp order. `--json` appends one machine-readable
+//! RunReport JSON line per protocol — see EXPERIMENTS.md for the schema.
 
-use ipstorage::core::{Protocol, Testbed};
+use ipstorage::core::{Protocol, ReportBuilder, Testbed};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    let json = args.iter().any(|a| a == "--json");
+
     for protocol in [Protocol::NfsV3, Protocol::Iscsi] {
         let tb = Testbed::with_protocol(protocol);
         let sniffer = tb.attach_sniffer();
+        if trace {
+            tb.sim().tracer().set_enabled(true);
+        }
         let t0 = tb.now();
 
         let fs = tb.fs();
@@ -38,6 +52,16 @@ fn main() {
                 s.bytes,
                 sniffer.mean_payload(&chan)
             );
+        }
+        if trace {
+            println!("\n== {:?} span trace ==", protocol);
+            print!("{}", tb.sim().tracer().dump());
+        }
+        if json {
+            let mut rb = ReportBuilder::new(format!("wire_trace.{protocol:?}"));
+            rb.absorb(&tb);
+            rb.absorb_sniffer(&sniffer);
+            println!("{}", rb.finish().to_json());
         }
         println!();
     }
