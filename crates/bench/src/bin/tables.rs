@@ -4,6 +4,8 @@
 //! tables                    # everything (can take a while)
 //! tables table2 figure5 ... # a selection
 //! tables --quick            # reduced-scale versions of the slow ones
+//! tables --jobs 4           # sweep cells across 4 workers (output is
+//!                           # byte-identical to --jobs 1)
 //! tables --json table4      # also emit each runner's RunReport as one
 //!                           # JSON line on stdout (see EXPERIMENTS.md)
 //! ```
@@ -15,10 +17,24 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let jobs = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--jobs requires a positive integer");
+                std::process::exit(2);
+            });
+        ipstorage_core::sweep::set_default_jobs(jobs);
+    }
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
+        .enumerate()
+        .filter(|(i, a)| {
+            // Skip flags and the value following --jobs.
+            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--jobs")
+        })
+        .map(|(_, s)| s.as_str())
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
     let emit = |r: &RunReport| {

@@ -2,6 +2,7 @@
 //! varies one mechanism the paper identifies as load-bearing and shows
 //! its effect in isolation.
 
+use crate::sweep::Sweep;
 use crate::table::{fmt_f, fmt_secs, Table};
 use crate::{Protocol, ReportBuilder, RunReport, Testbed, TestbedConfig};
 use simkit::SimDuration;
@@ -22,9 +23,11 @@ pub fn commit_interval_sweep_report() -> (Table, RunReport) {
          (500 mkdirs spread over 60s)",
         &["commit interval (s)", "messages", "msgs/op"],
     );
-    for secs in [1u64, 2, 5, 15, 30] {
+    const INTERVALS: [u64; 5] = [1, 2, 5, 15, 30];
+    let results = Sweep::new().run(INTERVALS.len(), |cell| {
         let mut cfg = TestbedConfig::new(Protocol::Iscsi);
-        cfg.commit_interval = Some(SimDuration::from_secs(secs));
+        cfg.commit_interval = Some(SimDuration::from_secs(INTERVALS[cell.index]));
+        cfg.seed = cell.seed;
         let tb = Testbed::build(cfg);
         let m0 = tb.messages();
         // An application trickling meta-data updates: the commit
@@ -35,7 +38,12 @@ pub fn commit_interval_sweep_report() -> (Table, RunReport) {
         }
         tb.sim().advance(SimDuration::from_secs(60));
         let msgs = tb.messages() - m0;
-        rb.absorb(&tb);
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        (msgs, frag.finish())
+    });
+    for (secs, (msgs, frag)) in INTERVALS.iter().zip(results) {
+        rb.merge_report(&frag);
         t.row(&[
             secs.to_string(),
             msgs.to_string(),
@@ -60,9 +68,11 @@ pub fn write_window_sweep_report() -> (Table, RunReport) {
         "Ablation B: NFS dirty-page limit vs 32 MB write completion",
         &["limit (pages)", "time (s)"],
     );
-    for limit in [16usize, 64, 256, 1024, 16_384] {
+    const LIMITS: [usize; 5] = [16, 64, 256, 1024, 16_384];
+    let results = Sweep::new().run(LIMITS.len(), |cell| {
         let mut cfg = TestbedConfig::new(Protocol::NfsV3);
-        cfg.nfs_max_dirty_pages = Some(limit);
+        cfg.nfs_max_dirty_pages = Some(LIMITS[cell.index]);
+        cfg.seed = cell.seed;
         let tb = Testbed::build(cfg);
         let r = crate::experiments::data::write_file(
             &tb,
@@ -70,8 +80,13 @@ pub fn write_window_sweep_report() -> (Table, RunReport) {
             32,
             crate::experiments::data::Pattern::Sequential,
         );
-        rb.absorb(&tb);
-        t.row(&[limit.to_string(), fmt_secs(r.time)]);
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        (r.time, frag.finish())
+    });
+    for (limit, (time, frag)) in LIMITS.iter().zip(results) {
+        rb.merge_report(&frag);
+        t.row(&[limit.to_string(), fmt_secs(time)]);
     }
     (t, rb.finish())
 }
@@ -92,9 +107,11 @@ pub fn attr_timeout_sweep_report() -> (Table, RunReport) {
         "Ablation C: NFS meta-data timeout vs consistency-check traffic",
         &["timeout (s)", "messages for 100 spread stats"],
     );
-    for secs in [0u64, 1, 3, 10, 60] {
+    const TIMEOUTS: [u64; 5] = [0, 1, 3, 10, 60];
+    let results = Sweep::new().run(TIMEOUTS.len(), |cell| {
         let mut cfg = TestbedConfig::new(Protocol::NfsV3);
-        cfg.nfs_metadata_timeout = Some(SimDuration::from_secs(secs));
+        cfg.nfs_metadata_timeout = Some(SimDuration::from_secs(TIMEOUTS[cell.index]));
+        cfg.seed = cell.seed;
         let tb = Testbed::build(cfg);
         tb.fs().creat("/f").unwrap();
         let m0 = tb.messages();
@@ -102,8 +119,14 @@ pub fn attr_timeout_sweep_report() -> (Table, RunReport) {
             tb.fs().stat("/f").unwrap();
             tb.sim().advance(SimDuration::from_millis(600));
         }
-        rb.absorb(&tb);
-        t.row(&[secs.to_string(), (tb.messages() - m0).to_string()]);
+        let msgs = tb.messages() - m0;
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        (msgs, frag.finish())
+    });
+    for (secs, (msgs, frag)) in TIMEOUTS.iter().zip(results) {
+        rb.merge_report(&frag);
+        t.row(&[secs.to_string(), msgs.to_string()]);
     }
     (t, rb.finish())
 }
@@ -122,9 +145,11 @@ pub fn readahead_sweep_report() -> (Table, RunReport) {
         "Ablation D: command merging vs 8 MB sequential read (256 KB app reads)",
         &["merge limit (blocks)", "messages", "time (s)"],
     );
-    for window in [1u32, 4, 16, 64] {
+    const WINDOWS: [u32; 4] = [1, 4, 16, 64];
+    let results = Sweep::new().run(WINDOWS.len(), |cell| {
         let mut cfg = TestbedConfig::new(Protocol::Iscsi);
-        cfg.readahead_max = Some(window);
+        cfg.readahead_max = Some(WINDOWS[cell.index]);
+        cfg.seed = cell.seed;
         let tb = Testbed::build(cfg);
         let _ = crate::experiments::data::write_file(
             &tb,
@@ -142,12 +167,14 @@ pub fn readahead_sweep_report() -> (Table, RunReport) {
             fs.read(fd, (i * chunk) as u64, chunk).unwrap();
         }
         let elapsed = tb.now().since(t0);
-        rb.absorb(&tb);
-        t.row(&[
-            window.to_string(),
-            (tb.messages() - m0).to_string(),
-            fmt_secs(elapsed),
-        ]);
+        let msgs = tb.messages() - m0;
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        ((msgs, elapsed), frag.finish())
+    });
+    for (window, ((msgs, elapsed), frag)) in WINDOWS.iter().zip(results) {
+        rb.merge_report(&frag);
+        t.row(&[window.to_string(), msgs.to_string(), fmt_secs(elapsed)]);
     }
     (t, rb.finish())
 }

@@ -2,6 +2,7 @@
 //! and Figure 6 (wide-area latency sweep).
 
 use crate::report::{ReportBuilder, RunReport};
+use crate::sweep::Sweep;
 use crate::table::{fmt_f, fmt_secs, Table};
 use crate::{Protocol, Testbed, TestbedConfig};
 use simkit::{SimDuration, SplitMix64};
@@ -108,43 +109,42 @@ fn table4_rows_into(
     mb: u64,
     mut rb: Option<&mut ReportBuilder>,
 ) -> [(&'static str, TransferResult); 4] {
-    let mut absorb = |tb: &Testbed| {
+    const BENCHES: [&str; 4] = [
+        "Sequential reads",
+        "Random reads",
+        "Sequential writes",
+        "Random writes",
+    ];
+    // One cell per benchmark row; reads use a testbed whose file was
+    // written sequentially first.
+    let results = Sweep::new().run(BENCHES.len(), |cell| {
+        let tb = Testbed::with_protocol_seeded(protocol, cell.seed);
+        let r = match BENCHES[cell.index] {
+            "Sequential reads" => {
+                let _ = write_file(&tb, "/seq", mb, Pattern::Sequential);
+                read_file(&tb, "/seq", mb, Pattern::Sequential)
+            }
+            "Random reads" => {
+                let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
+                read_file(&tb, "/f", mb, Pattern::Random)
+            }
+            "Sequential writes" => write_file(&tb, "/w", mb, Pattern::Sequential),
+            // The paper writes a random permutation of the 32K blocks
+            // of a new file.
+            _ => write_file(&tb, "/w", mb, Pattern::Random),
+        };
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        (r, frag.finish())
+    });
+    let mut rows = Vec::with_capacity(BENCHES.len());
+    for (name, (r, frag)) in BENCHES.iter().zip(results) {
         if let Some(rb) = rb.as_deref_mut() {
-            rb.absorb(tb);
+            rb.merge_report(&frag);
         }
-    };
-    // Reads use a testbed whose file was written sequentially.
-    let tb = Testbed::with_protocol(protocol);
-    let _ = write_file(&tb, "/seq", mb, Pattern::Sequential);
-    let seq_read = read_file(&tb, "/seq", mb, Pattern::Sequential);
-    absorb(&tb);
-    let rand_read = {
-        let tb = Testbed::with_protocol(protocol);
-        let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
-        let r = read_file(&tb, "/f", mb, Pattern::Random);
-        absorb(&tb);
-        r
-    };
-    let seq_write = {
-        let tb = Testbed::with_protocol(protocol);
-        let r = write_file(&tb, "/w", mb, Pattern::Sequential);
-        absorb(&tb);
-        r
-    };
-    let rand_write = {
-        let tb = Testbed::with_protocol(protocol);
-        // The paper writes a random permutation of the 32K blocks of a
-        // new file.
-        let r = write_file(&tb, "/w", mb, Pattern::Random);
-        absorb(&tb);
-        r
-    };
-    [
-        ("Sequential reads", seq_read),
-        ("Random reads", rand_read),
-        ("Sequential writes", seq_write),
-        ("Random writes", rand_write),
-    ]
+        rows.push((*name, r));
+    }
+    rows.try_into().unwrap()
 }
 
 /// **Table 4**: completion time, messages, and bytes for 128 MB
@@ -222,41 +222,43 @@ fn figure6_data_into(
     mb: u64,
     mut rb: Option<&mut ReportBuilder>,
 ) -> Vec<LatencyPoint> {
-    let mut out = Vec::new();
+    let mut cells: Vec<(u64, Protocol, Pattern, bool)> = Vec::new();
     for &rtt in rtts_ms {
         for proto in [Protocol::NfsV3, Protocol::Iscsi] {
             for pattern in [Pattern::Sequential, Pattern::Random] {
-                // Reads.
-                let mut cfg = TestbedConfig::new(proto);
-                cfg.link = net::LinkParams::wan(SimDuration::from_millis(rtt));
-                let tb = Testbed::build(cfg.clone());
-                let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
-                let r = read_file(&tb, "/f", mb, pattern);
-                if let Some(rb) = rb.as_deref_mut() {
-                    rb.absorb(&tb);
-                }
-                out.push(LatencyPoint {
-                    protocol: proto,
-                    pattern,
-                    is_read: true,
-                    rtt_ms: rtt,
-                    time: r.time,
-                });
-                // Writes.
-                let tb = Testbed::build(cfg.clone());
-                let w = write_file(&tb, "/w", mb, pattern);
-                if let Some(rb) = rb.as_deref_mut() {
-                    rb.absorb(&tb);
-                }
-                out.push(LatencyPoint {
-                    protocol: proto,
-                    pattern,
-                    is_read: false,
-                    rtt_ms: rtt,
-                    time: w.time,
-                });
+                cells.push((rtt, proto, pattern, true)); // read
+                cells.push((rtt, proto, pattern, false)); // write
             }
         }
+    }
+    let results = Sweep::new().run(cells.len(), |cell| {
+        let (rtt, proto, pattern, is_read) = cells[cell.index];
+        let mut cfg = TestbedConfig::new(proto);
+        cfg.link = net::LinkParams::wan(SimDuration::from_millis(rtt));
+        cfg.seed = cell.seed;
+        let tb = Testbed::build(cfg);
+        let r = if is_read {
+            let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
+            read_file(&tb, "/f", mb, pattern)
+        } else {
+            write_file(&tb, "/w", mb, pattern)
+        };
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        (r.time, frag.finish())
+    });
+    let mut out = Vec::new();
+    for (&(rtt, proto, pattern, is_read), (time, frag)) in cells.iter().zip(results) {
+        if let Some(rb) = rb.as_deref_mut() {
+            rb.merge_report(&frag);
+        }
+        out.push(LatencyPoint {
+            protocol: proto,
+            pattern,
+            is_read,
+            rtt_ms: rtt,
+            time,
+        });
     }
     out
 }

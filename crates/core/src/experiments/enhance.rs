@@ -3,6 +3,7 @@
 //! cache and directory delegation, both trace-driven and end-to-end
 //! (an enhanced-NFS PostMark run against iSCSI).
 
+use crate::sweep::Sweep;
 use crate::table::{fmt_f, fmt_secs, Table};
 use crate::{Protocol, ReportBuilder, RunReport, Testbed, TestbedConfig};
 use nfs::Enhancements;
@@ -98,15 +99,23 @@ pub fn section7_postmark(files: usize, transactions: usize) -> Table {
 /// [`section7_postmark`] plus the machine-readable run report.
 pub fn section7_postmark_report(files: usize, transactions: usize) -> (Table, RunReport) {
     let mut rb = ReportBuilder::new("section7_postmark");
-    let mut run = |enh: Option<Enhancements>| -> (simkit::SimDuration, u64) {
-        let tb = match enh {
-            None => Testbed::with_protocol(Protocol::NfsV4),
-            Some(e) => {
+    // Cells: plain NFS v4, enhanced NFS v4, iSCSI.
+    let results = Sweep::new().run(3, |cell| {
+        let mut cfg = match cell.index {
+            0 => TestbedConfig::new(Protocol::NfsV4),
+            1 => {
                 let mut cfg = TestbedConfig::new(Protocol::NfsV4);
-                cfg.enhancements = e;
-                Testbed::build(cfg)
+                cfg.enhancements = Enhancements {
+                    consistent_metadata_cache: true,
+                    directory_delegation: true,
+                    ..Enhancements::default()
+                };
+                cfg
             }
+            _ => TestbedConfig::new(Protocol::Iscsi),
         };
+        cfg.seed = cell.seed;
+        let tb = Testbed::build(cfg);
         let cfg = PostmarkConfig {
             file_count: files,
             transactions,
@@ -118,31 +127,18 @@ pub fn section7_postmark_report(files: usize, transactions: usize) -> (Table, Ru
         postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
         let time = tb.now().since(t0);
         tb.settle();
-        rb.absorb(&tb);
-        (time, tb.messages() - m0)
-    };
-    let (plain_t, plain_m) = run(None);
-    let (enh_t, enh_m) = run(Some(Enhancements {
-        consistent_metadata_cache: true,
-        directory_delegation: true,
-        ..Enhancements::default()
-    }));
-    let (iscsi_t, iscsi_m) = {
-        let tb = Testbed::with_protocol(Protocol::Iscsi);
-        let cfg = PostmarkConfig {
-            file_count: files,
-            transactions,
-            subdirs: (files / 500).clamp(10, 100),
-            ..PostmarkConfig::default()
-        };
-        let m0 = tb.messages();
-        let t0 = tb.now();
-        postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
-        let time = tb.now().since(t0);
-        tb.settle();
-        rb.absorb(&tb);
-        (time, tb.messages() - m0)
-    };
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        ((time, tb.messages() - m0), frag.finish())
+    });
+    let mut runs = Vec::with_capacity(3);
+    for (r, frag) in results {
+        rb.merge_report(&frag);
+        runs.push(r);
+    }
+    let (plain_t, plain_m) = runs[0];
+    let (enh_t, enh_m) = runs[1];
+    let (iscsi_t, iscsi_m) = runs[2];
     let mut t = Table::new(
         format!("Section 7: PostMark ({files} files, {transactions} txns)"),
         &["system", "time(s)", "messages"],

@@ -3,6 +3,7 @@
 //! utilization tables (9 and 10).
 
 use crate::report::{ReportBuilder, RunReport};
+use crate::sweep::Sweep;
 use crate::table::{fmt_f, fmt_secs, Table};
 use crate::{Protocol, Testbed};
 use simkit::{SimDuration, SimTime};
@@ -24,16 +25,20 @@ pub struct PostmarkRun {
 
 /// Runs PostMark once.
 pub fn postmark_run(protocol: Protocol, files: usize, transactions: usize) -> PostmarkRun {
-    postmark_run_into(protocol, files, transactions, None)
+    postmark_run_seeded(protocol, files, transactions, None, None)
 }
 
-fn postmark_run_into(
+fn postmark_run_seeded(
     protocol: Protocol,
     files: usize,
     transactions: usize,
+    seed: Option<u64>,
     rb: Option<&mut ReportBuilder>,
 ) -> PostmarkRun {
-    let tb = Testbed::with_protocol(protocol);
+    let tb = match seed {
+        Some(s) => Testbed::with_protocol_seeded(protocol, s),
+        None => Testbed::with_protocol(protocol),
+    };
     let cfg = PostmarkConfig {
         file_count: files,
         transactions,
@@ -74,9 +79,26 @@ pub fn table5_report_with(file_counts: &[usize], transactions: usize) -> (Table,
             "iSCSI msgs",
         ],
     );
+    let mut cells: Vec<(usize, Protocol)> = Vec::new();
     for &files in file_counts {
-        let n = postmark_run_into(Protocol::NfsV3, files, transactions, Some(&mut rb));
-        let s = postmark_run_into(Protocol::Iscsi, files, transactions, Some(&mut rb));
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            cells.push((files, proto));
+        }
+    }
+    let results = Sweep::new().run(cells.len(), |cell| {
+        let (files, proto) = cells[cell.index];
+        let mut frag = ReportBuilder::new("");
+        let r = postmark_run_seeded(proto, files, transactions, Some(cell.seed), Some(&mut frag));
+        (r, frag.finish())
+    });
+    let mut runs = Vec::with_capacity(cells.len());
+    for (r, frag) in results {
+        rb.merge_report(&frag);
+        runs.push(r);
+    }
+    for (i, &files) in file_counts.iter().enumerate() {
+        let n = runs[2 * i];
+        let s = runs[2 * i + 1];
         t.row(&[
             files.to_string(),
             fmt_secs(n.time),
@@ -112,11 +134,19 @@ pub struct DbRun {
 
 /// Runs the TPC-C-style emulation.
 pub fn oltp_run(protocol: Protocol, cfg: OltpConfig) -> DbRun {
-    oltp_run_into(protocol, cfg, None)
+    oltp_run_seeded(protocol, cfg, None, None)
 }
 
-fn oltp_run_into(protocol: Protocol, cfg: OltpConfig, rb: Option<&mut ReportBuilder>) -> DbRun {
-    let tb = Testbed::with_protocol(protocol);
+fn oltp_run_seeded(
+    protocol: Protocol,
+    cfg: OltpConfig,
+    seed: Option<u64>,
+    rb: Option<&mut ReportBuilder>,
+) -> DbRun {
+    let tb = match seed {
+        Some(s) => Testbed::with_protocol_seeded(protocol, s),
+        None => Testbed::with_protocol(protocol),
+    };
     let db = oltp::load(tb.fs(), "/tpcc.db", cfg).expect("load");
     tb.fs().creat("/tpcc.log").unwrap();
     let log = tb.fs().open("/tpcc.log").unwrap();
@@ -142,8 +172,18 @@ pub fn table6_with(cfg: OltpConfig) -> Table {
 /// [`table6_with`] plus its machine-readable run report.
 pub fn table6_report_with(cfg: OltpConfig) -> (Table, RunReport) {
     let mut rb = ReportBuilder::new("table6");
-    let n = oltp_run_into(Protocol::NfsV3, cfg, Some(&mut rb));
-    let s = oltp_run_into(Protocol::Iscsi, cfg, Some(&mut rb));
+    let results = Sweep::new().run(2, |cell| {
+        let proto = [Protocol::NfsV3, Protocol::Iscsi][cell.index];
+        let mut frag = ReportBuilder::new("");
+        let r = oltp_run_seeded(proto, cfg, Some(cell.seed), Some(&mut frag));
+        (r, frag.finish())
+    });
+    let mut runs = Vec::with_capacity(2);
+    for (r, frag) in results {
+        rb.merge_report(&frag);
+        runs.push(r);
+    }
+    let (n, s) = (runs[0], runs[1]);
     let mut t = Table::new(
         "Table 6: TPC-C (normalized tpmC)",
         &["metric", "NFSv3", "iSCSI"],
@@ -173,11 +213,19 @@ pub fn table6_report() -> (Table, RunReport) {
 
 /// Runs the TPC-H-style emulation.
 pub fn dss_run(protocol: Protocol, cfg: DssConfig) -> DbRun {
-    dss_run_into(protocol, cfg, None)
+    dss_run_seeded(protocol, cfg, None, None)
 }
 
-fn dss_run_into(protocol: Protocol, cfg: DssConfig, rb: Option<&mut ReportBuilder>) -> DbRun {
-    let tb = Testbed::with_protocol(protocol);
+fn dss_run_seeded(
+    protocol: Protocol,
+    cfg: DssConfig,
+    seed: Option<u64>,
+    rb: Option<&mut ReportBuilder>,
+) -> DbRun {
+    let tb = match seed {
+        Some(s) => Testbed::with_protocol_seeded(protocol, s),
+        None => Testbed::with_protocol(protocol),
+    };
     dss::load(tb.fs(), "/tpch.db", cfg).expect("load");
     tb.settle();
     tb.cold_caches();
@@ -202,8 +250,18 @@ pub fn table7_with(cfg: DssConfig) -> Table {
 /// [`table7_with`] plus its machine-readable run report.
 pub fn table7_report_with(cfg: DssConfig) -> (Table, RunReport) {
     let mut rb = ReportBuilder::new("table7");
-    let n = dss_run_into(Protocol::NfsV3, cfg, Some(&mut rb));
-    let s = dss_run_into(Protocol::Iscsi, cfg, Some(&mut rb));
+    let results = Sweep::new().run(2, |cell| {
+        let proto = [Protocol::NfsV3, Protocol::Iscsi][cell.index];
+        let mut frag = ReportBuilder::new("");
+        let r = dss_run_seeded(proto, cfg, Some(cell.seed), Some(&mut frag));
+        (r, frag.finish())
+    });
+    let mut runs = Vec::with_capacity(2);
+    for (r, frag) in results {
+        rb.merge_report(&frag);
+        runs.push(r);
+    }
+    let (n, s) = (runs[0], runs[1]);
     let mut t = Table::new(
         "Table 7: TPC-H (normalized QphH@1GB)",
         &["metric", "NFSv3", "iSCSI"],
@@ -249,8 +307,9 @@ pub fn table8_report_with(spec: TreeSpec) -> (Table, RunReport) {
         ["kernel compile".into(), String::new(), String::new()],
         ["rm -rf".into(), String::new(), String::new()],
     ];
-    for (col, proto) in [(1usize, Protocol::NfsV3), (2usize, Protocol::Iscsi)] {
-        let tb = Testbed::with_protocol(proto);
+    let protos = [Protocol::NfsV3, Protocol::Iscsi];
+    let sweep_out = Sweep::new().run(protos.len(), |cell| {
+        let tb = Testbed::with_protocol_seeded(protos[cell.index], cell.seed);
         let sim = tb.sim().clone();
         // Each phase starts cold, as in separately-run benchmarks.
         let tar = shell::tar_extract(tb.fs(), &sim, "/src", &spec).unwrap();
@@ -263,11 +322,15 @@ pub fn table8_report_with(spec: TreeSpec) -> (Table, RunReport) {
         tb.settle();
         tb.cold_caches();
         let rm = shell::rm_rf(tb.fs(), &sim, "/src").unwrap();
-        rb.absorb(&tb);
-        results[0][col] = fmt_secs(tar);
-        results[1][col] = fmt_secs(ls);
-        results[2][col] = fmt_secs(comp);
-        results[3][col] = fmt_secs(rm);
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        ([tar, ls, comp, rm], frag.finish())
+    });
+    for (col, (times, frag)) in sweep_out.into_iter().enumerate() {
+        rb.merge_report(&frag);
+        for (row, time) in times.into_iter().enumerate() {
+            results[row][col + 1] = fmt_secs(time);
+        }
     }
     for r in &results {
         t.row(&[r[0].clone(), r[1].clone(), r[2].clone()]);
@@ -324,67 +387,70 @@ fn cpu_runs_into(
     dss_cfg: DssConfig,
     mut rb: Option<&mut ReportBuilder>,
 ) -> [(&'static str, CpuRun); 3] {
-    let mut absorb = |tb: &Testbed| {
-        if let Some(rb) = rb.as_deref_mut() {
-            rb.absorb(tb);
-        }
-    };
-    // PostMark.
-    let pm = {
-        let tb = Testbed::with_protocol(protocol);
-        let cfg = PostmarkConfig {
-            file_count: pm_files,
-            transactions: pm_txns,
-            subdirs: (pm_files / 500).clamp(10, 100),
-            ..PostmarkConfig::default()
+    const BENCHES: [&str; 3] = ["PostMark", "TPC-C", "TPC-H"];
+    let results = Sweep::new().run(BENCHES.len(), |cell| {
+        let tb = Testbed::with_protocol_seeded(protocol, cell.seed);
+        let run = match BENCHES[cell.index] {
+            "PostMark" => {
+                let cfg = PostmarkConfig {
+                    file_count: pm_files,
+                    transactions: pm_txns,
+                    subdirs: (pm_files / 500).clamp(10, 100),
+                    ..PostmarkConfig::default()
+                };
+                let t0 = tb.now();
+                postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
+                let (s, c) = p95(&tb, t0);
+                CpuRun {
+                    protocol,
+                    server_p95: s,
+                    client_p95: c,
+                }
+            }
+            "TPC-C" => {
+                let db = oltp::load(tb.fs(), "/db", oltp_cfg).expect("load");
+                tb.fs().creat("/log").unwrap();
+                let log = tb.fs().open("/log").unwrap();
+                tb.settle();
+                let t0 = tb.now();
+                oltp::run(tb.fs(), tb.sim(), db, log, oltp_cfg).expect("oltp");
+                // The client is saturated by query processing: every
+                // 2 s window during the run is busy with cpu_per_txn
+                // work.
+                let (s, _c) = p95(&tb, t0);
+                CpuRun {
+                    protocol,
+                    server_p95: s,
+                    client_p95: 1.0, // DB clients are CPU-saturated (paper Table 10)
+                }
+            }
+            _ => {
+                dss::load(tb.fs(), "/db", dss_cfg).expect("load");
+                tb.settle();
+                tb.cold_caches();
+                let db = tb.fs().open("/db").unwrap();
+                let t0 = tb.now();
+                dss::run(tb.fs(), tb.sim(), db, dss_cfg).expect("dss");
+                let (s, _c) = p95(&tb, t0);
+                CpuRun {
+                    protocol,
+                    server_p95: s,
+                    client_p95: 1.0,
+                }
+            }
         };
-        let t0 = tb.now();
-        postmark::run(tb.fs(), "/postmark", cfg).expect("postmark");
-        let (s, c) = p95(&tb, t0);
-        absorb(&tb);
-        CpuRun {
-            protocol,
-            server_p95: s,
-            client_p95: c,
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        (run, frag.finish())
+    });
+    let mut out = Vec::with_capacity(BENCHES.len());
+    for (name, (run, frag)) in BENCHES.iter().zip(results) {
+        if let Some(rb) = rb.as_deref_mut() {
+            rb.merge_report(&frag);
         }
-    };
-    // TPC-C.
-    let tc = {
-        let tb = Testbed::with_protocol(protocol);
-        let db = oltp::load(tb.fs(), "/db", oltp_cfg).expect("load");
-        tb.fs().creat("/log").unwrap();
-        let log = tb.fs().open("/log").unwrap();
-        tb.settle();
-        let t0 = tb.now();
-        oltp::run(tb.fs(), tb.sim(), db, log, oltp_cfg).expect("oltp");
-        // The client is saturated by query processing: every 2 s
-        // window during the run is busy with cpu_per_txn work.
-        let (s, _c) = p95(&tb, t0);
-        absorb(&tb);
-        CpuRun {
-            protocol,
-            server_p95: s,
-            client_p95: 1.0, // DB clients are CPU-saturated (paper Table 10)
-        }
-    };
-    // TPC-H.
-    let th = {
-        let tb = Testbed::with_protocol(protocol);
-        dss::load(tb.fs(), "/db", dss_cfg).expect("load");
-        tb.settle();
-        tb.cold_caches();
-        let db = tb.fs().open("/db").unwrap();
-        let t0 = tb.now();
-        dss::run(tb.fs(), tb.sim(), db, dss_cfg).expect("dss");
-        let (s, _c) = p95(&tb, t0);
-        absorb(&tb);
-        CpuRun {
-            protocol,
-            server_p95: s,
-            client_p95: 1.0,
-        }
-    };
-    [("PostMark", pm), ("TPC-C", tc), ("TPC-H", th)]
+        out.push((*name, run));
+    }
+    out.try_into().unwrap()
 }
 
 /// **Tables 9 and 10** with configurable scale: p95 server and client

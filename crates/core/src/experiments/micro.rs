@@ -9,6 +9,7 @@
 //! the paper's Ethereal traces.
 
 use crate::report::{ReportBuilder, RunReport};
+use crate::sweep::Sweep;
 use crate::table::Table;
 use crate::{Protocol, Testbed};
 use std::collections::BTreeMap;
@@ -119,21 +120,28 @@ fn run_op(fs: &dyn FileSystem, op: &str, depth: u32, x: &str) {
     }
 }
 
-/// Measures the message count of one syscall invocation.
+/// Measures the message count of one syscall invocation on the
+/// default (seed-42) testbed.
 pub fn measure_op(protocol: Protocol, op: &str, depth: u32, state: CacheState) -> u64 {
-    measure_op_into(protocol, op, depth, state, None)
+    measure_op_seeded(protocol, op, depth, state, None, None)
 }
 
-/// [`measure_op`] that also folds the testbed's observability state
-/// into a report before it is dropped.
-fn measure_op_into(
+/// [`measure_op`] with an optional per-cell seed (sweep cells pass
+/// their derived seed; the public path keeps the testbed default) and
+/// an optional report to fold the testbed's observability state into
+/// before it is dropped.
+fn measure_op_seeded(
     protocol: Protocol,
     op: &str,
     depth: u32,
     state: CacheState,
+    seed: Option<u64>,
     rb: Option<&mut ReportBuilder>,
 ) -> u64 {
-    let tb = Testbed::with_protocol(protocol);
+    let tb = match seed {
+        Some(s) => Testbed::with_protocol_seeded(protocol, s),
+        None => Testbed::with_protocol(protocol),
+    };
     prepare(&tb, depth);
     tb.cold_caches();
     let msgs = match state {
@@ -162,18 +170,54 @@ pub fn matrix(state: CacheState, depths: &[u32]) -> MicroMatrix {
     matrix_into(state, depths, None)
 }
 
-fn matrix_into(
+fn matrix_into(state: CacheState, depths: &[u32], rb: Option<&mut ReportBuilder>) -> MicroMatrix {
+    matrix_sweep(state, &SYSCALLS, depths, Sweep::new(), rb)
+}
+
+/// Matrix over an explicit syscall subset with an explicit worker
+/// count, plus the merged run report. The parallel-sweep determinism
+/// tests drive this directly with a trimmed op set so `jobs = 1` vs
+/// `jobs = N` byte-comparisons stay fast.
+pub fn matrix_report_ops(
     state: CacheState,
+    ops: &[&'static str],
     depths: &[u32],
+    jobs: usize,
+) -> (MicroMatrix, RunReport) {
+    let mut rb = ReportBuilder::new("micro");
+    let m = matrix_sweep(state, ops, depths, Sweep::with_jobs(jobs), Some(&mut rb));
+    (m, rb.finish())
+}
+
+/// One sweep cell per (depth, protocol, op); results and report
+/// fragments merge in cell-index order, so output is independent of
+/// the worker count.
+fn matrix_sweep(
+    state: CacheState,
+    ops: &[&'static str],
+    depths: &[u32],
+    sweep: Sweep,
     mut rb: Option<&mut ReportBuilder>,
 ) -> MicroMatrix {
-    let mut m = MicroMatrix::new();
+    let mut cells: Vec<(u32, Protocol, &'static str)> = Vec::new();
     for &depth in depths {
         for proto in Protocol::ALL {
-            for op in SYSCALLS {
-                let v = measure_op_into(proto, op, depth, state, rb.as_deref_mut());
-                m.insert((op.to_string(), depth, proto.label()), v);
+            for &op in ops {
+                cells.push((depth, proto, op));
             }
+        }
+    }
+    let results = sweep.run(cells.len(), |cell| {
+        let (depth, proto, op) = cells[cell.index];
+        let mut frag = ReportBuilder::new("");
+        let v = measure_op_seeded(proto, op, depth, state, Some(cell.seed), Some(&mut frag));
+        (v, frag.finish())
+    });
+    let mut m = MicroMatrix::new();
+    for (&(depth, proto, op), (v, frag)) in cells.iter().zip(results) {
+        m.insert((op.to_string(), depth, proto.label()), v);
+        if let Some(rb) = rb.as_deref_mut() {
+            rb.merge_report(&frag);
         }
     }
     m
@@ -246,51 +290,61 @@ fn figure3_data_into(mut rb: Option<&mut ReportBuilder>) -> Vec<(String, u32, f6
     let ops = [
         "creat", "link", "rename", "chmod", "stat", "access", "write", "mkdir",
     ];
-    let mut out = Vec::new();
+    let mut cells: Vec<(&'static str, u32)> = Vec::new();
     for op in ops {
         let mut batch = 1u32;
         while batch <= 1024 {
-            let tb = Testbed::with_protocol(Protocol::Iscsi);
-            let fs = tb.fs();
-            // Targets for ops that need pre-existing files.
-            for i in 0..batch {
-                match op {
-                    "link" | "rename" | "chmod" | "stat" | "access" | "write" => {
-                        fs.creat(&format!("/pre{i}")).unwrap();
-                    }
-                    _ => {}
-                }
-            }
-            tb.settle();
-            tb.cold_caches();
-            let before = tb.messages();
-            for i in 0..batch {
-                match op {
-                    "creat" => fs.creat(&format!("/n{i}")).unwrap(),
-                    "mkdir" => fs.mkdir(&format!("/m{i}")).unwrap(),
-                    "link" => fs.link(&format!("/pre{i}"), &format!("/h{i}")).unwrap(),
-                    "rename" => fs.rename(&format!("/pre{i}"), &format!("/r{i}")).unwrap(),
-                    "chmod" => fs.chmod(&format!("/pre{i}"), 0o600).unwrap(),
-                    "stat" => {
-                        fs.stat(&format!("/pre{i}")).unwrap();
-                    }
-                    "access" => fs.access(&format!("/pre{i}")).unwrap(),
-                    "write" => {
-                        let fd = fs.open(&format!("/pre{i}")).unwrap();
-                        fs.write(fd, 0, &[1u8; 512]).unwrap();
-                        fs.close(fd).unwrap();
-                    }
-                    other => panic!("unknown op {other}"),
-                }
-            }
-            tb.settle();
-            let msgs = tb.messages() - before;
-            if let Some(rb) = rb.as_deref_mut() {
-                rb.absorb(&tb);
-            }
-            out.push((op.to_string(), batch, msgs as f64 / batch as f64));
+            cells.push((op, batch));
             batch *= 2;
         }
+    }
+    let results = Sweep::new().run(cells.len(), |cell| {
+        let (op, batch) = cells[cell.index];
+        let tb = Testbed::with_protocol_seeded(Protocol::Iscsi, cell.seed);
+        let fs = tb.fs();
+        // Targets for ops that need pre-existing files.
+        for i in 0..batch {
+            match op {
+                "link" | "rename" | "chmod" | "stat" | "access" | "write" => {
+                    fs.creat(&format!("/pre{i}")).unwrap();
+                }
+                _ => {}
+            }
+        }
+        tb.settle();
+        tb.cold_caches();
+        let before = tb.messages();
+        for i in 0..batch {
+            match op {
+                "creat" => fs.creat(&format!("/n{i}")).unwrap(),
+                "mkdir" => fs.mkdir(&format!("/m{i}")).unwrap(),
+                "link" => fs.link(&format!("/pre{i}"), &format!("/h{i}")).unwrap(),
+                "rename" => fs.rename(&format!("/pre{i}"), &format!("/r{i}")).unwrap(),
+                "chmod" => fs.chmod(&format!("/pre{i}"), 0o600).unwrap(),
+                "stat" => {
+                    fs.stat(&format!("/pre{i}")).unwrap();
+                }
+                "access" => fs.access(&format!("/pre{i}")).unwrap(),
+                "write" => {
+                    let fd = fs.open(&format!("/pre{i}")).unwrap();
+                    fs.write(fd, 0, &[1u8; 512]).unwrap();
+                    fs.close(fd).unwrap();
+                }
+                other => panic!("unknown op {other}"),
+            }
+        }
+        tb.settle();
+        let msgs = tb.messages() - before;
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        (msgs, frag.finish())
+    });
+    let mut out = Vec::new();
+    for (&(op, batch), (msgs, frag)) in cells.iter().zip(results) {
+        if let Some(rb) = rb.as_deref_mut() {
+            rb.merge_report(&frag);
+        }
+        out.push((op.to_string(), batch, msgs as f64 / batch as f64));
     }
     out
 }
@@ -342,16 +396,28 @@ fn figure4_data_into(
     depths: &[u32],
     mut rb: Option<&mut ReportBuilder>,
 ) -> Vec<(String, CacheState, &'static str, u32, u64)> {
-    let mut out = Vec::new();
+    let mut cells: Vec<(&'static str, CacheState, Protocol, u32)> = Vec::new();
     for op in ["mkdir", "chdir", "readdir"] {
         for state in [CacheState::Cold, CacheState::Warm] {
             for proto in Protocol::ALL {
                 for &d in depths {
-                    let v = measure_op_into(proto, op, d, state, rb.as_deref_mut());
-                    out.push((op.to_string(), state, proto.label(), d, v));
+                    cells.push((op, state, proto, d));
                 }
             }
         }
+    }
+    let results = Sweep::new().run(cells.len(), |cell| {
+        let (op, state, proto, d) = cells[cell.index];
+        let mut frag = ReportBuilder::new("");
+        let v = measure_op_seeded(proto, op, d, state, Some(cell.seed), Some(&mut frag));
+        (v, frag.finish())
+    });
+    let mut out = Vec::new();
+    for (&(op, state, proto, d), (v, frag)) in cells.iter().zip(results) {
+        if let Some(rb) = rb.as_deref_mut() {
+            rb.merge_report(&frag);
+        }
+        out.push((op.to_string(), state, proto.label(), d, v));
     }
     out
 }
@@ -404,69 +470,69 @@ pub fn figure5_data() -> Vec<(String, &'static str, u64, u64)> {
 
 fn figure5_data_into(mut rb: Option<&mut ReportBuilder>) -> Vec<(String, &'static str, u64, u64)> {
     let sizes: Vec<u64> = (7..=16).map(|e| 1u64 << e).collect(); // 128 B .. 64 KB
-    let mut out = Vec::new();
+    let mut cells: Vec<(Protocol, u64)> = Vec::new();
     for proto in Protocol::ALL {
         for &size in &sizes {
-            // Cold read.
-            let tb = Testbed::with_protocol(proto);
-            let fs = tb.fs();
-            fs.creat("/f").unwrap();
-            let fd = fs.open("/f").unwrap();
-            fs.write(fd, 0, &vec![9u8; 65_536]).unwrap();
-            fs.close(fd).unwrap();
-            tb.settle();
-            tb.cold_caches();
-            let fd = fs.open("/f").unwrap();
-            let before = tb.messages();
-            fs.read(fd, 0, size as usize).unwrap();
-            tb.settle();
-            out.push((
-                "cold_read".into(),
-                proto.label(),
-                size,
-                tb.messages() - before,
-            ));
-
-            // Warm read: file fully cached first.
-            let mut off = 0u64;
-            while off < 65_536 {
-                fs.read(fd, off, 8192).unwrap();
-                off += 8192;
-            }
-            let before = tb.messages();
-            fs.read(fd, 0, size as usize).unwrap();
-            tb.settle();
-            out.push((
-                "warm_read".into(),
-                proto.label(),
-                size,
-                tb.messages() - before,
-            ));
-            fs.close(fd).unwrap();
-            if let Some(rb) = rb.as_deref_mut() {
-                rb.absorb(&tb);
-            }
-
-            // Cold write into a fresh file.
-            let tb = Testbed::with_protocol(proto);
-            let fs = tb.fs();
-            fs.creat("/w").unwrap();
-            tb.settle();
-            tb.cold_caches();
-            let fd = fs.open("/w").unwrap();
-            let before = tb.messages();
-            fs.write(fd, 0, &vec![3u8; size as usize]).unwrap();
-            tb.settle();
-            out.push((
-                "cold_write".into(),
-                proto.label(),
-                size,
-                tb.messages() - before,
-            ));
-            if let Some(rb) = rb.as_deref_mut() {
-                rb.absorb(&tb);
-            }
+            cells.push((proto, size));
         }
+    }
+    // One cell = one (proto, size): a read testbed (cold + warm read)
+    // then a write testbed, exactly as the sequential loop ran them.
+    let results = Sweep::new().run(cells.len(), |cell| {
+        let (proto, size) = cells[cell.index];
+        let mut frag = ReportBuilder::new("");
+
+        // Cold read.
+        let tb = Testbed::with_protocol_seeded(proto, cell.seed);
+        let fs = tb.fs();
+        fs.creat("/f").unwrap();
+        let fd = fs.open("/f").unwrap();
+        fs.write(fd, 0, &vec![9u8; 65_536]).unwrap();
+        fs.close(fd).unwrap();
+        tb.settle();
+        tb.cold_caches();
+        let fd = fs.open("/f").unwrap();
+        let before = tb.messages();
+        fs.read(fd, 0, size as usize).unwrap();
+        tb.settle();
+        let cold_read = tb.messages() - before;
+
+        // Warm read: file fully cached first.
+        let mut off = 0u64;
+        while off < 65_536 {
+            fs.read(fd, off, 8192).unwrap();
+            off += 8192;
+        }
+        let before = tb.messages();
+        fs.read(fd, 0, size as usize).unwrap();
+        tb.settle();
+        let warm_read = tb.messages() - before;
+        fs.close(fd).unwrap();
+        frag.absorb(&tb);
+
+        // Cold write into a fresh file.
+        let tb = Testbed::with_protocol_seeded(proto, cell.seed);
+        let fs = tb.fs();
+        fs.creat("/w").unwrap();
+        tb.settle();
+        tb.cold_caches();
+        let fd = fs.open("/w").unwrap();
+        let before = tb.messages();
+        fs.write(fd, 0, &vec![3u8; size as usize]).unwrap();
+        tb.settle();
+        let cold_write = tb.messages() - before;
+        frag.absorb(&tb);
+
+        (cold_read, warm_read, cold_write, frag.finish())
+    });
+    let mut out = Vec::new();
+    for (&(proto, size), (cold_read, warm_read, cold_write, frag)) in cells.iter().zip(results) {
+        if let Some(rb) = rb.as_deref_mut() {
+            rb.merge_report(&frag);
+        }
+        out.push(("cold_read".into(), proto.label(), size, cold_read));
+        out.push(("warm_read".into(), proto.label(), size, warm_read));
+        out.push(("cold_write".into(), proto.label(), size, cold_write));
     }
     out
 }

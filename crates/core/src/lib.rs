@@ -33,6 +33,7 @@ pub mod calibration;
 pub mod experiments;
 pub mod plot;
 pub mod report;
+pub mod sweep;
 pub mod table;
 mod testbed;
 

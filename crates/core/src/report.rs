@@ -166,6 +166,35 @@ impl ReportBuilder {
         }
     }
 
+    /// Folds another report (typically a per-cell fragment produced by
+    /// a parallel sweep worker) into this one.
+    ///
+    /// Counters and CPU tags add, histograms merge bucket-wise, and
+    /// channel summaries add — all operations for which merge order
+    /// cannot change any reported value, which is what lets the sweep
+    /// driver fold fragments in cell-index order and produce output
+    /// byte-identical to a sequential run.
+    pub fn merge_report(&mut self, frag: &RunReport) {
+        let r = &mut self.report;
+        r.runs += frag.runs;
+        r.sim_time_ns += frag.sim_time_ns;
+        for (name, v) in &frag.counters {
+            *r.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &frag.histograms {
+            r.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        for (chan, s) in &frag.channels {
+            let e = r.channels.entry(chan.clone()).or_default();
+            e.messages += s.messages;
+            e.bytes += s.bytes;
+            e.dropped += s.dropped;
+        }
+        for (tag, busy) in &frag.cpu_busy_ns {
+            *r.cpu_busy_ns.entry(tag.clone()).or_insert(0) += busy;
+        }
+    }
+
     /// Folds a sniffer's per-channel capture summary into the report.
     pub fn absorb_sniffer(&mut self, sniffer: &net::Sniffer) {
         for (chan, s) in sniffer.summary() {
@@ -219,6 +248,29 @@ mod tests {
         let a = small_workload("det").to_json();
         let b = small_workload("det").to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merging_fragments_equals_direct_absorption() {
+        // Two testbeds absorbed into one builder...
+        let mut direct = ReportBuilder::new("m");
+        for _ in 0..2 {
+            let tb = Testbed::with_protocol(Protocol::NfsV3);
+            tb.fs().mkdir("/a").unwrap();
+            tb.settle();
+            direct.absorb(&tb);
+        }
+        // ...must equal two per-cell fragments merged afterwards.
+        let mut merged = ReportBuilder::new("m");
+        for _ in 0..2 {
+            let tb = Testbed::with_protocol(Protocol::NfsV3);
+            tb.fs().mkdir("/a").unwrap();
+            tb.settle();
+            let mut frag = ReportBuilder::new("");
+            frag.absorb(&tb);
+            merged.merge_report(&frag.finish());
+        }
+        assert_eq!(direct.finish().to_json(), merged.finish().to_json());
     }
 
     #[test]

@@ -293,6 +293,15 @@ impl Testbed {
         Testbed::build(TestbedConfig::new(protocol))
     }
 
+    /// Convenience: the default testbed for a protocol with an
+    /// explicit RNG seed (parallel sweep cells pass their derived
+    /// per-cell seed here).
+    pub fn with_protocol_seeded(protocol: Protocol, seed: u64) -> Testbed {
+        let mut cfg = TestbedConfig::new(protocol);
+        cfg.seed = seed;
+        Testbed::build(cfg)
+    }
+
     /// The workload-facing file system.
     pub fn fs(&self) -> &dyn FileSystem {
         match &self.kind {

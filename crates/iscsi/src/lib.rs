@@ -45,7 +45,9 @@ pub use pdu::{BasicHeader, Opcode, Pdu, BHS_LEN};
 use blockdev::{BlockDevice, BlockNo, IoCost, Result as BlockResult, BLOCK_SIZE};
 use net::Channel;
 use scsi::{Cdb, ScsiStatus, ScsiTarget, SenseKey};
-use std::cell::Cell;
+use simkit::{CounterHandle, MetricHandle};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -160,13 +162,9 @@ impl Target {
         self.stat_sn.set(0);
     }
 
-    /// Executes a command PDU, enforcing CmdSN ordering.
-    fn execute(
-        &self,
-        cmd_sn: u32,
-        cdb: Cdb,
-        data_out: &[u8],
-    ) -> Result<scsi::ScsiCompletion, IscsiError> {
+    /// Admits a command PDU, enforcing CmdSN ordering and advancing
+    /// the session sequence state.
+    fn admit(&self, cmd_sn: u32) -> Result<(), IscsiError> {
         let expected = self.exp_cmd_sn.get();
         if cmd_sn != expected {
             return Err(IscsiError::SequenceError {
@@ -177,7 +175,31 @@ impl Target {
         self.exp_cmd_sn.set(expected.wrapping_add(1));
         self.stat_sn.set(self.stat_sn.get().wrapping_add(1));
         self.commands_executed.set(self.commands_executed.get() + 1);
+        Ok(())
+    }
+
+    /// Executes a command PDU, enforcing CmdSN ordering.
+    fn execute(
+        &self,
+        cmd_sn: u32,
+        cdb: Cdb,
+        data_out: &[u8],
+    ) -> Result<scsi::ScsiCompletion, IscsiError> {
+        self.admit(cmd_sn)?;
         Ok(self.scsi.execute(cdb, data_out))
+    }
+
+    /// Executes a `Read10` PDU straight into `buf` (no data-in
+    /// allocation), enforcing CmdSN ordering.
+    fn execute_read_into(
+        &self,
+        cmd_sn: u32,
+        lba: u32,
+        blocks: u16,
+        buf: &mut [u8],
+    ) -> Result<scsi::ScsiCompletion, IscsiError> {
+        self.admit(cmd_sn)?;
+        Ok(self.scsi.execute_read_into(lba, blocks, buf))
     }
 }
 
@@ -230,6 +252,8 @@ impl Initiator {
             exp_stat_sn: Cell::new(0),
             read_head: Cell::new(u64::MAX),
             name: format!("iscsi:{}", self.target.volume().name()),
+            txns: sim.counters().handle("proto.iscsi.txns"),
+            cmds: RefCell::new(HashMap::new()),
         })
     }
 }
@@ -252,6 +276,17 @@ pub struct RemoteDisk {
     /// sequential streams.
     read_head: Cell<BlockNo>,
     name: String,
+    txns: CounterHandle,
+    /// Per-opcode counter/histogram handles, resolved on the first
+    /// command of each kind; the per-command path then only bumps
+    /// handles — no name formatting, no registry lookups.
+    cmds: RefCell<HashMap<&'static str, CmdHandles>>,
+}
+
+#[derive(Debug, Clone)]
+struct CmdHandles {
+    count: CounterHandle,
+    latency: MetricHandle,
 }
 
 impl fmt::Debug for RemoteDisk {
@@ -269,19 +304,39 @@ impl RemoteDisk {
         self.params
     }
 
+    /// Handles for `op`'s per-opcode counters, registered on first use.
+    fn cmd_handles(&self, op: &'static str) -> CmdHandles {
+        if let Some(h) = self.cmds.borrow().get(op) {
+            return h.clone();
+        }
+        let sim = self.chan.network().sim().clone();
+        let h = CmdHandles {
+            count: sim.counters().handle(&format!("proto.iscsi.cmd.{op}")),
+            latency: sim.metrics().handle(&format!("iscsi.cdb.{op}")),
+        };
+        self.cmds.borrow_mut().insert(op, h.clone());
+        h
+    }
+
     /// Issues one SCSI command as a full iSCSI exchange and returns
     /// the completion and its end-to-end cost.
+    ///
+    /// `read_into`, when set, receives a `Read10`'s data-in payload
+    /// directly (the completion then carries no owned data), sparing
+    /// the target-side allocation and initiator-side copy per read.
     fn transact(
         &self,
         cdb: Cdb,
         data_out: &[u8],
+        read_into: Option<&mut [u8]>,
     ) -> Result<(scsi::ScsiCompletion, IoCost), IscsiError> {
         let sim = self.chan.network().sim().clone();
         let cmd_sn = self.cmd_sn.get();
         self.cmd_sn.set(cmd_sn.wrapping_add(1));
-        sim.counters().incr("proto.iscsi.txns");
-        sim.counters()
-            .incr(&format!("proto.iscsi.cmd.{}", opcode_name(&cdb)));
+        let op = opcode_name(&cdb);
+        let cmd = self.cmd_handles(op);
+        self.txns.incr();
+        cmd.count.incr();
 
         let seg = self.params.max_recv_data_segment as usize;
         let p = self.chan.network().params();
@@ -311,11 +366,29 @@ impl RemoteDisk {
         }
 
         // Target executes the command.
-        let completion = self.target.execute(cmd_sn, cdb, data_out)?;
+        let completion = match read_into {
+            Some(buf) => match cdb {
+                Cdb::Read10 { lba, blocks } => {
+                    self.target.execute_read_into(cmd_sn, lba, blocks, buf)?
+                }
+                _ => unreachable!("read_into is only meaningful for Read10"),
+            },
+            None => self.target.execute(cmd_sn, cdb, data_out)?,
+        };
 
         // Data-in PDUs then the SCSI response (status piggybacked on
-        // the final Data-In when there is data).
-        let mut data_len = completion.data.len();
+        // the final Data-In when there is data). A read-into
+        // completion owns no data; its data-in phase is the CDB's
+        // declared transfer length.
+        let data_in_total = if completion.data.is_empty() && completion.status == ScsiStatus::Good {
+            match cdb {
+                Cdb::Read10 { .. } => cdb.data_in_len(),
+                _ => 0,
+            }
+        } else {
+            completion.data.len()
+        };
+        let mut data_len = data_in_total;
         if data_len == 0 {
             wire += p.one_way(BHS_LEN as u64); // status-only response
             self.account_bytes(BHS_LEN as u64);
@@ -343,9 +416,7 @@ impl RemoteDisk {
         let total = IoCost::new(wire).then(completion.cost);
         // Per-CDB round-trip latency (full exchange: command PDU
         // through status) and a span over the same interval.
-        let op = opcode_name(&cdb);
-        sim.metrics()
-            .record_duration(&format!("iscsi.cdb.{op}"), total.time);
+        cmd.latency.record_duration(total.time);
         let tracer = sim.tracer();
         if tracer.enabled() {
             let start = sim.now();
@@ -357,7 +428,7 @@ impl RemoteDisk {
                 vec![
                     ("cmd_sn", cmd_sn.to_string()),
                     ("out_bytes", data_out.len().to_string()),
-                    ("in_bytes", completion.data.len().to_string()),
+                    ("in_bytes", data_in_total.to_string()),
                 ],
             );
         }
@@ -371,7 +442,7 @@ impl RemoteDisk {
     /// One transaction on the wire, returning the measured round trip.
     pub fn nop(&self) -> simkit::SimDuration {
         let sim = self.chan.network().sim().clone();
-        sim.counters().incr("proto.iscsi.txns");
+        self.txns.incr();
         sim.counters().incr("proto.iscsi.nop");
         let d = self.chan.round_trip(BHS_LEN as u64, BHS_LEN as u64);
         sim.advance(d);
@@ -386,7 +457,7 @@ impl RemoteDisk {
     pub fn recover(&self, missing_pdus: u32) -> simkit::SimDuration {
         let sim = self.chan.network().sim().clone();
         let p = self.chan.network().params();
-        sim.counters().incr("proto.iscsi.txns");
+        self.txns.incr();
         sim.counters().incr("proto.iscsi.snack");
         // SNACK out, then the resent PDUs stream back.
         let mut d = self.chan.round_trip(BHS_LEN as u64, BHS_LEN as u64);
@@ -399,9 +470,7 @@ impl RemoteDisk {
     }
 
     fn account_bytes(&self, bytes: u64) {
-        let c = self.chan.network().sim().counters();
-        c.add(&format!("net.{}.bytes", self.chan.label()), bytes);
-        c.add("net.total.bytes", bytes);
+        self.chan.account_extra_bytes(bytes);
     }
 }
 
@@ -443,18 +512,18 @@ impl BlockDevice for RemoteDisk {
         }
         let sequential = self.read_head.get() == start;
         self.read_head.set(start + nblocks as u64);
-        let (completion, mut cost) = self
+        let (_completion, mut cost) = self
             .transact(
                 Cdb::Read10 {
                     lba: start as u32,
                     blocks: nblocks as u16,
                 },
                 &[],
+                Some(buf),
             )
             .map_err(|e| blockdev::BlockError::DeviceFailed {
                 device: format!("{}: {e}", self.name),
             })?;
-        buf.copy_from_slice(&completion.data);
         if sequential && self.params.queue_depth > 1 {
             // Tagged commands keep the pipe full on a sequential
             // stream: propagation is amortized across the queue depth.
@@ -474,6 +543,7 @@ impl BlockDevice for RemoteDisk {
                     blocks: nblocks as u16,
                 },
                 data,
+                None,
             )
             .map_err(|e| blockdev::BlockError::DeviceFailed {
                 device: format!("{}: {e}", self.name),
@@ -483,7 +553,7 @@ impl BlockDevice for RemoteDisk {
 
     fn flush(&self) -> BlockResult<IoCost> {
         let (_completion, cost) = self
-            .transact(Cdb::SynchronizeCache10 { lba: 0, blocks: 0 }, &[])
+            .transact(Cdb::SynchronizeCache10 { lba: 0, blocks: 0 }, &[], None)
             .map_err(|e| blockdev::BlockError::DeviceFailed {
                 device: format!("{}: {e}", self.name),
             })?;

@@ -168,10 +168,22 @@ impl Network {
     /// Opens an accounting channel. The label appears in counter names
     /// (`net.<label>.msgs`, `net.<label>.bytes`).
     pub fn channel(self: &Rc<Self>, label: impl Into<String>, transport: Transport) -> Channel {
+        let label = label.into();
+        let c = self.sim.counters();
+        // Counter names are formatted once here; the per-message path
+        // (`account`) only bumps the resolved handles.
+        let msgs = c.handle(&format!("net.{label}.msgs"));
+        let bytes = c.handle(&format!("net.{label}.bytes"));
+        let total_msgs = c.handle("net.total.msgs");
+        let total_bytes = c.handle("net.total.bytes");
         Channel {
             net: Rc::clone(self),
-            label: label.into(),
+            label,
             transport,
+            msgs,
+            bytes,
+            total_msgs,
+            total_bytes,
         }
     }
 }
@@ -182,6 +194,10 @@ pub struct Channel {
     net: Rc<Network>,
     label: String,
     transport: Transport,
+    msgs: simkit::CounterHandle,
+    bytes: simkit::CounterHandle,
+    total_msgs: simkit::CounterHandle,
+    total_bytes: simkit::CounterHandle,
 }
 
 /// Outcome of an unreliable send.
@@ -209,18 +225,24 @@ impl Channel {
         &self.net
     }
 
+    /// Adds raw wire bytes to the channel's byte counters without
+    /// counting a message. Used by segmented transfers (iSCSI data
+    /// PDUs) where the exchange is tallied as one transaction but
+    /// every PDU's bytes must still appear in `net.*.bytes`.
+    pub fn account_extra_bytes(&self, bytes: u64) {
+        self.bytes.add(bytes);
+        self.total_bytes.add(bytes);
+    }
+
     fn account(&self, payload: u64) {
         if let Some(s) = self.net.sniffer.borrow().as_ref() {
             s.observe(self.net.sim.now(), &self.label, payload);
         }
-        let c = self.net.sim.counters();
-        c.incr(&format!("net.{}.msgs", self.label));
-        c.add(
-            &format!("net.{}.bytes", self.label),
-            payload + self.transport.header_bytes(),
-        );
-        c.incr("net.total.msgs");
-        c.add("net.total.bytes", payload + self.transport.header_bytes());
+        let wire = payload + self.transport.header_bytes();
+        self.msgs.incr();
+        self.bytes.add(wire);
+        self.total_msgs.incr();
+        self.total_bytes.add(wire);
     }
 
     /// Sends one message of `payload` bytes; returns its fate. TCP

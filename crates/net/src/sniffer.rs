@@ -8,9 +8,10 @@
 //! measured workload, exactly like a passive tap.
 
 use simkit::SimTime;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One captured message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,21 +34,28 @@ pub const DEFAULT_CAPTURE_CAPACITY: usize = 1 << 20;
 /// further messages are *dropped* (newest-lost, like a kernel ring
 /// losing packets under load) but still counted per channel, so
 /// [`summary`](Sniffer::summary) stays honest about what was missed.
+///
+/// Capture accounting is thread-safe (`Sniffer` is `Send + Sync`):
+/// record appends and drop counts are guarded by internal locks, so
+/// even if parallel sweep cells were ever pointed at a shared tap,
+/// their channel summaries could not interleave mid-update. Normal
+/// sweeps still attach one tap per cell, which also keeps summaries
+/// per-cell.
 #[derive(Debug)]
 pub struct Sniffer {
-    records: RefCell<Vec<PacketRecord>>,
-    enabled: std::cell::Cell<bool>,
-    capacity: std::cell::Cell<usize>,
-    dropped: RefCell<BTreeMap<String, u64>>,
+    records: Mutex<Vec<PacketRecord>>,
+    enabled: AtomicBool,
+    capacity: AtomicUsize,
+    dropped: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Default for Sniffer {
     fn default() -> Self {
         Sniffer {
-            records: RefCell::new(Vec::new()),
-            enabled: std::cell::Cell::new(false),
-            capacity: std::cell::Cell::new(DEFAULT_CAPTURE_CAPACITY),
-            dropped: RefCell::new(BTreeMap::new()),
+            records: Mutex::new(Vec::new()),
+            enabled: AtomicBool::new(false),
+            capacity: AtomicUsize::new(DEFAULT_CAPTURE_CAPACITY),
+            dropped: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -68,41 +76,44 @@ impl Sniffer {
     /// Creates a tap; it starts enabled, with the default capacity.
     pub fn new() -> Rc<Sniffer> {
         let s = Rc::new(Sniffer::default());
-        s.enabled.set(true);
+        s.set_enabled(true);
         s
     }
 
     /// Creates a tap holding at most `capacity` records.
     pub fn with_capacity(capacity: usize) -> Rc<Sniffer> {
         let s = Sniffer::new();
-        s.capacity.set(capacity);
+        s.set_capacity(capacity);
         s
     }
 
     /// Starts or stops capturing (records are kept either way).
     pub fn set_enabled(&self, on: bool) {
-        self.enabled.set(on);
+        self.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Changes the record bound. Already-captured records above the
     /// new bound are kept; only future captures are limited.
     pub fn set_capacity(&self, capacity: usize) {
-        self.capacity.set(capacity);
+        self.capacity.store(capacity, Ordering::Relaxed);
     }
 
     /// The current record bound.
     pub fn capacity(&self) -> usize {
-        self.capacity.get()
+        self.capacity.load(Ordering::Relaxed)
     }
 
-    /// Records one message (called by the network layer).
+    /// Records one message (called by the network layer). The
+    /// record-or-drop decision happens under the capture lock, so the
+    /// buffer can never exceed its bound and every message lands in
+    /// exactly one of the two tallies even under concurrent observers.
     pub fn observe(&self, at: SimTime, channel: &str, payload: u64) {
-        if !self.enabled.get() {
+        if !self.enabled.load(Ordering::Relaxed) {
             return;
         }
-        let mut records = self.records.borrow_mut();
-        if records.len() >= self.capacity.get() {
-            let mut dropped = self.dropped.borrow_mut();
+        let mut records = self.records.lock().unwrap();
+        if records.len() >= self.capacity() {
+            let mut dropped = self.dropped.lock().unwrap();
             if let Some(n) = dropped.get_mut(channel) {
                 *n += 1;
             } else {
@@ -119,29 +130,30 @@ impl Sniffer {
 
     /// Total messages dropped at the capacity limit.
     pub fn dropped(&self) -> u64 {
-        self.dropped.borrow().values().sum()
+        self.dropped.lock().unwrap().values().sum()
     }
 
     /// Number of records captured.
     pub fn len(&self) -> usize {
-        self.records.borrow().len()
+        self.records.lock().unwrap().len()
     }
 
     /// True if nothing was captured.
     pub fn is_empty(&self) -> bool {
-        self.records.borrow().is_empty()
+        self.records.lock().unwrap().is_empty()
     }
 
     /// Clears the capture buffer and the dropped counts.
     pub fn clear(&self) {
-        self.records.borrow_mut().clear();
-        self.dropped.borrow_mut().clear();
+        self.records.lock().unwrap().clear();
+        self.dropped.lock().unwrap().clear();
     }
 
     /// A copy of the records in `[from, to)`.
     pub fn window(&self, from: SimTime, to: SimTime) -> Vec<PacketRecord> {
         self.records
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .filter(|r| r.at >= from && r.at < to)
             .cloned()
@@ -153,12 +165,12 @@ impl Sniffer {
     /// dropped still appear (with `messages == 0`).
     pub fn summary(&self) -> BTreeMap<String, ChannelSummary> {
         let mut out: BTreeMap<String, ChannelSummary> = BTreeMap::new();
-        for r in self.records.borrow().iter() {
+        for r in self.records.lock().unwrap().iter() {
             let e = out.entry(r.channel.clone()).or_default();
             e.messages += 1;
             e.bytes += r.payload;
         }
-        for (chan, &n) in self.dropped.borrow().iter() {
+        for (chan, &n) in self.dropped.lock().unwrap().iter() {
             out.entry(chan.clone()).or_default().dropped = n;
         }
         out
@@ -167,7 +179,7 @@ impl Sniffer {
     /// Mean payload size over the capture (the paper quotes mean
     /// request sizes: 4.7 KB for NFS writes vs 128 KB for iSCSI).
     pub fn mean_payload(&self, channel: &str) -> f64 {
-        let records = self.records.borrow();
+        let records = self.records.lock().unwrap();
         let (n, total) = records
             .iter()
             .filter(|r| r.channel == channel)
@@ -270,6 +282,37 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn concurrent_observers_never_lose_or_double_count() {
+        // Regression for the parallel sweep engine: capture accounting
+        // must hold up even when several threads hammer one tap. Every
+        // observed message must end up either captured or counted as
+        // dropped — exactly once — and the buffer must respect its
+        // bound.
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 500;
+        const CAP: usize = 300;
+        let s = std::sync::Arc::new(Sniffer::default());
+        s.set_enabled(true);
+        s.set_capacity(CAP);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        s.observe(SimTime::from_nanos(t * PER_THREAD + i), "nfs", 64);
+                    }
+                });
+            }
+        });
+        let total = THREADS * PER_THREAD;
+        assert_eq!(s.len(), CAP, "buffer filled exactly to capacity");
+        assert_eq!(s.dropped(), total - CAP as u64);
+        let sum = s.summary();
+        assert_eq!(sum["nfs"].messages + sum["nfs"].dropped, total);
+        assert_eq!(sum["nfs"].bytes, CAP as u64 * 64);
     }
 
     #[test]

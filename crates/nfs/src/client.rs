@@ -97,6 +97,9 @@ pub struct OpenFile {
     pub size: u64,
 }
 
+/// One directory's cached entries: child name → `(fh, generation)`.
+type DirEntries = HashMap<String, (Fh, u64)>;
+
 /// The NFS client endpoint.
 pub struct NfsClient {
     sim: Rc<Sim>,
@@ -106,7 +109,11 @@ pub struct NfsClient {
     cpu: Rc<CpuAccount>,
     cost: CostModel,
     attrs: RefCell<HashMap<Fh, CachedAttr>>,
-    dentries: RefCell<HashMap<(Fh, String), (Fh, u64)>>,
+    /// Cached directory entries, keyed by directory then child name.
+    /// The two-level shape lets the hot lookup path probe with a
+    /// borrowed `&str` instead of building an owned `(Fh, String)` key
+    /// per resolution.
+    dentries: RefCell<HashMap<Fh, DirEntries>>,
     pages: PageCache,
     /// Completion times (ns) of in-flight async writes.
     pending: RefCell<VecDeque<u64>>,
@@ -128,7 +135,15 @@ impl std::fmt::Debug for NfsClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NfsClient")
             .field("version", &self.cfg.version)
-            .field("cached_dentries", &self.dentries.borrow().len())
+            .field(
+                "cached_dentries",
+                &self
+                    .dentries
+                    .borrow()
+                    .values()
+                    .map(|m| m.len())
+                    .sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -264,11 +279,24 @@ impl NfsClient {
     fn prime_dentry(&self, dir: Fh, name: &str, fh: Fh) {
         self.dentries
             .borrow_mut()
-            .insert((dir, name.to_owned()), (fh, self.now_ns()));
+            .entry(dir)
+            .or_default()
+            .insert(name.to_owned(), (fh, self.now_ns()));
     }
 
     fn drop_dentry(&self, dir: Fh, name: &str) {
-        self.dentries.borrow_mut().remove(&(dir, name.to_owned()));
+        if let Some(entries) = self.dentries.borrow_mut().get_mut(&dir) {
+            entries.remove(name);
+        }
+    }
+
+    /// Borrowed-key dentry probe: no allocation on the hit path.
+    fn cached_dentry(&self, dir: Fh, name: &str) -> Option<(Fh, u64)> {
+        self.dentries
+            .borrow()
+            .get(&dir)
+            .and_then(|entries| entries.get(name))
+            .copied()
     }
 
     /// Resolves one path component. Returns the child handle.
@@ -283,7 +311,7 @@ impl NfsClient {
             // client; positive and negative lookups are local.
             return Ok(Fh(self.server.fs().lookup(dir.0, name)?));
         }
-        if let Some(&(fh, at)) = self.dentries.borrow().get(&(dir, name.to_owned())) {
+        if let Some((fh, at)) = self.cached_dentry(dir, name) {
             if self.meta_fresh(at) {
                 return Ok(fh);
             }
@@ -601,7 +629,11 @@ impl NfsClient {
             &["rename", "getattr"]
         };
         self.update_op(sdir, procs, |s| s.rename(sdir, sname, ddir, dname))?;
-        let moved = self.dentries.borrow_mut().remove(&(sdir, sname.to_owned()));
+        let moved = self
+            .dentries
+            .borrow_mut()
+            .get_mut(&sdir)
+            .and_then(|entries| entries.remove(sname));
         if let Some((fh, _)) = moved {
             self.prime_dentry(ddir, dname, fh);
         }
@@ -1019,7 +1051,7 @@ impl NfsClient {
         if self.delegated(dir) {
             return Ok(Fh(self.server.fs().lookup(dir.0, name)?));
         }
-        if let Some(&(fh, at)) = self.dentries.borrow().get(&(dir, name.to_owned())) {
+        if let Some((fh, at)) = self.cached_dentry(dir, name) {
             if self.meta_fresh(at) {
                 return Ok(fh);
             }

@@ -39,8 +39,9 @@
 pub mod wire;
 
 use net::Channel;
-use simkit::{Sim, SimDuration};
-use std::cell::Cell;
+use simkit::{CounterHandle, MetricHandle, Sim, SimDuration};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Retransmission-timer parameters of the RPC client.
@@ -96,18 +97,56 @@ pub struct RpcClient {
     srtt: Cell<SimDuration>,
     total_calls: Cell<u64>,
     total_retransmits: Cell<u64>,
+    txns: CounterHandle,
+    retrans: CounterHandle,
+    /// Per-procedure counter/histogram handles, resolved on first use
+    /// of each procedure name. Steady-state calls bump handles only —
+    /// no name formatting, no registry lookups.
+    procs: RefCell<HashMap<String, ProcHandles>>,
+}
+
+#[derive(Debug, Clone)]
+struct ProcHandles {
+    calls: CounterHandle,
+    latency: MetricHandle,
 }
 
 impl RpcClient {
     /// Creates a client over `chan`.
     pub fn new(chan: Channel, config: RpcConfig) -> Self {
+        let sim = chan.network().sim().clone();
+        let label = chan.label();
+        let txns = sim.counters().handle(&format!("proto.{label}.txns"));
+        let retrans = sim.counters().handle(&format!("proto.{label}.retrans"));
         RpcClient {
             chan,
             config,
             srtt: Cell::new(SimDuration::ZERO),
             total_calls: Cell::new(0),
             total_retransmits: Cell::new(0),
+            txns,
+            retrans,
+            procs: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Handles for `proc_name`, formatted and registered on first use.
+    fn proc_handles(&self, proc_name: &str) -> ProcHandles {
+        if let Some(h) = self.procs.borrow().get(proc_name) {
+            return h.clone();
+        }
+        let sim = self.sim();
+        let label = self.chan.label();
+        let h = ProcHandles {
+            calls: sim
+                .counters()
+                .handle(&format!("proto.{label}.call.{proc_name}")),
+            latency: sim.metrics().handle(&format!("rpc.{label}.{proc_name}")),
+        };
+        self.procs
+            .borrow_mut()
+            .insert(proc_name.to_owned(), h.clone());
+        h
     }
 
     /// The underlying channel.
@@ -154,10 +193,9 @@ impl RpcClient {
         server_time: SimDuration,
     ) -> CallOutcome {
         let sim = self.sim().clone();
-        let label = self.chan.label().to_owned();
-        let c = sim.counters();
-        c.incr(&format!("proto.{label}.txns"));
-        c.incr(&format!("proto.{label}.call.{proc_name}"));
+        let procs = self.proc_handles(proc_name);
+        self.txns.incr();
+        procs.calls.incr();
         self.total_calls.set(self.total_calls.get() + 1);
 
         let wire = self.chan.round_trip(req_bytes, resp_bytes);
@@ -179,8 +217,8 @@ impl RpcClient {
         while deadline < reply_at && retransmits < 8 {
             retransmits += 1;
             // The duplicate is a full transaction on the wire.
-            c.incr(&format!("proto.{label}.txns"));
-            c.incr(&format!("proto.{label}.retrans"));
+            self.txns.incr();
+            self.retrans.incr();
             let _ = self.chan.round_trip(req_bytes, resp_bytes);
             // The client ends up waiting for the duplicate's reply too.
             latency += self.chan.network().params().rtt / 2;
@@ -203,8 +241,7 @@ impl RpcClient {
         // span covering the whole transaction (the clock has not been
         // advanced yet — the caller does that — so the span runs from
         // `now` to `now + latency`).
-        sim.metrics()
-            .record_duration(&format!("rpc.{label}.{proc_name}"), latency);
+        procs.latency.record_duration(latency);
         let tracer = sim.tracer();
         if tracer.enabled() {
             let start = sim.now();

@@ -283,6 +283,23 @@ impl ScsiTarget {
         &self.device
     }
 
+    /// Executes a `Read10` directly into `buf`, avoiding the
+    /// per-command data-in allocation of [`execute`](ScsiTarget::execute).
+    /// `buf` must hold exactly `blocks * BLOCK_SIZE` bytes; on success
+    /// the payload is in `buf` and the returned completion carries no
+    /// owned data.
+    pub fn execute_read_into(&self, lba: u32, blocks: u16, buf: &mut [u8]) -> ScsiCompletion {
+        debug_assert_eq!(buf.len(), blocks as usize * BLOCK_SIZE);
+        match self.device.read(lba as u64, blocks as u32, buf) {
+            Ok(cost) => ScsiCompletion {
+                status: ScsiStatus::Good,
+                data: Vec::new(),
+                cost,
+            },
+            Err(e) => self.fail(e),
+        }
+    }
+
     /// Executes one command. `data_out` must hold exactly
     /// [`Cdb::data_out_len`] bytes.
     pub fn execute(&self, cdb: Cdb, data_out: &[u8]) -> ScsiCompletion {
@@ -444,6 +461,32 @@ mod tests {
         let bs = u32::from_be_bytes([c.data[4], c.data[5], c.data[6], c.data[7]]);
         assert_eq!(last, 99);
         assert_eq!(bs, BLOCK_SIZE as u32);
+    }
+
+    #[test]
+    fn read_into_matches_owned_read() {
+        let dev = Rc::new(MemDisk::new("d", 16));
+        let t = ScsiTarget::new(dev);
+        let data = vec![0xA7u8; 2 * BLOCK_SIZE];
+        t.execute(Cdb::Write10 { lba: 5, blocks: 2 }, &data);
+        let owned = t.execute(Cdb::Read10 { lba: 5, blocks: 2 }, &[]);
+        let mut buf = vec![0u8; 2 * BLOCK_SIZE];
+        let r = t.execute_read_into(5, 2, &mut buf);
+        assert_eq!(r.status, ScsiStatus::Good);
+        assert!(r.data.is_empty(), "payload lands in the caller's buffer");
+        assert_eq!(buf, owned.data);
+        assert_eq!(r.cost, owned.cost);
+    }
+
+    #[test]
+    fn read_into_out_of_range_is_illegal_request() {
+        let t = ScsiTarget::new(Rc::new(MemDisk::new("d", 4)));
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let r = t.execute_read_into(10, 1, &mut buf);
+        assert_eq!(
+            r.status,
+            ScsiStatus::CheckCondition(SenseKey::IllegalRequest)
+        );
     }
 
     #[test]

@@ -5,10 +5,15 @@
 //! messages, and the experiment harness snapshots/deltas them around
 //! each measured operation.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// A set of named monotonic `u64` counters.
+///
+/// Hot paths should obtain a [`CounterHandle`] once (at wiring time)
+/// and bump it directly — a handle add is a single `Cell` store with
+/// no map lookup, no string formatting, and no allocation.
 ///
 /// # Example
 ///
@@ -23,7 +28,43 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Default)]
 pub struct Counters {
-    map: RefCell<BTreeMap<String, u64>>,
+    map: RefCell<BTreeMap<String, Rc<Cell<u64>>>>,
+}
+
+/// A live reference to one named counter.
+///
+/// Handles stay valid across [`Counters::reset`] (reset zeroes the
+/// shared cell in place), so components wired before a measurement
+/// window keep accounting into the same counter afterwards.
+///
+/// # Example
+///
+/// ```
+/// use simkit::Counters;
+/// let c = Counters::new();
+/// let h = c.handle("net.msgs");
+/// h.incr();
+/// h.add(4);
+/// assert_eq!(c.get("net.msgs"), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterHandle(Rc<Cell<u64>>);
+
+impl CounterHandle {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
 }
 
 /// A point-in-time copy of all counters, used to compute per-operation
@@ -41,12 +82,13 @@ impl Counters {
 
     /// Adds `n` to counter `name`, creating it at zero if absent.
     pub fn add(&self, name: &str, n: u64) {
-        let mut map = self.map.borrow_mut();
-        if let Some(v) = map.get_mut(name) {
-            *v += n;
-        } else {
-            map.insert(name.to_owned(), n);
+        if let Some(c) = self.map.borrow().get(name) {
+            c.set(c.get() + n);
+            return;
         }
+        self.map
+            .borrow_mut()
+            .insert(name.to_owned(), Rc::new(Cell::new(n)));
     }
 
     /// Increments counter `name` by one.
@@ -54,15 +96,31 @@ impl Counters {
         self.add(name, 1);
     }
 
+    /// Returns a live handle to counter `name`, creating it at zero if
+    /// absent. See [`CounterHandle`].
+    pub fn handle(&self, name: &str) -> CounterHandle {
+        if let Some(c) = self.map.borrow().get(name) {
+            return CounterHandle(Rc::clone(c));
+        }
+        let c = Rc::new(Cell::new(0));
+        self.map.borrow_mut().insert(name.to_owned(), Rc::clone(&c));
+        CounterHandle(c)
+    }
+
     /// Current value of counter `name` (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.map.borrow().get(name).copied().unwrap_or(0)
+        self.map.borrow().get(name).map(|c| c.get()).unwrap_or(0)
     }
 
     /// Copies all counters for later delta computation.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
-            map: self.map.borrow().clone(),
+            map: self
+                .map
+                .borrow()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
         }
     }
 
@@ -81,7 +139,7 @@ impl Counters {
             .borrow()
             .iter()
             .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(_, v)| *v)
+            .map(|(_, v)| v.get())
             .sum()
     }
 
@@ -92,7 +150,10 @@ impl Counters {
         let map = self.map.borrow();
         map.iter()
             .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| v.saturating_sub(snap.map.get(k.as_str()).copied().unwrap_or(0)))
+            .map(|(k, v)| {
+                v.get()
+                    .saturating_sub(snap.map.get(k.as_str()).copied().unwrap_or(0))
+            })
             .sum()
     }
 
@@ -101,14 +162,15 @@ impl Counters {
         self.map
             .borrow()
             .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .map(|(k, v)| (k.clone(), v.get()))
             .collect()
     }
 
-    /// Resets every counter to zero (the names are retained).
+    /// Resets every counter to zero. Names are retained and existing
+    /// [`CounterHandle`]s stay attached to their (zeroed) counters.
     pub fn reset(&self) {
-        for v in self.map.borrow_mut().values_mut() {
-            *v = 0;
+        for v in self.map.borrow().values() {
+            v.set(0);
         }
     }
 }
@@ -175,6 +237,29 @@ mod tests {
         c.add("x", 3);
         c.reset();
         assert_eq!(c.get("x"), 0);
+    }
+
+    #[test]
+    fn handles_share_the_named_counter() {
+        let c = Counters::new();
+        let h1 = c.handle("net.msgs");
+        let h2 = c.handle("net.msgs");
+        h1.incr();
+        h2.add(4);
+        c.add("net.msgs", 2);
+        assert_eq!(h1.get(), 7);
+        assert_eq!(c.get("net.msgs"), 7);
+    }
+
+    #[test]
+    fn handles_survive_reset() {
+        let c = Counters::new();
+        let h = c.handle("x");
+        h.add(10);
+        c.reset();
+        assert_eq!(h.get(), 0);
+        h.incr();
+        assert_eq!(c.get("x"), 1, "handle stays attached after reset");
     }
 
     #[test]

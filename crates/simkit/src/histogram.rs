@@ -11,6 +11,7 @@
 use crate::clock::SimDuration;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Sub-buckets per power of two (as a shift).
 const SUB_BITS: u32 = 3;
@@ -202,9 +203,33 @@ impl Histogram {
 /// A registry of named [`Histogram`]s, shared via [`crate::Sim`] so
 /// any layer can record latencies under a dotted name such as
 /// `rpc.nfs.lookup` or `disk.m0.service`.
+///
+/// Hot paths should obtain a [`MetricHandle`] once at wiring time and
+/// record through it — a handle record touches the histogram directly,
+/// with no per-sample name formatting or map lookup.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    map: RefCell<BTreeMap<String, Histogram>>,
+    map: RefCell<BTreeMap<String, Rc<RefCell<Histogram>>>>,
+}
+
+/// A live reference to one named histogram.
+///
+/// Handles stay valid across [`Metrics::reset`] (reset empties the
+/// shared histogram in place), so components wired before a
+/// measurement window keep recording into the same series afterwards.
+#[derive(Debug, Clone)]
+pub struct MetricHandle(Rc<RefCell<Histogram>>);
+
+impl MetricHandle {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.0.borrow_mut().record(v);
+    }
+
+    /// Records a duration as its nanosecond count.
+    pub fn record_duration(&self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
 }
 
 impl Metrics {
@@ -216,14 +241,15 @@ impl Metrics {
     /// Records `v` into the histogram named `name`, creating it if
     /// absent.
     pub fn record(&self, name: &str, v: u64) {
-        let mut map = self.map.borrow_mut();
-        if let Some(h) = map.get_mut(name) {
-            h.record(v);
-        } else {
-            let mut h = Histogram::new();
-            h.record(v);
-            map.insert(name.to_owned(), h);
+        if let Some(h) = self.map.borrow().get(name) {
+            h.borrow_mut().record(v);
+            return;
         }
+        let mut h = Histogram::new();
+        h.record(v);
+        self.map
+            .borrow_mut()
+            .insert(name.to_owned(), Rc::new(RefCell::new(h)));
     }
 
     /// Records a duration (in nanoseconds) under `name`.
@@ -231,34 +257,59 @@ impl Metrics {
         self.record(name, d.as_nanos());
     }
 
+    /// Returns a live handle to the histogram named `name`, creating
+    /// an empty one if absent. See [`MetricHandle`].
+    pub fn handle(&self, name: &str) -> MetricHandle {
+        if let Some(h) = self.map.borrow().get(name) {
+            return MetricHandle(Rc::clone(h));
+        }
+        let h = Rc::new(RefCell::new(Histogram::new()));
+        self.map.borrow_mut().insert(name.to_owned(), Rc::clone(&h));
+        MetricHandle(h)
+    }
+
     /// A copy of the histogram named `name`, if any samples were
     /// recorded under it.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.map.borrow().get(name).cloned()
+        self.map
+            .borrow()
+            .get(name)
+            .map(|h| h.borrow().clone())
+            .filter(|h| h.count() > 0)
     }
 
-    /// Copies of all histograms, in name order.
+    /// Copies of all non-empty histograms, in name order. Names that
+    /// exist only as never-recorded (or reset) handles are skipped, so
+    /// reports only ever show series with samples.
     pub fn snapshot(&self) -> Vec<(String, Histogram)> {
         self.map
             .borrow()
             .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .filter(|(_, v)| v.borrow().count() > 0)
+            .map(|(k, v)| (k.clone(), v.borrow().clone()))
             .collect()
     }
 
-    /// Number of named histograms.
+    /// Number of named histograms holding at least one sample.
     pub fn len(&self) -> usize {
-        self.map.borrow().len()
+        self.map
+            .borrow()
+            .values()
+            .filter(|v| v.borrow().count() > 0)
+            .count()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.map.borrow().is_empty()
+        self.len() == 0
     }
 
-    /// Drops all histograms.
+    /// Empties every histogram. Names are retained and existing
+    /// [`MetricHandle`]s stay attached to their (now empty) series.
     pub fn reset(&self) {
-        self.map.borrow_mut().clear();
+        for v in self.map.borrow().values() {
+            *v.borrow_mut() = Histogram::new();
+        }
     }
 }
 
@@ -342,6 +393,59 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.mean(), 0);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        // The sweep engine merges per-cell histograms in cell-index
+        // order, but correctness must not depend on that: merging the
+        // same parts in any order yields an identical histogram.
+        let parts: Vec<Histogram> = (0..5u64)
+            .map(|i| {
+                let mut h = Histogram::new();
+                for k in 0..50 {
+                    h.record(i * 1_000 + k * 37 + 1);
+                }
+                h
+            })
+            .collect();
+        let mut forward = Histogram::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = Histogram::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        let mut shuffled = Histogram::new();
+        for i in [3usize, 0, 4, 2, 1] {
+            shuffled.merge(&parts[i]);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward, shuffled);
+        assert_eq!(forward.p50(), shuffled.p50());
+        assert_eq!(forward.p99(), shuffled.p99());
+        assert_eq!(forward.nonzero_buckets(), shuffled.nonzero_buckets());
+    }
+
+    #[test]
+    fn metric_handles_share_and_survive_reset() {
+        let m = Metrics::new();
+        let h = m.handle("rpc.nfs.read");
+        assert!(m.is_empty(), "a bare handle is not a recorded series");
+        h.record(100);
+        h.record_duration(SimDuration::from_micros(2));
+        m.record("rpc.nfs.read", 300);
+        assert_eq!(m.histogram("rpc.nfs.read").unwrap().count(), 3);
+        m.reset();
+        assert!(m.is_empty());
+        assert!(m.histogram("rpc.nfs.read").is_none());
+        h.record(7);
+        assert_eq!(
+            m.histogram("rpc.nfs.read").unwrap().count(),
+            1,
+            "handle stays attached after reset"
+        );
     }
 
     #[test]

@@ -29,11 +29,12 @@ mod clock;
 mod counters;
 mod histogram;
 mod rng;
+pub mod sweep;
 mod trace;
 
 pub use clock::{SimDuration, SimTime};
-pub use counters::{CounterSnapshot, Counters};
-pub use histogram::{Histogram, Metrics};
+pub use counters::{CounterHandle, CounterSnapshot, Counters};
+pub use histogram::{Histogram, MetricHandle, Metrics};
 pub use rng::SplitMix64;
 pub use trace::{SpanRecord, Tracer, DEFAULT_TRACE_CAPACITY};
 
@@ -88,7 +89,10 @@ impl Sim {
     pub fn new(seed: u64) -> Rc<Self> {
         Rc::new(Sim {
             now: Cell::new(0),
-            daemons: RefCell::new(Vec::new()),
+            // A full testbed registers a handful of daemons (journal
+            // commit, write-back, cache reaper, ...); pre-size so
+            // registration never reallocates mid-run.
+            daemons: RefCell::new(Vec::with_capacity(16)),
             rng: RefCell::new(SplitMix64::new(seed)),
             counters: Counters::new(),
             metrics: Metrics::new(),

@@ -1,0 +1,142 @@
+//! Deterministic fan-out of independent work items across threads.
+//!
+//! The simulation engine itself is single-threaded (`Sim` is built on
+//! `Rc`/`Cell`), so parallelism lives one level up: a *sweep* is a set
+//! of independent cells — (protocol, config, seed) points — each of
+//! which builds its own engine, runs to completion, and returns a
+//! plain-data result. This module provides the executor: it claims
+//! cell indices from a shared atomic counter (work-stealing, so uneven
+//! cell costs balance out), runs each cell on one of `jobs` worker
+//! threads, and returns the results **in cell-index order** regardless
+//! of which worker finished when. Determinism therefore reduces to the
+//! cells themselves being functions of their index, which the callers
+//! guarantee by deriving per-cell RNG streams with
+//! [`SplitMix64::fork`](crate::SplitMix64::fork).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`default_jobs`] when no explicit
+/// override is set.
+pub const JOBS_ENV: &str = "IPSTORAGE_JOBS";
+
+/// Process-wide override installed by [`set_default_jobs`]
+/// (0 = unset).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used by sweeps that do
+/// not pass an explicit `jobs` value (the `tables --jobs N` flag lands
+/// here). Passing 0 clears the override.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Resolves the worker count for a sweep: the process-wide override if
+/// set, else the `IPSTORAGE_JOBS` environment variable, else the
+/// machine's available parallelism. Always at least 1.
+pub fn default_jobs() -> usize {
+    let forced = DEFAULT_JOBS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0) .. f(n - 1)` on up to `jobs` worker threads and returns
+/// the results in index order.
+///
+/// With `jobs <= 1` (or a single cell) the closure is invoked inline
+/// on the caller's thread in ascending index order — the exact
+/// sequential execution a non-sweep caller would have written. With
+/// more workers, indices are claimed from a shared counter so threads
+/// steal whatever cell is next; results land in a per-index slot, so
+/// the returned `Vec` ordering is independent of scheduling. A panic
+/// in any cell propagates to the caller once all workers stop.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = jobs.min(n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every cell index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        let out = run_indexed(4, 64, |i| i * 3);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let f = |i: usize| {
+            // A cell whose cost varies with its index, so workers
+            // finish out of order.
+            let mut acc = i as u64;
+            for k in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+            }
+            acc
+        };
+        assert_eq!(run_indexed(1, 40, f), run_indexed(4, 40, f));
+        assert_eq!(run_indexed(1, 40, f), run_indexed(9, 40, f));
+    }
+
+    #[test]
+    fn zero_cells_is_empty() {
+        let out: Vec<u32> = run_indexed(4, 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_cells() {
+        let out = run_indexed(16, 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive_and_overridable() {
+        assert!(default_jobs() >= 1);
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
+    }
+}
