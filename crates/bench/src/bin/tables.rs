@@ -10,7 +10,7 @@
 //!                           # JSON line on stdout (see EXPERIMENTS.md)
 //! ```
 
-use ipstorage_core::experiments::{data, enhance, macrob, micro};
+use ipstorage_core::experiments::{data, enhance, macrob, micro, scale};
 use ipstorage_core::RunReport;
 
 fn main() {
@@ -124,6 +124,15 @@ fn main() {
         let (t9, t10, r) = macrob::table9_10_report();
         println!("{}\n", t9.render());
         println!("{}\n", t10.render());
+        emit(&r);
+    }
+    if want("scale") {
+        let (t, r) = if quick {
+            scale::scale_report_with(&[1, 2, 4, 8], 200, 500)
+        } else {
+            scale::scale_report()
+        };
+        println!("{}\n", t.render());
         emit(&r);
     }
     if want("figure7") {

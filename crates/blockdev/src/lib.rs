@@ -29,11 +29,13 @@
 
 mod diskmodel;
 mod memdisk;
+mod partition;
 mod raid5;
 mod writecache;
 
 pub use diskmodel::{DiskModel, DiskParams};
 pub use memdisk::MemDisk;
+pub use partition::Partition;
 pub use raid5::{Raid5, Raid5Geometry};
 pub use writecache::WriteCache;
 

@@ -9,3 +9,4 @@ pub mod data;
 pub mod enhance;
 pub mod macrob;
 pub mod micro;
+pub mod scale;

@@ -1,0 +1,366 @@
+//! The client-scaling experiment: N PostMark clients against one
+//! server.
+//!
+//! The paper measures a single client against a single server and
+//! notes (§6) that the protocols' sharing models differ radically: NFS
+//! clients share one file-system namespace and pay cross-client cache
+//! consistency traffic, while iSCSI gives each initiator a private
+//! volume and cannot share at all. This runner quantifies that
+//! difference. For each client count N it builds a
+//! [`TopologyConfig`]-based testbed (N NFS clients on one export, or N
+//! iSCSI sessions with one LUN partition each), runs one PostMark
+//! session per client interleaved round-robin on the shared simulated
+//! clock, and layers a small shared-file pattern on top: client `c0`
+//! periodically appends to `/shared/config` while every other client
+//! stats and reads it — the classic "one writer, N−1 pollers"
+//! configuration-file pattern. On NFS the pollers' attribute caches go
+//! stale against the writer's mtime updates and revalidation GETATTRs
+//! appear on the wire; on iSCSI each client only ever sees its own
+//! private copy and no consistency traffic exists.
+//!
+//! # The overlap model
+//!
+//! The simulator is single-threaded: client steps are serialized on
+//! one virtual clock, so wall-clock completion cannot be read off the
+//! clock directly. Instead the runner computes the standard
+//! bottleneck bound. Each client's *demand* `T_i` is the virtual time
+//! consumed by its own steps — which already includes its fair share
+//! of the server link, because the topology splits link bandwidth
+//! across the N active hosts (see [`net::Fabric`]). The server's CPU
+//! demand is its busy-time delta over the run. Concurrent clients
+//! overlap everything except the shared bottlenecks, so
+//!
+//! ```text
+//! T(N) = max( max_i T_i , server CPU busy )
+//! aggregate ops/s = total transactions / T(N)
+//! server CPU %    = 100 · server CPU busy / T(N)
+//! ```
+//!
+//! Throughput therefore rises with N until the shared link (inside
+//! `T_i`) or the server CPU (the second term) saturates, and then
+//! flattens — the curve `BENCH_scale.json` records.
+
+use crate::report::{ReportBuilder, RunReport};
+use crate::sweep::Sweep;
+use crate::table::{fmt_f, Table};
+use crate::{Protocol, Testbed, TopologyConfig};
+use simkit::{Histogram, SimDuration};
+use workloads::{PostmarkConfig, PostmarkSession};
+
+/// Every how many transactions a client touches the shared file.
+const SHARED_PERIOD: usize = 50;
+
+/// One (protocol, client-count) cell of the scaling experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRun {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Number of client hosts.
+    pub clients: usize,
+    /// Transactions completed across all clients.
+    pub transactions: u64,
+    /// Overlap-model completion time `T(N)`.
+    pub completion: SimDuration,
+    /// Slowest single client's demand `max_i T_i`.
+    pub slowest_client: SimDuration,
+    /// Server CPU busy time over the transaction phase.
+    pub server_busy: SimDuration,
+    /// Aggregate throughput, transactions per second.
+    pub ops_per_sec: f64,
+    /// Server CPU utilization at `T(N)`, percent.
+    pub server_cpu_pct: f64,
+    /// Protocol messages per client over the transaction phase.
+    pub msgs_per_client: u64,
+    /// Worst per-client p95 transaction latency, microseconds.
+    pub p95_us: u64,
+    /// Cross-client consistency traffic: server GETATTRs (NFS; always
+    /// zero for iSCSI, whose LUNs are private).
+    pub getattrs: u64,
+}
+
+/// Runs one cell: `clients` PostMark sessions interleaved round-robin.
+pub fn scale_run(
+    protocol: Protocol,
+    clients: usize,
+    files: usize,
+    transactions: usize,
+) -> ScaleRun {
+    scale_run_seeded(protocol, clients, files, transactions, None, None)
+}
+
+fn scale_run_seeded(
+    protocol: Protocol,
+    clients: usize,
+    files: usize,
+    transactions: usize,
+    seed: Option<u64>,
+    rb: Option<&mut ReportBuilder>,
+) -> ScaleRun {
+    let mut topo = TopologyConfig::new(protocol).with_clients(clients);
+    if let Some(s) = seed {
+        topo.base.seed = s;
+    }
+    let master_seed = topo.base.seed;
+    let tb = Testbed::build_topology(topo);
+    tb.set_active_clients(clients as u32);
+
+    // Phase 1: every client builds its own pool, plus the shared file
+    // (created once on NFS — later clients see `Exists` — and once per
+    // private volume on iSCSI).
+    let mut sessions: Vec<PostmarkSession> = (0..clients)
+        .map(|i| {
+            let cfg = PostmarkConfig {
+                file_count: files,
+                transactions,
+                subdirs: (files / 500).clamp(10, 100),
+                seed: master_seed ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1)),
+                ..PostmarkConfig::default()
+            };
+            // Each client works in its own directory: on NFS the
+            // namespace is shared, so the pools must not collide.
+            PostmarkSession::new(tb.client_fs(i), &format!("/postmark{i}"), cfg)
+        })
+        .collect();
+    for (i, s) in sessions.iter_mut().enumerate() {
+        s.setup().expect("postmark setup");
+        let fs = tb.client_fs(i);
+        match fs.mkdir("/shared") {
+            Ok(()) | Err(ext3::FsError::Exists) => {}
+            Err(e) => panic!("mkdir /shared: {e:?}"),
+        }
+        match fs.creat("/shared/config") {
+            Ok(()) | Err(ext3::FsError::Exists) => {}
+            Err(e) => panic!("creat /shared/config: {e:?}"),
+        }
+    }
+    tb.settle();
+
+    // Transaction phase, with the books opened after setup.
+    let counters = tb.sim().counters();
+    let snap = counters.snapshot();
+    let busy0 = tb.server_cpu().total_busy();
+    let mut demand = vec![SimDuration::ZERO; clients];
+    let mut latency = vec![Histogram::new(); clients];
+    let mut shared_off = 0u64;
+    let mut live = clients;
+    while live > 0 {
+        live = 0;
+        for i in 0..clients {
+            if sessions[i].remaining() == 0 {
+                continue;
+            }
+            let t0 = tb.now();
+            sessions[i].step().expect("postmark step");
+            if sessions[i].remaining() % SHARED_PERIOD == 0 {
+                let fs = tb.client_fs(i);
+                if i == 0 {
+                    // The writer appends a small update.
+                    let fd = fs.open("/shared/config").expect("open shared");
+                    fs.write(fd, shared_off, &[0x55; 128])
+                        .expect("write shared");
+                    fs.close(fd).expect("close shared");
+                    shared_off += 128;
+                } else {
+                    // Pollers revalidate and read the current copy.
+                    fs.stat("/shared/config").expect("stat shared");
+                    let fd = fs.open("/shared/config").expect("open shared");
+                    fs.read(fd, 0, 4096).expect("read shared");
+                    fs.close(fd).expect("close shared");
+                }
+            }
+            let d = tb.now().since(t0);
+            demand[i] += d;
+            latency[i].record(d.as_nanos() / 1_000);
+            tb.sim()
+                .metrics()
+                .record_duration(&format!("scale.{}.txn", tb.host_name(i)), d);
+            if sessions[i].remaining() > 0 {
+                live += 1;
+            }
+        }
+    }
+    // Teardown is part of the measured run (for iSCSI the bulk of the
+    // wire traffic is the deferred write-back it forces), attributed
+    // to the client doing the deleting; the final settle drains every
+    // client's dirty state.
+    for (i, s) in sessions.iter_mut().enumerate() {
+        let t0 = tb.now();
+        s.teardown().expect("postmark teardown");
+        demand[i] += tb.now().since(t0);
+    }
+    drop(sessions);
+    tb.settle();
+    let server_busy = tb.server_cpu().total_busy() - busy0;
+    let msgs = counters.delta_since(&snap, protocol.txn_counter());
+    let getattrs = counters.delta_since(&snap, "nfs.server.proc.getattr");
+    if let Some(rb) = rb {
+        rb.absorb(&tb);
+    }
+
+    let slowest_client = demand.iter().copied().max().unwrap_or(SimDuration::ZERO);
+    let completion = slowest_client.max(server_busy);
+    let total_txns = (clients * transactions) as u64;
+    let secs = completion.as_secs_f64();
+    ScaleRun {
+        protocol,
+        clients,
+        transactions: total_txns,
+        completion,
+        slowest_client,
+        server_busy,
+        ops_per_sec: if secs > 0.0 {
+            total_txns as f64 / secs
+        } else {
+            0.0
+        },
+        server_cpu_pct: if secs > 0.0 {
+            100.0 * server_busy.as_secs_f64() / secs
+        } else {
+            0.0
+        },
+        msgs_per_client: msgs / clients as u64,
+        p95_us: latency.iter().map(|h| h.quantile(0.95)).max().unwrap_or(0),
+        getattrs,
+    }
+}
+
+/// The scaling experiment over `client_counts`, both protocols, as a
+/// rendered table plus the machine-readable report.
+pub fn scale_report_with(
+    client_counts: &[usize],
+    files: usize,
+    transactions: usize,
+) -> (Table, RunReport) {
+    scale_report_jobs(client_counts, files, transactions, Sweep::new().jobs())
+}
+
+/// [`scale_report_with`] with an explicit sweep worker count; the
+/// output is byte-identical for every `jobs` value.
+pub fn scale_report_jobs(
+    client_counts: &[usize],
+    files: usize,
+    transactions: usize,
+    jobs: usize,
+) -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("scale");
+    let mut t = Table::new(
+        format!("Scale: PostMark x N clients, {transactions} transactions each"),
+        &[
+            "clients",
+            "NFSv3 ops/s",
+            "iSCSI ops/s",
+            "NFSv3 srvCPU%",
+            "iSCSI srvCPU%",
+            "NFSv3 msgs/cl",
+            "iSCSI msgs/cl",
+            "NFSv3 p95(us)",
+            "iSCSI p95(us)",
+            "NFSv3 getattrs",
+        ],
+    );
+    let mut cells: Vec<(usize, Protocol)> = Vec::new();
+    for &n in client_counts {
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            cells.push((n, proto));
+        }
+    }
+    let results = Sweep::with_jobs(jobs).run(cells.len(), |cell| {
+        let (n, proto) = cells[cell.index];
+        let mut frag = ReportBuilder::new("");
+        let r = scale_run_seeded(
+            proto,
+            n,
+            files,
+            transactions,
+            Some(cell.seed),
+            Some(&mut frag),
+        );
+        (r, frag.finish())
+    });
+    let mut runs = Vec::with_capacity(cells.len());
+    for (r, frag) in results {
+        rb.merge_report(&frag);
+        runs.push(r);
+    }
+    for (i, &n) in client_counts.iter().enumerate() {
+        let nf = runs[2 * i];
+        let is = runs[2 * i + 1];
+        t.row(&[
+            n.to_string(),
+            fmt_f(nf.ops_per_sec),
+            fmt_f(is.ops_per_sec),
+            fmt_f(nf.server_cpu_pct),
+            fmt_f(is.server_cpu_pct),
+            nf.msgs_per_client.to_string(),
+            is.msgs_per_client.to_string(),
+            nf.p95_us.to_string(),
+            is.p95_us.to_string(),
+            nf.getattrs.to_string(),
+        ]);
+    }
+    (t, rb.finish())
+}
+
+/// [`scale_report_with`] at the default scale: N ∈ {1, 2, 4, 8, 12,
+/// 16}, 500 files and 2 000 transactions per client.
+pub fn scale_report() -> (Table, RunReport) {
+    scale_report_with(&[1, 2, 4, 8, 12, 16], 500, 2000)
+}
+
+/// The per-cell runs of [`scale_report`]'s grid, for callers that want
+/// the raw curve (the `scale_bench` binary).
+pub fn scale_curve(client_counts: &[usize], files: usize, transactions: usize) -> Vec<ScaleRun> {
+    let mut cells: Vec<(usize, Protocol)> = Vec::new();
+    for &n in client_counts {
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            cells.push((n, proto));
+        }
+    }
+    Sweep::new().run(cells.len(), |cell| {
+        let (n, proto) = cells[cell.index];
+        scale_run_seeded(proto, n, files, transactions, Some(cell.seed), None)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cell_runs_both_protocols() {
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            let r = scale_run(proto, 2, 50, 100);
+            assert_eq!(r.clients, 2);
+            assert_eq!(r.transactions, 200);
+            assert!(r.ops_per_sec > 0.0, "{proto:?} made progress");
+            assert!(r.server_cpu_pct > 0.0 && r.server_cpu_pct <= 100.0);
+            assert!(r.msgs_per_client > 0);
+        }
+    }
+
+    #[test]
+    fn nfs_shows_consistency_traffic_and_iscsi_does_not() {
+        let nfs = scale_run(Protocol::NfsV3, 3, 50, 150);
+        let iscsi = scale_run(Protocol::Iscsi, 3, 50, 150);
+        assert!(nfs.getattrs > 0, "shared-file pollers revalidate on NFS");
+        assert_eq!(iscsi.getattrs, 0, "private LUNs have no NFS server");
+    }
+
+    #[test]
+    fn completion_is_the_bottleneck_bound() {
+        let r = scale_run(Protocol::NfsV3, 2, 40, 80);
+        assert_eq!(r.completion, r.slowest_client.max(r.server_busy));
+        assert!(r.completion >= r.slowest_client);
+        assert!(r.completion >= r.server_busy);
+    }
+
+    #[test]
+    fn report_carries_per_host_latency_histograms() {
+        let mut rb = ReportBuilder::new("t");
+        scale_run_seeded(Protocol::NfsV3, 2, 40, 80, None, Some(&mut rb));
+        let rep = rb.finish();
+        assert!(rep.histograms.contains_key("scale.c0.txn"));
+        assert!(rep.histograms.contains_key("scale.c1.txn"));
+        assert!(rep.counters.keys().any(|k| k.starts_with("net.c1.")));
+    }
+}

@@ -40,7 +40,7 @@ mod testbed;
 pub use plot::{Plot, Series};
 pub use report::{ChannelStats, ReportBuilder, RunReport};
 pub use table::Table;
-pub use testbed::{Protocol, Testbed, TestbedConfig};
+pub use testbed::{Protocol, Testbed, TestbedConfig, TopologyConfig};
 
 #[cfg(test)]
 mod tests {

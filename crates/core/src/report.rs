@@ -149,6 +149,12 @@ impl ReportBuilder {
 
     /// Folds one testbed's counters, latency histograms, and CPU
     /// attribution into the report.
+    ///
+    /// A single-client testbed files CPU time under `client.<tag>` and
+    /// `server.<tag>`, exactly as it always has. A multi-client
+    /// topology keeps the `server.<tag>` keys (there is still one
+    /// server) and splits the client side per host:
+    /// `client.c<i>.<tag>`.
     pub fn absorb(&mut self, tb: &Testbed) {
         let r = &mut self.report;
         r.runs += 1;
@@ -159,9 +165,24 @@ impl ReportBuilder {
         for (name, h) in tb.sim().metrics().snapshot() {
             r.histograms.entry(name).or_default().merge(&h);
         }
-        for (machine, cpu) in [("client", tb.client_cpu()), ("server", tb.server_cpu())] {
-            for (tag, busy) in cpu.busy_by_tag() {
-                *r.cpu_busy_ns.entry(format!("{machine}.{tag}")).or_insert(0) += busy.as_nanos();
+        if tb.client_count() > 1 {
+            for i in 0..tb.client_count() {
+                let host = tb.host_name(i);
+                for (tag, busy) in tb.client_cpu_at(i).busy_by_tag() {
+                    *r.cpu_busy_ns
+                        .entry(format!("client.{host}.{tag}"))
+                        .or_insert(0) += busy.as_nanos();
+                }
+            }
+            for (tag, busy) in tb.server_cpu().busy_by_tag() {
+                *r.cpu_busy_ns.entry(format!("server.{tag}")).or_insert(0) += busy.as_nanos();
+            }
+        } else {
+            for (machine, cpu) in [("client", tb.client_cpu()), ("server", tb.server_cpu())] {
+                for (tag, busy) in cpu.busy_by_tag() {
+                    *r.cpu_busy_ns.entry(format!("{machine}.{tag}")).or_insert(0) +=
+                        busy.as_nanos();
+                }
             }
         }
     }

@@ -1,14 +1,24 @@
-//! The testbed builder: one client, one server, a Gigabit LAN, and a
+//! The testbed builder: N clients, one server, a Gigabit LAN, and a
 //! RAID-5 array — wired either as NFS (file system at the server) or
 //! as iSCSI (file system at the client over a remote disk), exactly as
 //! in the paper's Figure 2.
+//!
+//! The default [`Testbed::build`] is the paper's single-client pair.
+//! [`Testbed::build_topology`] generalizes it: N client hosts on a
+//! [`net::Fabric`] share the server link (and contend for its
+//! bandwidth), NFS clients share one server file system with per-client
+//! RPC channels and CPU accounts, and iSCSI initiators run private
+//! sessions against disjoint LUN partitions of the same RAID volume —
+//! the sharing contrast at the heart of the paper's discussion.
+//! `clients: 1` is the degenerate topology and stays byte-identical to
+//! the point-to-point build.
 
 use crate::calibration;
-use blockdev::{BlockDevice, BlockNo, DiskModel, IoCost, MemDisk, Raid5, Raid5Geometry};
+use blockdev::{BlockDevice, BlockNo, DiskModel, IoCost, MemDisk, Partition, Raid5, Raid5Geometry};
 use cpu::{CostModel, CpuAccount};
 use ext3::Ext3;
 use iscsi::{Initiator, SessionParams, Target};
-use net::{LinkParams, Network};
+use net::{Fabric, LinkParams, Network};
 use nfs::{Enhancements, NfsClient, NfsConfig, NfsServer, Version};
 use rpc::{RpcClient, RpcConfig};
 use simkit::{Sim, SimDuration, SimTime};
@@ -152,20 +162,73 @@ impl TestbedConfig {
     }
 }
 
+/// A multi-client topology: the shared single-pair configuration plus
+/// how many client hosts to instantiate.
+///
+/// With `clients: 1` the build is byte-identical to
+/// [`Testbed::build`]; with more, hosts `c0..c<N-1>` are placed on a
+/// [`net::Fabric`] (per-host counters under `net.<host>.<label>.*`,
+/// shared server-link bandwidth) and each gets its own CPU account and
+/// mount — N `NfsClient`s against one `NfsServer`, or N iSCSI sessions
+/// against one `Target` with a private LUN partition per session.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// The per-pair configuration shared by every client.
+    pub base: TestbedConfig,
+    /// Number of client hosts.
+    pub clients: usize,
+}
+
+impl TopologyConfig {
+    /// The paper's defaults for `protocol` with `clients` hosts.
+    pub fn new(protocol: Protocol) -> TopologyConfig {
+        TopologyConfig {
+            base: TestbedConfig::new(protocol),
+            clients: 1,
+        }
+    }
+
+    /// Sets the client count.
+    #[must_use]
+    pub fn with_clients(mut self, clients: usize) -> TopologyConfig {
+        self.clients = clients;
+        self
+    }
+}
+
+/// One client host of the topology: its name, CPU account, and mount.
+struct ClientHost {
+    name: String,
+    cpu: Rc<CpuAccount>,
+    kind: MountKind,
+}
+
 /// A built testbed: the workload-facing [`FileSystem`] plus the
 /// instrumentation handles every experiment reads.
 pub struct Testbed {
     sim: Rc<Sim>,
+    /// Client 0's link endpoint (the whole link in the single-client
+    /// topology).
     network: Rc<Network>,
+    /// The multi-host fabric, present when `clients > 1`.
+    fabric: Option<Rc<Fabric>>,
     config: TestbedConfig,
-    client_cpu: Rc<CpuAccount>,
+    clients: Vec<ClientHost>,
     server_cpu: Rc<CpuAccount>,
-    kind: MountKind,
 }
 
 enum MountKind {
     Nfs { mount: NfsMount },
     Iscsi { mount: LocalMount },
+}
+
+impl MountKind {
+    fn fs(&self) -> &dyn FileSystem {
+        match self {
+            MountKind::Nfs { mount } => mount,
+            MountKind::Iscsi { mount } => mount,
+        }
+    }
 }
 
 impl std::fmt::Debug for Testbed {
@@ -189,32 +252,7 @@ impl Testbed {
         let client_cpu = Rc::new(CpuAccount::new());
         let server_cpu = Rc::new(CpuAccount::new());
 
-        // The server-side RAID-5 array (4+p) used by both protocols.
-        let member_blocks = (config.volume_blocks / (calibration::RAID_MEMBERS as u64 - 1)) + 1024;
-        let members: Vec<Rc<dyn BlockDevice>> = (0..calibration::RAID_MEMBERS)
-            .map(|i| {
-                let m = Rc::new(DiskModel::new(
-                    MemDisk::new(format!("sd{i}"), member_blocks),
-                    calibration::raid_member_params(),
-                ));
-                m.instrument(sim.clone());
-                m as Rc<dyn BlockDevice>
-            })
-            .collect();
-        let r5 = Raid5::new(
-            "raid5",
-            members,
-            Raid5Geometry {
-                stripe_unit: calibration::RAID_STRIPE_UNIT,
-            },
-        );
-        r5.instrument(sim.clone());
-        // The ServeRAID adapter's battery-backed write cache absorbs
-        // synchronous writes (journal commits, v2 stable writes).
-        let raid: Rc<dyn BlockDevice> = Rc::new(blockdev::WriteCache::new(
-            r5,
-            calibration::controller_cache_hit(),
-        ));
+        let raid = Self::build_raid(&sim, &config);
 
         let kind = match config.protocol.nfs_version() {
             Some(version) => {
@@ -225,14 +263,7 @@ impl Testbed {
                     network.channel("nfs", version.transport()),
                     RpcConfig::default(),
                 );
-                let mut cfg = NfsConfig::for_version(version);
-                cfg.enhancements = config.enhancements;
-                if let Some(limit) = config.nfs_max_dirty_pages {
-                    cfg.max_dirty_pages = limit;
-                }
-                if let Some(t) = config.nfs_metadata_timeout {
-                    cfg.timeouts.metadata = t;
-                }
+                let cfg = Self::nfs_config(&config, version, 0);
                 let client = Rc::new(NfsClient::new(
                     sim.clone(),
                     rpcc,
@@ -259,14 +290,10 @@ impl Testbed {
                 let initiator =
                     Initiator::new(network.channel("iscsi", net::Transport::Tcp), target);
                 let disk = Rc::new(initiator.login(SessionParams::default()).expect("login"));
-                let mut opts = calibration::client_ext3_options();
-                if let Some(ra) = config.readahead_max {
-                    opts.readahead_max = ra;
-                }
-                if let Some(ci) = config.commit_interval {
-                    opts.commit_interval = ci;
-                }
-                let fs = Rc::new(Ext3::mkfs(sim.clone(), disk, opts).expect("client mkfs"));
+                let fs = Rc::new(
+                    Ext3::mkfs(sim.clone(), disk, Self::client_ext3_options(&config))
+                        .expect("client mkfs"),
+                );
                 MountKind::Iscsi {
                     mount: LocalMount::new(fs, client_cpu.clone(), config.cost),
                 }
@@ -281,11 +308,197 @@ impl Testbed {
         Testbed {
             sim,
             network,
+            fabric: None,
             config,
-            client_cpu,
+            clients: vec![ClientHost {
+                name: "c0".to_string(),
+                cpu: client_cpu,
+                kind,
+            }],
             server_cpu,
-            kind,
         }
+    }
+
+    /// Builds a multi-client topology. `clients: 1` delegates to
+    /// [`Testbed::build`] and is byte-identical to it; larger counts
+    /// place hosts `c0..c<N-1>` on a [`net::Fabric`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero or the underlying mkfs fails (for
+    /// iSCSI, each client's LUN partition must still hold a file
+    /// system: keep `volume_blocks / clients` comfortably above the
+    /// ext3 minimum).
+    pub fn build_topology(topo: TopologyConfig) -> Testbed {
+        assert!(topo.clients >= 1, "a topology needs at least one client");
+        if topo.clients == 1 {
+            return Testbed::build(topo.base);
+        }
+        let config = topo.base;
+        let n = topo.clients;
+        let sim = Sim::new(config.seed);
+        let fabric = Fabric::new(sim.clone(), config.link);
+        let server_cpu = Rc::new(CpuAccount::new());
+
+        let raid = Self::build_raid(&sim, &config);
+
+        let clients: Vec<ClientHost> = match config.protocol.nfs_version() {
+            Some(version) => {
+                // One server file system, N clients with private RPC
+                // channels and CPU accounts. Cache consistency between
+                // them flows through the shared server mtimes, exactly
+                // as on a real shared NFS export.
+                let fs = Ext3::mkfs(sim.clone(), raid, calibration::server_ext3_options())
+                    .expect("server mkfs");
+                let server = Rc::new(NfsServer::new(fs, server_cpu.clone(), config.cost));
+                (0..n)
+                    .map(|i| {
+                        let name = format!("c{i}");
+                        let cpu = Rc::new(CpuAccount::new());
+                        let rpcc = RpcClient::new(
+                            fabric.host(&name).channel("nfs", version.transport()),
+                            RpcConfig::default(),
+                        );
+                        let cfg = Self::nfs_config(&config, version, i as u32);
+                        let client = Rc::new(NfsClient::new(
+                            sim.clone(),
+                            rpcc,
+                            Rc::clone(&server),
+                            cfg,
+                            cpu.clone(),
+                            config.cost,
+                        ));
+                        client.mount();
+                        ClientHost {
+                            name,
+                            cpu,
+                            kind: MountKind::Nfs {
+                                mount: NfsMount::new(client),
+                            },
+                        }
+                    })
+                    .collect()
+            }
+            None => {
+                // One target over the shared (CPU-charged) RAID volume,
+                // one private LUN partition and session per initiator —
+                // iSCSI's "private volume" sharing model.
+                let charged: Rc<dyn BlockDevice> = Rc::new(CpuChargedDevice {
+                    inner: raid,
+                    sim: sim.clone(),
+                    cpu: server_cpu.clone(),
+                    cost: config.cost,
+                });
+                let lun_blocks = config.volume_blocks / n as u64;
+                let target = Rc::new(Target::new(Rc::new(Partition::new(
+                    "lun0",
+                    Rc::clone(&charged),
+                    0,
+                    lun_blocks,
+                ))));
+                for i in 1..n {
+                    target.add_lun(Rc::new(Partition::new(
+                        format!("lun{i}"),
+                        Rc::clone(&charged),
+                        i as u64 * lun_blocks,
+                        lun_blocks,
+                    )));
+                }
+                (0..n)
+                    .map(|i| {
+                        let name = format!("c{i}");
+                        let cpu = Rc::new(CpuAccount::new());
+                        let initiator = Initiator::new(
+                            fabric.host(&name).channel("iscsi", net::Transport::Tcp),
+                            Rc::clone(&target),
+                        );
+                        let disk = Rc::new(
+                            initiator
+                                .login_lun(SessionParams::default(), i as u32)
+                                .expect("login"),
+                        );
+                        let fs = Rc::new(
+                            Ext3::mkfs(sim.clone(), disk, Self::client_ext3_options(&config))
+                                .expect("client mkfs"),
+                        );
+                        let mount = LocalMount::new(fs, cpu.clone(), config.cost);
+                        ClientHost {
+                            name,
+                            cpu,
+                            kind: MountKind::Iscsi { mount },
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        let network = fabric.host("c0");
+        sim.counters().reset();
+        sim.metrics().reset();
+        sim.tracer().clear();
+        Testbed {
+            sim,
+            network,
+            fabric: Some(fabric),
+            config,
+            clients,
+            server_cpu,
+        }
+    }
+
+    /// The server-side RAID-5 array (4+p) used by both protocols.
+    fn build_raid(sim: &Rc<Sim>, config: &TestbedConfig) -> Rc<dyn BlockDevice> {
+        let member_blocks = (config.volume_blocks / (calibration::RAID_MEMBERS as u64 - 1)) + 1024;
+        let members: Vec<Rc<dyn BlockDevice>> = (0..calibration::RAID_MEMBERS)
+            .map(|i| {
+                let m = Rc::new(DiskModel::new(
+                    MemDisk::new(format!("sd{i}"), member_blocks),
+                    calibration::raid_member_params(),
+                ));
+                m.instrument(sim.clone());
+                m as Rc<dyn BlockDevice>
+            })
+            .collect();
+        let r5 = Raid5::new(
+            "raid5",
+            members,
+            Raid5Geometry {
+                stripe_unit: calibration::RAID_STRIPE_UNIT,
+            },
+        );
+        r5.instrument(sim.clone());
+        // The ServeRAID adapter's battery-backed write cache absorbs
+        // synchronous writes (journal commits, v2 stable writes).
+        Rc::new(blockdev::WriteCache::new(
+            r5,
+            calibration::controller_cache_hit(),
+        ))
+    }
+
+    /// NFS client configuration for one host of the topology.
+    fn nfs_config(config: &TestbedConfig, version: Version, client_id: u32) -> NfsConfig {
+        let mut cfg = NfsConfig::for_version(version);
+        cfg.enhancements = config.enhancements;
+        if let Some(limit) = config.nfs_max_dirty_pages {
+            cfg.max_dirty_pages = limit;
+        }
+        if let Some(t) = config.nfs_metadata_timeout {
+            cfg.timeouts.metadata = t;
+        }
+        cfg.client_id = client_id;
+        cfg
+    }
+
+    /// Client-side ext3 options with the config's overrides applied.
+    fn client_ext3_options(config: &TestbedConfig) -> ext3::Options {
+        let mut opts = calibration::client_ext3_options();
+        if let Some(ra) = config.readahead_max {
+            opts.readahead_max = ra;
+        }
+        if let Some(ci) = config.commit_interval {
+            opts.commit_interval = ci;
+        }
+        opts
     }
 
     /// Convenience: build the default testbed for a protocol.
@@ -302,12 +515,30 @@ impl Testbed {
         Testbed::build(cfg)
     }
 
-    /// The workload-facing file system.
+    /// The workload-facing file system (client 0's in a multi-client
+    /// topology).
     pub fn fs(&self) -> &dyn FileSystem {
-        match &self.kind {
-            MountKind::Nfs { mount } => mount,
-            MountKind::Iscsi { mount } => mount,
-        }
+        self.clients[0].kind.fs()
+    }
+
+    /// Client `i`'s file system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn client_fs(&self, i: usize) -> &dyn FileSystem {
+        self.clients[i].kind.fs()
+    }
+
+    /// Number of client hosts in the topology.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Host name of client `i` (`c<i>`): the prefix of its per-host
+    /// counters (`net.<host>.<label>.*`) in multi-client topologies.
+    pub fn host_name(&self, i: usize) -> &str {
+        &self.clients[i].name
     }
 
     /// The simulation context.
@@ -315,9 +546,23 @@ impl Testbed {
         &self.sim
     }
 
-    /// The network link (for the Figure 6 RTT sweeps).
+    /// The network link (client 0's endpoint; the whole link in the
+    /// single-client topology) — for the Figure 6 RTT sweeps.
     pub fn network(&self) -> &Rc<Network> {
         &self.network
+    }
+
+    /// The multi-host fabric, when `clients > 1`.
+    pub fn fabric(&self) -> Option<&Rc<Fabric>> {
+        self.fabric.as_ref()
+    }
+
+    /// Marks `n` clients as actively contending for the server link
+    /// (no-op on the dedicated single-client link).
+    pub fn set_active_clients(&self, n: u32) {
+        if let Some(f) = &self.fabric {
+            f.set_active(n);
+        }
     }
 
     /// The protocol under test.
@@ -325,9 +570,19 @@ impl Testbed {
         self.config.protocol
     }
 
-    /// Client CPU account (Table 10).
+    /// Client CPU account (Table 10); client 0's in a multi-client
+    /// topology.
     pub fn client_cpu(&self) -> &Rc<CpuAccount> {
-        &self.client_cpu
+        &self.clients[0].cpu
+    }
+
+    /// Client `i`'s CPU account.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn client_cpu_at(&self, i: usize) -> &Rc<CpuAccount> {
+        &self.clients[i].cpu
     }
 
     /// Server CPU account (Table 9).
@@ -351,15 +606,17 @@ impl Testbed {
     /// The mount traffic itself is excluded by snapshotting counters
     /// *after* this call.
     pub fn cold_caches(&self) {
-        match &self.kind {
-            MountKind::Nfs { mount } => {
-                mount.client().drop_caches();
-                // "Restarting the NFS server": its caches go too.
-                mount.client().server().drop_caches();
-            }
-            MountKind::Iscsi { mount } => {
-                let _ = mount.fs().sync();
-                let _ = mount.fs().drop_caches();
+        for host in &self.clients {
+            match &host.kind {
+                MountKind::Nfs { mount } => {
+                    mount.client().drop_caches();
+                    // "Restarting the NFS server": its caches go too.
+                    mount.client().server().drop_caches();
+                }
+                MountKind::Iscsi { mount } => {
+                    let _ = mount.fs().sync();
+                    let _ = mount.fs().drop_caches();
+                }
             }
         }
     }
@@ -369,8 +626,10 @@ impl Testbed {
     pub fn settle(&self) {
         // §7: queued delegated updates flush with the same cadence as
         // the journal.
-        if let MountKind::Nfs { mount } = &self.kind {
-            mount.client().flush_delegated_updates();
+        for host in &self.clients {
+            if let MountKind::Nfs { mount } = &host.kind {
+                mount.client().flush_delegated_updates();
+            }
         }
         self.sim.advance(calibration::settle_time());
     }
@@ -385,16 +644,24 @@ impl Testbed {
         self.sim.now()
     }
 
-    /// Reconfigures the link RTT (the NISTNet knob of §4.6).
+    /// Reconfigures the link RTT (the NISTNet knob of §4.6) — on every
+    /// host endpoint in a multi-client topology.
     pub fn set_rtt(&self, rtt: SimDuration) {
-        self.network.set_rtt(rtt);
+        match &self.fabric {
+            Some(f) => f.set_rtt(rtt),
+            None => self.network.set_rtt(rtt),
+        }
     }
 
-    /// Attaches an Ethereal-style packet monitor to the link and
-    /// returns it; detach with [`net::Network::attach_sniffer`].
+    /// Attaches an Ethereal-style packet monitor to the link (every
+    /// host endpoint in a multi-client topology) and returns it;
+    /// detach with [`net::Network::attach_sniffer`].
     pub fn attach_sniffer(&self) -> Rc<net::Sniffer> {
         let s = net::Sniffer::new();
-        self.network.attach_sniffer(Some(s.clone()));
+        match &self.fabric {
+            Some(f) => f.attach_sniffer(Some(s.clone())),
+            None => self.network.attach_sniffer(Some(s.clone())),
+        }
         s
     }
 }

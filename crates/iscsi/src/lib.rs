@@ -116,19 +116,38 @@ impl fmt::Display for IscsiError {
 
 impl std::error::Error for IscsiError {}
 
-/// The target-side endpoint: session state plus the SCSI execution
-/// layer over the exported volume.
+/// Target-side state of one logged-in session: its sequence numbers
+/// and the LUN it is bound to.
+#[derive(Debug)]
+struct SessionState {
+    exp_cmd_sn: u32,
+    stat_sn: u32,
+    lun: usize,
+    commands: u64,
+}
+
+/// The target-side endpoint: per-session sequence state plus one SCSI
+/// execution layer per exported LUN.
+///
+/// A freshly built target exports a single volume as LUN 0 — the
+/// paper's one-initiator setup. Multi-initiator topologies call
+/// [`add_lun`](Target::add_lun) to export further (typically disjoint,
+/// see `blockdev::Partition`) volumes, and each
+/// [`Initiator::login_lun`] opens an independent session with its own
+/// `CmdSN`/`StatSN` stream — commands from different initiators no
+/// longer share an ordering window, exactly as RFC 3720 scopes
+/// sequence numbers per session.
 pub struct Target {
-    scsi: ScsiTarget,
-    exp_cmd_sn: Cell<u32>,
-    stat_sn: Cell<u32>,
+    luns: RefCell<Vec<ScsiTarget>>,
+    sessions: RefCell<Vec<SessionState>>,
     commands_executed: Cell<u64>,
 }
 
 impl fmt::Debug for Target {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Target")
-            .field("exp_cmd_sn", &self.exp_cmd_sn.get())
+            .field("luns", &self.luns.borrow().len())
+            .field("sessions", &self.sessions.borrow().len())
             .field("commands_executed", &self.commands_executed.get())
             .finish()
     }
@@ -138,68 +157,117 @@ impl Target {
     /// Exports `volume` as LUN 0.
     pub fn new(volume: Rc<dyn BlockDevice>) -> Self {
         Target {
-            scsi: ScsiTarget::new(volume),
-            exp_cmd_sn: Cell::new(0),
-            stat_sn: Cell::new(0),
+            luns: RefCell::new(vec![ScsiTarget::new(volume)]),
+            sessions: RefCell::new(Vec::new()),
             commands_executed: Cell::new(0),
         }
     }
 
-    /// The exported volume.
-    pub fn volume(&self) -> &Rc<dyn BlockDevice> {
-        self.scsi.device()
+    /// Exports an additional volume; returns its LUN number.
+    pub fn add_lun(&self, volume: Rc<dyn BlockDevice>) -> u32 {
+        let mut luns = self.luns.borrow_mut();
+        luns.push(ScsiTarget::new(volume));
+        (luns.len() - 1) as u32
     }
 
-    /// Commands executed over the session's lifetime.
+    /// Number of exported LUNs.
+    pub fn lun_count(&self) -> usize {
+        self.luns.borrow().len()
+    }
+
+    /// The volume behind LUN 0 (the single-initiator export).
+    pub fn volume(&self) -> Rc<dyn BlockDevice> {
+        self.lun_volume(0)
+    }
+
+    /// The volume behind `lun`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lun` was never exported.
+    pub fn lun_volume(&self, lun: u32) -> Rc<dyn BlockDevice> {
+        Rc::clone(self.luns.borrow()[lun as usize].device())
+    }
+
+    /// Commands executed across all sessions over the target's
+    /// lifetime.
     pub fn commands_executed(&self) -> u64 {
         self.commands_executed.get()
     }
 
-    /// Starts a fresh session: sequence numbers reset (called during
-    /// login).
-    pub fn reset_session(&self) {
-        self.exp_cmd_sn.set(0);
-        self.stat_sn.set(0);
+    /// Sessions opened so far.
+    pub fn session_count(&self) -> usize {
+        self.sessions.borrow().len()
     }
 
-    /// Admits a command PDU, enforcing CmdSN ordering and advancing
-    /// the session sequence state.
-    fn admit(&self, cmd_sn: u32) -> Result<(), IscsiError> {
-        let expected = self.exp_cmd_sn.get();
-        if cmd_sn != expected {
+    /// Commands executed on one session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` was never opened.
+    pub fn session_commands(&self, session: u32) -> u64 {
+        self.sessions.borrow()[session as usize].commands
+    }
+
+    /// Opens a session bound to `lun` with fresh sequence numbers
+    /// (called during login); returns the session id.
+    fn open_session(&self, lun: u32) -> Result<u32, IscsiError> {
+        if lun as usize >= self.luns.borrow().len() {
+            return Err(IscsiError::LoginRejected("no such LUN"));
+        }
+        let mut sessions = self.sessions.borrow_mut();
+        sessions.push(SessionState {
+            exp_cmd_sn: 0,
+            stat_sn: 0,
+            lun: lun as usize,
+            commands: 0,
+        });
+        Ok((sessions.len() - 1) as u32)
+    }
+
+    /// Admits a command PDU on `session`, enforcing CmdSN ordering and
+    /// advancing that session's sequence state. Returns the LUN the
+    /// session is bound to.
+    fn admit(&self, session: u32, cmd_sn: u32) -> Result<usize, IscsiError> {
+        let mut sessions = self.sessions.borrow_mut();
+        let s = &mut sessions[session as usize];
+        if cmd_sn != s.exp_cmd_sn {
             return Err(IscsiError::SequenceError {
-                expected,
+                expected: s.exp_cmd_sn,
                 got: cmd_sn,
             });
         }
-        self.exp_cmd_sn.set(expected.wrapping_add(1));
-        self.stat_sn.set(self.stat_sn.get().wrapping_add(1));
+        s.exp_cmd_sn = s.exp_cmd_sn.wrapping_add(1);
+        s.stat_sn = s.stat_sn.wrapping_add(1);
+        s.commands += 1;
         self.commands_executed.set(self.commands_executed.get() + 1);
-        Ok(())
+        Ok(s.lun)
     }
 
-    /// Executes a command PDU, enforcing CmdSN ordering.
+    /// Executes a command PDU on `session`, enforcing CmdSN ordering.
     fn execute(
         &self,
+        session: u32,
         cmd_sn: u32,
         cdb: Cdb,
         data_out: &[u8],
     ) -> Result<scsi::ScsiCompletion, IscsiError> {
-        self.admit(cmd_sn)?;
-        Ok(self.scsi.execute(cdb, data_out))
+        let lun = self.admit(session, cmd_sn)?;
+        Ok(self.luns.borrow()[lun].execute(cdb, data_out))
     }
 
     /// Executes a `Read10` PDU straight into `buf` (no data-in
     /// allocation), enforcing CmdSN ordering.
     fn execute_read_into(
         &self,
+        session: u32,
         cmd_sn: u32,
         lba: u32,
         blocks: u16,
         buf: &mut [u8],
     ) -> Result<scsi::ScsiCompletion, IscsiError> {
-        self.admit(cmd_sn)?;
-        Ok(self.scsi.execute_read_into(lba, blocks, buf))
+        let lun = self.admit(session, cmd_sn)?;
+        Ok(self.luns.borrow()[lun].execute_read_into(lba, blocks, buf))
     }
 }
 
@@ -225,18 +293,32 @@ impl Initiator {
     }
 
     /// Performs the login phase (security + operational negotiation:
-    /// two PDU round trips, counted) and returns the remote disk.
+    /// two PDU round trips, counted) against LUN 0 and returns the
+    /// remote disk — the single-initiator configuration.
     ///
     /// # Errors
     ///
     /// Returns [`IscsiError::LoginRejected`] if parameters are
     /// unacceptable (zero burst sizes).
     pub fn login(&self, params: SessionParams) -> Result<RemoteDisk, IscsiError> {
+        self.login_lun(params, 0)
+    }
+
+    /// Performs the login phase and opens a session bound to `lun`.
+    /// Each call yields an independent session with its own
+    /// `CmdSN`/`StatSN` stream, so several initiators can drive one
+    /// target concurrently over private LUNs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IscsiError::LoginRejected`] if parameters are
+    /// unacceptable (zero burst sizes) or `lun` was never exported.
+    pub fn login_lun(&self, params: SessionParams, lun: u32) -> Result<RemoteDisk, IscsiError> {
         if params.max_recv_data_segment == 0 || params.first_burst == 0 {
             return Err(IscsiError::LoginRejected("zero-length bursts"));
         }
         let sim = self.chan.network().sim().clone();
-        self.target.reset_session();
+        let session = self.target.open_session(lun)?;
         // Security negotiation stage, then operational stage.
         for stage in ["security", "operational"] {
             let d = self.chan.round_trip(512, 512);
@@ -248,10 +330,12 @@ impl Initiator {
             chan: self.chan.clone(),
             target: Rc::clone(&self.target),
             params,
+            session,
+            lun,
             cmd_sn: Cell::new(0),
             exp_stat_sn: Cell::new(0),
             read_head: Cell::new(u64::MAX),
-            name: format!("iscsi:{}", self.target.volume().name()),
+            name: format!("iscsi:{}", self.target.lun_volume(lun).name()),
             txns: sim.counters().handle("proto.iscsi.txns"),
             cmds: RefCell::new(HashMap::new()),
         })
@@ -270,6 +354,10 @@ pub struct RemoteDisk {
     chan: Channel,
     target: Rc<Target>,
     params: SessionParams,
+    /// Target-side session this disk's commands flow through.
+    session: u32,
+    /// LUN the session is bound to.
+    lun: u32,
     cmd_sn: Cell<u32>,
     exp_stat_sn: Cell<u32>,
     /// End of the previous read, for tagged-command pipelining of
@@ -302,6 +390,16 @@ impl RemoteDisk {
     /// Negotiated session parameters.
     pub fn params(&self) -> SessionParams {
         self.params
+    }
+
+    /// Target-side session id.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// LUN this session is bound to.
+    pub fn lun(&self) -> u32 {
+        self.lun
     }
 
     /// Handles for `op`'s per-opcode counters, registered on first use.
@@ -369,11 +467,12 @@ impl RemoteDisk {
         let completion = match read_into {
             Some(buf) => match cdb {
                 Cdb::Read10 { lba, blocks } => {
-                    self.target.execute_read_into(cmd_sn, lba, blocks, buf)?
+                    self.target
+                        .execute_read_into(self.session, cmd_sn, lba, blocks, buf)?
                 }
                 _ => unreachable!("read_into is only meaningful for Read10"),
             },
-            None => self.target.execute(cmd_sn, cdb, data_out)?,
+            None => self.target.execute(self.session, cmd_sn, cdb, data_out)?,
         };
 
         // Data-in PDUs then the SCSI response (status piggybacked on
@@ -503,7 +602,7 @@ impl BlockDevice for RemoteDisk {
     }
 
     fn block_count(&self) -> u64 {
-        self.target.volume().block_count()
+        self.target.lun_volume(self.lun).block_count()
     }
 
     fn read(&self, start: BlockNo, nblocks: u32, buf: &mut [u8]) -> BlockResult<IoCost> {
@@ -681,9 +780,10 @@ mod tests {
     #[test]
     fn cmd_sn_ordering_enforced() {
         let target = Target::new(Rc::new(MemDisk::new("lun0", 64)));
-        assert!(target.execute(0, Cdb::TestUnitReady, &[]).is_ok());
+        let s = target.open_session(0).unwrap();
+        assert!(target.execute(s, 0, Cdb::TestUnitReady, &[]).is_ok());
         // Skipping a sequence number is rejected.
-        let err = target.execute(5, Cdb::TestUnitReady, &[]).unwrap_err();
+        let err = target.execute(s, 5, Cdb::TestUnitReady, &[]).unwrap_err();
         assert!(matches!(
             err,
             IscsiError::SequenceError {
@@ -691,6 +791,50 @@ mod tests {
                 got: 5
             }
         ));
+    }
+
+    #[test]
+    fn sessions_sequence_independently() {
+        let target = Target::new(Rc::new(MemDisk::new("lun0", 64)));
+        let a = target.open_session(0).unwrap();
+        let b = target.open_session(0).unwrap();
+        // Interleaved commands: each session keeps its own CmdSN window.
+        assert!(target.execute(a, 0, Cdb::TestUnitReady, &[]).is_ok());
+        assert!(target.execute(b, 0, Cdb::TestUnitReady, &[]).is_ok());
+        assert!(target.execute(a, 1, Cdb::TestUnitReady, &[]).is_ok());
+        assert!(target.execute(b, 1, Cdb::TestUnitReady, &[]).is_ok());
+        assert_eq!(target.session_commands(a), 2);
+        assert_eq!(target.session_commands(b), 2);
+        assert_eq!(target.commands_executed(), 4);
+    }
+
+    #[test]
+    fn login_to_unknown_lun_is_rejected() {
+        let sim = Sim::new(3);
+        let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+        let target = Rc::new(Target::new(Rc::new(MemDisk::new("lun0", 64))));
+        let init = Initiator::new(netw.channel("iscsi", Transport::Tcp), target);
+        let err = init.login_lun(SessionParams::default(), 3).unwrap_err();
+        assert!(matches!(err, IscsiError::LoginRejected("no such LUN")));
+    }
+
+    #[test]
+    fn per_session_luns_are_private() {
+        let sim = Sim::new(3);
+        let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+        let target = Rc::new(Target::new(Rc::new(MemDisk::new("lun0", 64))));
+        let lun1 = target.add_lun(Rc::new(MemDisk::new("lun1", 32)));
+        let init = Initiator::new(netw.channel("iscsi", Transport::Tcp), Rc::clone(&target));
+        let d0 = init.login_lun(SessionParams::default(), 0).unwrap();
+        let d1 = init.login_lun(SessionParams::default(), lun1).unwrap();
+        assert_eq!(d0.block_count(), 64);
+        assert_eq!(d1.block_count(), 32);
+        assert_eq!(d1.name(), "iscsi:lun1");
+        d0.write(5, &vec![7u8; BLOCK_SIZE]).unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        d1.read(5, 1, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; BLOCK_SIZE], "writes don't cross LUNs");
+        assert_eq!(target.session_count(), 2);
     }
 
     #[test]

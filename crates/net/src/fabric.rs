@@ -1,0 +1,274 @@
+//! Multi-host network fabric.
+//!
+//! The paper's testbed is one client and one server on a dedicated
+//! link, which [`super::Network`] models directly. A [`Fabric`]
+//! generalizes that to N named client hosts fanning into one server:
+//! every host gets its own [`Network`] endpoint (so per-host RTT and
+//! message accounting stay separate), while all endpoints contend for
+//! the *server-side* link bandwidth through a shared [`LinkShare`].
+//!
+//! Counter layering: a channel opened on host `c1` with label `nfs`
+//! bumps `net.c1.nfs.msgs` / `net.c1.nfs.bytes` *in addition to* the
+//! point-to-point names (`net.nfs.*`) and the grand totals
+//! (`net.total.*`). Existing reports that only read the old names keep
+//! working; multi-client experiments can attribute traffic per host.
+//!
+//! Contention model: the server NIC serializes at `bandwidth_bps`
+//! overall, so with `k` hosts marked active each endpoint's effective
+//! bandwidth is `bandwidth_bps / k` — the fair-share steady state of
+//! TCP flows over one bottleneck. `set_active(1)` (the default)
+//! reproduces the dedicated-link timing exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::Sim;
+//! use net::{Fabric, LinkParams, Transport};
+//!
+//! let sim = Sim::new(1);
+//! let fabric = Fabric::new(sim.clone(), LinkParams::gigabit_lan());
+//! let a = fabric.host("c0").channel("nfs", Transport::Tcp);
+//! let b = fabric.host("c1").channel("nfs", Transport::Tcp);
+//! fabric.set_active(2); // both hosts now share the server link
+//! a.round_trip(128, 128);
+//! b.round_trip(128, 128);
+//! assert_eq!(sim.counters().get("net.c0.nfs.msgs"), 2);
+//! assert_eq!(sim.counters().get("net.c1.nfs.msgs"), 2);
+//! assert_eq!(sim.counters().get("net.nfs.msgs"), 4); // layered total
+//! ```
+
+use crate::{LinkParams, Network, Sniffer};
+use simkit::{Sim, SimDuration};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// The number of hosts actively contending for the server-side link.
+/// Shared by every endpoint of one [`Fabric`].
+#[derive(Debug)]
+pub struct LinkShare {
+    active: Cell<u32>,
+}
+
+impl LinkShare {
+    fn new() -> Rc<Self> {
+        Rc::new(LinkShare {
+            active: Cell::new(1),
+        })
+    }
+
+    /// Hosts currently contending for the shared link.
+    pub fn active(&self) -> u32 {
+        self.active.get()
+    }
+
+    /// Sets the contender count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn set_active(&self, n: u32) {
+        assert!(n >= 1, "a shared link needs at least one active host");
+        self.active.set(n);
+    }
+}
+
+/// A topology of named host endpoints sharing one server link.
+#[derive(Debug)]
+pub struct Fabric {
+    sim: Rc<Sim>,
+    base: Cell<LinkParams>,
+    share: Rc<LinkShare>,
+    hosts: RefCell<Vec<(String, Rc<Network>)>>,
+}
+
+impl Fabric {
+    /// Creates a fabric whose server link has the given base
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.loss` is outside `[0, 1)`.
+    pub fn new(sim: Rc<Sim>, params: LinkParams) -> Rc<Self> {
+        params.validate();
+        Rc::new(Fabric {
+            sim,
+            base: Cell::new(params),
+            share: LinkShare::new(),
+            hosts: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// The shared simulation context.
+    pub fn sim(&self) -> &Rc<Sim> {
+        &self.sim
+    }
+
+    /// The uncontended server-link parameters (what one host sees when
+    /// it has the link to itself).
+    pub fn base_params(&self) -> LinkParams {
+        self.base.get()
+    }
+
+    /// The contention state shared by every endpoint.
+    pub fn share(&self) -> &Rc<LinkShare> {
+        &self.share
+    }
+
+    /// Marks `n` hosts as actively contending for the server link.
+    pub fn set_active(&self, n: u32) {
+        self.share.set_active(n);
+    }
+
+    /// Returns the endpoint for `name`, creating it on first use. The
+    /// endpoint starts with the fabric's current base parameters and
+    /// shares the server-side bandwidth with every other host.
+    pub fn host(self: &Rc<Self>, name: &str) -> Rc<Network> {
+        if let Some((_, net)) = self.hosts.borrow().iter().find(|(n, _)| n == name) {
+            return Rc::clone(net);
+        }
+        let net = Network::endpoint(
+            Rc::clone(&self.sim),
+            self.base.get(),
+            name.to_string(),
+            Rc::clone(&self.share),
+        );
+        self.hosts
+            .borrow_mut()
+            .push((name.to_string(), Rc::clone(&net)));
+        net
+    }
+
+    /// The host names, in creation order.
+    pub fn hosts(&self) -> Vec<String> {
+        self.hosts.borrow().iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Reconfigures the round-trip time on every endpoint, present and
+    /// future (the NISTNet knob, fabric-wide).
+    pub fn set_rtt(&self, rtt: SimDuration) {
+        let mut base = self.base.get();
+        base.rtt = rtt;
+        self.base.set(base);
+        for (_, net) in self.hosts.borrow().iter() {
+            net.set_rtt(rtt);
+        }
+    }
+
+    /// Attaches one passive monitor to every existing endpoint.
+    pub fn attach_sniffer(&self, s: Option<Rc<Sniffer>>) {
+        for (_, net) in self.hosts.borrow().iter() {
+            net.attach_sniffer(s.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transport;
+
+    fn setup() -> (Rc<Sim>, Rc<Fabric>) {
+        let sim = Sim::new(11);
+        let fabric = Fabric::new(sim.clone(), LinkParams::gigabit_lan());
+        (sim, fabric)
+    }
+
+    #[test]
+    fn host_endpoints_are_memoized() {
+        let (_sim, fabric) = setup();
+        let a = fabric.host("c0");
+        let b = fabric.host("c0");
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(fabric.hosts(), vec!["c0".to_string()]);
+        assert_eq!(a.host(), Some("c0"));
+    }
+
+    #[test]
+    fn per_host_counters_layer_over_totals() {
+        let (sim, fabric) = setup();
+        let a = fabric.host("c0").channel("nfs", Transport::Tcp);
+        let b = fabric.host("c1").channel("nfs", Transport::Tcp);
+        a.round_trip(100, 100);
+        b.round_trip(100, 100);
+        b.round_trip(100, 100);
+        let c = sim.counters();
+        assert_eq!(c.get("net.c0.nfs.msgs"), 2);
+        assert_eq!(c.get("net.c1.nfs.msgs"), 4);
+        assert_eq!(c.get("net.nfs.msgs"), 6, "per-label total spans hosts");
+        assert_eq!(c.get("net.total.msgs"), 6);
+        assert_eq!(
+            c.get("net.c0.nfs.bytes") + c.get("net.c1.nfs.bytes"),
+            c.get("net.nfs.bytes"),
+            "host byte counters partition the label total"
+        );
+    }
+
+    #[test]
+    fn extra_bytes_land_in_host_namespace() {
+        let (sim, fabric) = setup();
+        let ch = fabric.host("c3").channel("iscsi", Transport::Tcp);
+        ch.account_extra_bytes(4096);
+        assert_eq!(sim.counters().get("net.c3.iscsi.bytes"), 4096);
+        assert_eq!(sim.counters().get("net.iscsi.bytes"), 4096);
+        assert_eq!(sim.counters().get("net.c3.iscsi.msgs"), 0);
+    }
+
+    #[test]
+    fn active_hosts_split_the_server_bandwidth() {
+        let (_sim, fabric) = setup();
+        let base = fabric.base_params();
+        let one = fabric.host("c0");
+        assert_eq!(one.params().bandwidth_bps, base.bandwidth_bps);
+        fabric.set_active(4);
+        assert_eq!(one.params().bandwidth_bps, base.bandwidth_bps / 4);
+        // Serialization time scales inversely with the share.
+        assert_eq!(
+            one.params().serialize(4096).as_nanos(),
+            base.serialize(4096).as_nanos() * 4
+        );
+        fabric.set_active(1);
+        assert_eq!(one.params().bandwidth_bps, base.bandwidth_bps);
+    }
+
+    #[test]
+    fn degenerate_single_host_matches_point_to_point_timing() {
+        let sim = Sim::new(5);
+        let plain = Network::new(sim.clone(), LinkParams::gigabit_lan());
+        let pc = plain.channel("x", Transport::Tcp);
+        let (sim2, fabric) = setup();
+        let fc = fabric.host("c0").channel("x", Transport::Tcp);
+        assert_eq!(pc.round_trip(1000, 200), fc.round_trip(1000, 200));
+        assert_eq!(pc.stream(65_536, 16), fc.stream(65_536, 16));
+        drop((sim, sim2));
+    }
+
+    #[test]
+    fn rtt_fan_out_reaches_existing_and_future_hosts() {
+        let (_sim, fabric) = setup();
+        let early = fabric.host("c0");
+        fabric.set_rtt(SimDuration::from_millis(30));
+        let late = fabric.host("c1");
+        assert_eq!(early.params().rtt, SimDuration::from_millis(30));
+        assert_eq!(late.params().rtt, SimDuration::from_millis(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0,1)")]
+    fn fabric_rejects_invalid_loss() {
+        let sim = Sim::new(1);
+        let _ = Fabric::new(
+            sim,
+            LinkParams {
+                loss: -0.1,
+                ..LinkParams::gigabit_lan()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active host")]
+    fn zero_active_hosts_is_rejected() {
+        let (_sim, fabric) = setup();
+        fabric.set_active(0);
+    }
+}

@@ -29,8 +29,10 @@
 //! assert_eq!(sim.counters().get("net.rpc.msgs"), 2);
 //! ```
 
+pub mod fabric;
 pub mod sniffer;
 
+pub use fabric::{Fabric, LinkShare};
 pub use sniffer::{PacketRecord, Sniffer};
 
 use simkit::{Sim, SimDuration};
@@ -93,6 +95,23 @@ impl LinkParams {
         }
     }
 
+    /// Checks the link invariants. `loss` must be a probability in
+    /// `[0, 1)`; every constructor that accepts a hand-built
+    /// `LinkParams` ([`Network::new`], [`Fabric::new`]) calls this so
+    /// the invariant cannot be bypassed by building the struct
+    /// directly instead of going through [`Network::set_loss`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `loss` is in `[0, 1)`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.loss),
+            "loss must be in [0,1), got {}",
+            self.loss
+        );
+    }
+
     /// Serialization (transmission) delay for `bytes` on this link.
     pub fn serialize(&self, bytes: u64) -> SimDuration {
         SimDuration::from_nanos(bytes.saturating_mul(8_000_000_000) / self.bandwidth_bps)
@@ -114,27 +133,70 @@ pub struct Network {
     rtt: Cell<SimDuration>,
     bandwidth_bps: Cell<u64>,
     loss: Cell<f64>,
+    /// Host name when this endpoint belongs to a [`Fabric`]; channels
+    /// then also account under `net.<host>.<label>.*`.
+    host: Option<String>,
+    /// Server-side link shared with the fabric's other endpoints;
+    /// effective bandwidth is the base divided by the active count.
+    share: Option<Rc<LinkShare>>,
     /// Optional passive tap (the paper's Ethereal).
     sniffer: RefCell<Option<Rc<Sniffer>>>,
 }
 
 impl Network {
     /// Creates a link with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.loss` is outside `[0, 1)`.
     pub fn new(sim: Rc<Sim>, params: LinkParams) -> Rc<Self> {
+        params.validate();
         Rc::new(Network {
             sim,
             rtt: Cell::new(params.rtt),
             bandwidth_bps: Cell::new(params.bandwidth_bps),
             loss: Cell::new(params.loss),
+            host: None,
+            share: None,
             sniffer: RefCell::new(None),
         })
     }
 
-    /// Current link parameters.
+    /// Creates a fabric endpoint: a link named `host` whose channels
+    /// additionally account under `net.<host>.<label>.*` and whose
+    /// effective bandwidth is `params.bandwidth_bps` divided by the
+    /// number of active hosts on `share`.
+    pub(crate) fn endpoint(
+        sim: Rc<Sim>,
+        params: LinkParams,
+        host: String,
+        share: Rc<LinkShare>,
+    ) -> Rc<Self> {
+        params.validate();
+        Rc::new(Network {
+            sim,
+            rtt: Cell::new(params.rtt),
+            bandwidth_bps: Cell::new(params.bandwidth_bps),
+            loss: Cell::new(params.loss),
+            host: Some(host),
+            share: Some(share),
+            sniffer: RefCell::new(None),
+        })
+    }
+
+    /// The host name, when this endpoint belongs to a [`Fabric`].
+    pub fn host(&self) -> Option<&str> {
+        self.host.as_deref()
+    }
+
+    /// Current link parameters. On a fabric endpoint the bandwidth is
+    /// the contended share: base bandwidth divided by the number of
+    /// hosts currently marked active on the shared server link.
     pub fn params(&self) -> LinkParams {
+        let contenders = self.share.as_ref().map_or(1, |s| s.active().max(1));
         LinkParams {
             rtt: self.rtt.get(),
-            bandwidth_bps: self.bandwidth_bps.get(),
+            bandwidth_bps: self.bandwidth_bps.get() / contenders as u64,
             loss: self.loss.get(),
         }
     }
@@ -176,6 +238,16 @@ impl Network {
         let bytes = c.handle(&format!("net.{label}.bytes"));
         let total_msgs = c.handle("net.total.msgs");
         let total_bytes = c.handle("net.total.bytes");
+        // Fabric endpoints additionally account per host, layered over
+        // the per-label and grand totals. A plain point-to-point
+        // `Network` registers no extra names, keeping single-client
+        // reports byte-identical.
+        let host = self.host.as_ref().map(|h| {
+            (
+                c.handle(&format!("net.{h}.{label}.msgs")),
+                c.handle(&format!("net.{h}.{label}.bytes")),
+            )
+        });
         Channel {
             net: Rc::clone(self),
             label,
@@ -184,6 +256,7 @@ impl Network {
             bytes,
             total_msgs,
             total_bytes,
+            host,
         }
     }
 }
@@ -198,6 +271,8 @@ pub struct Channel {
     bytes: simkit::CounterHandle,
     total_msgs: simkit::CounterHandle,
     total_bytes: simkit::CounterHandle,
+    /// `(msgs, bytes)` under `net.<host>.<label>.*` on fabric endpoints.
+    host: Option<(simkit::CounterHandle, simkit::CounterHandle)>,
 }
 
 /// Outcome of an unreliable send.
@@ -232,6 +307,9 @@ impl Channel {
     pub fn account_extra_bytes(&self, bytes: u64) {
         self.bytes.add(bytes);
         self.total_bytes.add(bytes);
+        if let Some((_, host_bytes)) = &self.host {
+            host_bytes.add(bytes);
+        }
     }
 
     fn account(&self, payload: u64) {
@@ -243,6 +321,10 @@ impl Channel {
         self.bytes.add(wire);
         self.total_msgs.incr();
         self.total_bytes.add(wire);
+        if let Some((host_msgs, host_bytes)) = &self.host {
+            host_msgs.incr();
+            host_bytes.add(wire);
+        }
     }
 
     /// Sends one message of `payload` bytes; returns its fate. TCP
@@ -276,8 +358,17 @@ impl Channel {
     /// where only the first segment pays propagation).
     pub fn stream(&self, bytes: u64, nmsgs: u64) -> SimDuration {
         let p = self.net.params();
-        for _ in 0..nmsgs {
-            self.account(bytes / nmsgs.max(1));
+        // Even segments, with the division remainder carried by the
+        // final one so `net.*.bytes` accounts every byte of transfers
+        // that don't divide evenly.
+        let base = bytes / nmsgs.max(1);
+        for i in 0..nmsgs {
+            let tail = if i + 1 == nmsgs {
+                bytes - base * nmsgs
+            } else {
+                0
+            };
+            self.account(base + tail);
         }
         p.rtt / 2 + p.serialize(bytes + nmsgs * self.transport.header_bytes())
     }
@@ -358,6 +449,49 @@ mod tests {
         let d = ch.stream(1_000_000, 8);
         let expected = p.rtt / 2 + p.serialize(1_000_000 + 8 * Transport::Tcp.header_bytes());
         assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn stream_accounts_every_byte_of_uneven_transfers() {
+        let (sim, net) = setup();
+        let ch = net.channel("s", Transport::Tcp);
+        // 1003 / 4 = 250 rem 3: the final segment must carry the
+        // remainder instead of dropping it.
+        ch.stream(1003, 4);
+        let hdr = Transport::Tcp.header_bytes();
+        assert_eq!(sim.counters().get("net.s.msgs"), 4);
+        assert_eq!(sim.counters().get("net.s.bytes"), 1003 + 4 * hdr);
+        assert_eq!(sim.counters().get("net.total.bytes"), 1003 + 4 * hdr);
+    }
+
+    #[test]
+    fn stream_with_zero_messages_accounts_nothing() {
+        let (sim, net) = setup();
+        let ch = net.channel("z", Transport::Tcp);
+        ch.stream(512, 0);
+        assert_eq!(sim.counters().get("net.z.msgs"), 0);
+        assert_eq!(sim.counters().get("net.z.bytes"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0,1)")]
+    fn hand_built_loss_is_rejected_at_construction() {
+        let sim = Sim::new(7);
+        let params = LinkParams {
+            loss: 1.5,
+            ..LinkParams::gigabit_lan()
+        };
+        let _ = Network::new(sim, params);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0,1)")]
+    fn loss_of_exactly_one_is_rejected() {
+        LinkParams {
+            loss: 1.0,
+            ..LinkParams::gigabit_lan()
+        }
+        .validate();
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::pagecache::{PageCache, PAGE_SIZE};
 use crate::server::NfsServer;
-use crate::{CacheTimeouts, Enhancements, Fh, Version};
+use crate::{CacheTimeouts, ClientId, Enhancements, Fh, Version};
 use cpu::{CostModel, CpuAccount};
 use ext3::{Attr, DirEntry, FsError, FsResult, SetAttr};
 use rpc::RpcClient;
@@ -55,6 +55,10 @@ pub struct NfsConfig {
     pub enhancements: Enhancements,
     /// Updates batched per aggregated flush under directory delegation.
     pub delegation_batch: usize,
+    /// Which client this is, for the server's per-client accounting in
+    /// multi-host topologies. 0 (the only client) in the paper's
+    /// single-client testbed.
+    pub client_id: u32,
 }
 
 impl NfsConfig {
@@ -70,6 +74,7 @@ impl NfsConfig {
             read_pipeline: 4,
             enhancements: Enhancements::default(),
             delegation_batch: 32,
+            client_id: 0,
         }
     }
 }
@@ -158,6 +163,7 @@ impl NfsClient {
         cpu: Rc<CpuAccount>,
         cost: CostModel,
     ) -> NfsClient {
+        server.register_client(ClientId(cfg.client_id));
         NfsClient {
             sim,
             rpc,
@@ -178,6 +184,11 @@ impl NfsClient {
         }
     }
 
+    /// This client's identity in the server's per-client accounting.
+    fn id(&self) -> ClientId {
+        ClientId(self.cfg.client_id)
+    }
+
     /// Performs the mount handshake and returns the root handle. For
     /// v2/v3 this is the separate MOUNT protocol (mountd) plus an
     /// FSINFO probe; v4 folds mounting into the main protocol with a
@@ -194,7 +205,7 @@ impl NfsClient {
             }
         }
         let root = self.server.root_fh();
-        if let Ok(attr) = self.server.getattr(root) {
+        if let Ok(attr) = self.server.getattr(self.id(), root) {
             self.prime_attr(root, &attr);
         }
         root
@@ -324,10 +335,10 @@ impl NfsClient {
             crate::xdr::lookup_reply_len() as u64,
             1,
         );
-        let (fh, attr) = self.server.lookup(dir, name)?;
+        let (fh, attr) = self.server.lookup(self.id(), dir, name)?;
         if self.cfg.version.access_per_component() {
             self.rpc_sync("access", 128, 128, 1);
-            let _ = self.server.access(fh);
+            let _ = self.server.access(self.id(), fh);
         }
         self.prime_attr(fh, &attr);
         self.prime_dentry(dir, name, fh);
@@ -347,7 +358,7 @@ impl NfsClient {
         self.charge_client();
         if self.cfg.enhancements.consistent_metadata_cache && self.attrs.borrow().contains_key(&fh)
         {
-            return self.server.getattr(fh);
+            return self.server.getattr(self.id(), fh);
         }
         self.rpc_sync(
             "getattr",
@@ -355,7 +366,7 @@ impl NfsClient {
             crate::xdr::getattr_reply_len() as u64,
             1,
         );
-        let attr = self.server.getattr(fh)?;
+        let attr = self.server.getattr(self.id(), fh)?;
         self.prime_attr(fh, &attr);
         Ok(attr)
     }
@@ -376,7 +387,7 @@ impl NfsClient {
         if !fresh {
             self.rpc_sync("getattr", 128, 128, 1);
         }
-        let attr = self.server.getattr(fh)?;
+        let attr = self.server.getattr(self.id(), fh)?;
         if !fresh {
             self.prime_attr(fh, &attr);
         }
@@ -399,10 +410,10 @@ impl NfsClient {
         };
         if self.cfg.enhancements.consistent_metadata_cache && self.attrs.borrow().contains_key(&fh)
         {
-            return self.server.getattr(fh);
+            return self.server.getattr(self.id(), fh);
         }
         self.rpc_sync(proc_name, 128, 128, 1);
-        let attr = self.server.access(fh)?;
+        let attr = self.server.access(self.id(), fh)?;
         self.prime_attr(fh, &attr);
         Ok(attr)
     }
@@ -507,7 +518,8 @@ impl NfsClient {
     pub fn mkdir(&self, dir: Fh, name: &str, perm: u16) -> FsResult<Fh> {
         self.lookup_expect_absent(dir, name)?;
         self.v4_bookkeeping("mkdir", self.attr_cached_fresh(dir) || self.delegated(dir));
-        let (fh, attr) = self.update_op(dir, &["mkdir"], |s| s.mkdir(dir, name, perm))?;
+        let (fh, attr) =
+            self.update_op(dir, &["mkdir"], |s| s.mkdir(self.id(), dir, name, perm))?;
         self.prime_attr(fh, &attr);
         self.prime_dentry(dir, name, fh);
         Ok(fh)
@@ -527,7 +539,7 @@ impl NfsClient {
             Version::V2 | Version::V3 => &["create", "getattr"],
             Version::V4 => &["open", "open_confirm"],
         };
-        let (fh, attr) = self.update_op(dir, procs, |s| s.create(dir, name, perm))?;
+        let (fh, attr) = self.update_op(dir, procs, |s| s.create(self.id(), dir, name, perm))?;
         self.prime_attr(fh, &attr);
         self.prime_dentry(dir, name, fh);
         Ok(fh)
@@ -541,7 +553,7 @@ impl NfsClient {
     pub fn rmdir(&self, dir: Fh, name: &str) -> FsResult<()> {
         let _ = self.lookup(dir, name)?;
         self.v4_bookkeeping("rmdir", false);
-        self.update_op(dir, &["rmdir"], |s| s.rmdir(dir, name))?;
+        self.update_op(dir, &["rmdir"], |s| s.rmdir(self.id(), dir, name))?;
         self.drop_dentry(dir, name);
         Ok(())
     }
@@ -554,7 +566,7 @@ impl NfsClient {
     pub fn unlink(&self, dir: Fh, name: &str) -> FsResult<()> {
         let fh = self.lookup(dir, name)?;
         self.v4_bookkeeping("unlink", false);
-        self.update_op(dir, &["remove"], |s| s.remove(dir, name))?;
+        self.update_op(dir, &["remove"], |s| s.remove(self.id(), dir, name))?;
         self.drop_dentry(dir, name);
         self.pages.invalidate_file(fh);
         Ok(())
@@ -573,7 +585,7 @@ impl NfsClient {
         } else {
             &["link", "getattr"]
         };
-        self.update_op(dir, procs, |s| s.link(dir, name, target))?;
+        self.update_op(dir, procs, |s| s.link(self.id(), dir, name, target))?;
         self.prime_dentry(dir, name, target);
         self.attrs.borrow_mut().remove(&target); // link count changed
         Ok(())
@@ -592,7 +604,7 @@ impl NfsClient {
         } else {
             &["symlink"]
         };
-        let fh = self.update_op(dir, procs, |s| s.symlink(dir, name, target))?;
+        let fh = self.update_op(dir, procs, |s| s.symlink(self.id(), dir, name, target))?;
         self.prime_dentry(dir, name, fh);
         Ok(fh)
     }
@@ -607,10 +619,10 @@ impl NfsClient {
         self.charge_client();
         if self.cfg.enhancements.consistent_metadata_cache && self.attrs.borrow().contains_key(&fh)
         {
-            return self.server.readlink(fh);
+            return self.server.readlink(self.id(), fh);
         }
         self.rpc_sync("readlink", 128, 256, 1);
-        self.server.readlink(fh)
+        self.server.readlink(self.id(), fh)
     }
 
     /// RENAME.
@@ -628,7 +640,9 @@ impl NfsClient {
         } else {
             &["rename", "getattr"]
         };
-        self.update_op(sdir, procs, |s| s.rename(sdir, sname, ddir, dname))?;
+        self.update_op(sdir, procs, |s| {
+            s.rename(self.id(), sdir, sname, ddir, dname)
+        })?;
         let moved = self
             .dentries
             .borrow_mut()
@@ -660,7 +674,7 @@ impl NfsClient {
         for p in procs {
             self.rpc_sync(p, 256, 256, 1);
         }
-        let attr = self.server.setattr(fh, set)?;
+        let attr = self.server.setattr(self.id(), fh, set)?;
         self.prime_attr(fh, &attr);
         if set.size.is_some() {
             self.pages.invalidate_file(fh);
@@ -677,7 +691,7 @@ impl NfsClient {
     pub fn readdir(&self, dir: Fh) -> FsResult<Vec<DirEntry>> {
         self.charge_client();
         self.v4_bookkeeping("readdir", self.attr_cached_fresh(dir));
-        let entries = self.server.readdir(dir)?;
+        let entries = self.server.readdir(self.id(), dir)?;
         self.rpc_sync("readdir", 128, 128 + entries.len() as u64 * 32, 1);
         Ok(entries)
     }
@@ -694,7 +708,7 @@ impl NfsClient {
         self.v4_bookkeeping("open", cached);
         let attr = if self.cfg.version == Version::V4 {
             self.rpc_sync("open", 256, 256, 1);
-            let a = self.server.getattr(fh)?;
+            let a = self.server.getattr(self.id(), fh)?;
             self.prime_attr(fh, &a);
             if self.cfg.enhancements.file_delegation {
                 // The OPEN response carries a read delegation; cached
@@ -718,7 +732,7 @@ impl NfsClient {
         if self.cfg.version.async_writes() && self.has_dirty(fh) {
             self.drain_dirty(0);
             self.rpc_sync("commit", 128, 128, 1);
-            let _ = self.server.commit(fh);
+            let _ = self.server.commit(self.id(), fh);
             self.pages.clean_file(fh);
         }
         if self.cfg.version == Version::V4 {
@@ -787,7 +801,9 @@ impl NfsClient {
                 let n = (run_end - p + 1).min(xfer_pages);
                 let bytes = n * PAGE_SIZE as u64;
                 self.rpc_sync("read", 128, 128 + bytes, pipeline);
-                let data = self.server.read(fh, p * PAGE_SIZE as u64, bytes as usize)?;
+                let data = self
+                    .server
+                    .read(self.id(), fh, p * PAGE_SIZE as u64, bytes as usize)?;
                 for (i, chunk) in data.chunks(PAGE_SIZE).enumerate() {
                     self.pages.insert_clean(fh, p + i as u64, chunk);
                 }
@@ -836,7 +852,7 @@ impl NfsClient {
             }
             prior => {
                 self.rpc_sync("getattr", 128, 128, 1);
-                let attr = self.server.getattr(fh)?;
+                let attr = self.server.getattr(self.id(), fh)?;
                 if let Some((_, mtime)) = prior {
                     if mtime != attr.mtime {
                         self.pages.invalidate_file(fh);
@@ -889,7 +905,7 @@ impl NfsClient {
         }
         // Semantics: the server sees the data now; message timing
         // depends on the version.
-        self.server.write(fh, off, data)?;
+        self.server.write(self.id(), fh, off, data)?;
         let xfer = self.cfg.version.transfer_size();
         let mut remaining = data.len() as u64;
         let mut chunk_off = off;
@@ -1009,7 +1025,7 @@ impl NfsClient {
                 }
             }
             self.rpc_sync("commit", 128, 128, 1);
-            self.server.commit(fh)?;
+            self.server.commit(self.id(), fh)?;
         }
         self.pages.clean_file(fh);
         Ok(())
@@ -1024,7 +1040,7 @@ impl NfsClient {
     pub fn statfs(&self) -> FsResult<ext3::StatFs> {
         self.charge_client();
         self.rpc_sync("fsstat", 128, 128, 1);
-        self.server.fsstat()
+        self.server.fsstat(self.id())
     }
 
     // -- helpers -------------------------------------------------------
@@ -1062,7 +1078,7 @@ impl NfsClient {
             crate::xdr::lookup_reply_len() as u64,
             1,
         );
-        let (fh, attr) = self.server.lookup(dir, name)?;
+        let (fh, attr) = self.server.lookup(self.id(), dir, name)?;
         self.prime_attr(fh, &attr);
         self.prime_dentry(dir, name, fh);
         Ok(fh)

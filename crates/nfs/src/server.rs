@@ -7,7 +7,7 @@
 //! server file system, whose cache misses consume simulated disk time
 //! while the client waits.
 
-use crate::Fh;
+use crate::{ClientId, Fh};
 use cpu::{CostModel, CpuAccount};
 use ext3::{Attr, DirEntry, Ext3, FsResult, SetAttr};
 use std::rc::Rc;
@@ -17,6 +17,10 @@ pub struct NfsServer {
     fs: Ext3,
     cpu: Rc<CpuAccount>,
     cost: CostModel,
+    /// Distinct clients that have mounted this server. Per-client
+    /// procedure counters are only emitted once more than one client
+    /// is registered, so single-client runs register no extra names.
+    clients: std::cell::Cell<u32>,
 }
 
 impl std::fmt::Debug for NfsServer {
@@ -28,7 +32,12 @@ impl std::fmt::Debug for NfsServer {
 impl NfsServer {
     /// Creates a server exporting `fs`, charging CPU time to `cpu`.
     pub fn new(fs: Ext3, cpu: Rc<CpuAccount>, cost: CostModel) -> NfsServer {
-        NfsServer { fs, cpu, cost }
+        NfsServer {
+            fs,
+            cpu,
+            cost,
+            clients: std::cell::Cell::new(0),
+        }
     }
 
     /// The exported root file handle.
@@ -47,6 +56,17 @@ impl NfsServer {
         &self.cpu
     }
 
+    /// Registers a mounting client. Called by `NfsClient::new`; the
+    /// count controls whether per-client procedure counters are kept.
+    pub fn register_client(&self, who: ClientId) {
+        self.clients.set(self.clients.get().max(who.0 + 1));
+    }
+
+    /// Clients registered against this server.
+    pub fn client_count(&self) -> u32 {
+        self.clients.get()
+    }
+
     /// Runs one procedure `f`, charging the per-RPC processing path up
     /// front and, afterwards, the extra VFS/file-system/block
     /// traversals caused by server buffer-cache misses — the effect
@@ -54,12 +74,17 @@ impl NfsServer {
     /// defeat its cache (paper §5.4, PostMark).
     fn run<T>(
         &self,
+        who: ClientId,
         proc_name: &str,
         bytes: u64,
         f: impl FnOnce(&Ext3) -> FsResult<T>,
     ) -> FsResult<T> {
         let sim = self.fs.sim().clone();
         sim.counters().incr(&format!("nfs.server.proc.{proc_name}"));
+        if self.clients.get() > 1 {
+            sim.counters()
+                .incr(&format!("nfs.server.{who}.{proc_name}"));
+        }
         let c = self.cost.nfs_request(bytes);
         self.cpu.charge_tagged(sim.now(), c, "nfs.server");
         // Synchronous RPCs hold the client until the server's
@@ -105,8 +130,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Mirrors the underlying file-system errors.
-    pub fn lookup(&self, dir: Fh, name: &str) -> FsResult<(Fh, Attr)> {
-        self.run("lookup", 0, |fs| {
+    pub fn lookup(&self, who: ClientId, dir: Fh, name: &str) -> FsResult<(Fh, Attr)> {
+        self.run(who, "lookup", 0, |fs| {
             let ino = fs.lookup(dir.0, name)?;
             Ok((Fh(ino), fs.getattr(ino)?))
         })
@@ -117,8 +142,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// [`ext3::FsError::NotFound`] on a stale handle.
-    pub fn getattr(&self, fh: Fh) -> FsResult<Attr> {
-        self.run("getattr", 0, |fs| fs.getattr(fh.0))
+    pub fn getattr(&self, who: ClientId, fh: Fh) -> FsResult<Attr> {
+        self.run(who, "getattr", 0, |fs| fs.getattr(fh.0))
     }
 
     /// SETATTR (chmod/chown/utimes/truncate).
@@ -126,8 +151,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn setattr(&self, fh: Fh, set: SetAttr) -> FsResult<Attr> {
-        self.run("setattr", 0, |fs| fs.setattr(fh.0, set))
+    pub fn setattr(&self, who: ClientId, fh: Fh, set: SetAttr) -> FsResult<Attr> {
+        self.run(who, "setattr", 0, |fs| fs.setattr(fh.0, set))
     }
 
     /// ACCESS (v3+) — permission probe.
@@ -135,8 +160,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// [`ext3::FsError::NotFound`] on a stale handle.
-    pub fn access(&self, fh: Fh) -> FsResult<Attr> {
-        self.run("access", 0, |fs| fs.getattr(fh.0))
+    pub fn access(&self, who: ClientId, fh: Fh) -> FsResult<Attr> {
+        self.run(who, "access", 0, |fs| fs.getattr(fh.0))
     }
 
     /// CREATE.
@@ -144,8 +169,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors ([`ext3::FsError::Exists`], ...).
-    pub fn create(&self, dir: Fh, name: &str, perm: u16) -> FsResult<(Fh, Attr)> {
-        self.run("create", 0, |fs| {
+    pub fn create(&self, who: ClientId, dir: Fh, name: &str, perm: u16) -> FsResult<(Fh, Attr)> {
+        self.run(who, "create", 0, |fs| {
             let ino = fs.create(dir.0, name, perm)?;
             Ok((Fh(ino), fs.getattr(ino)?))
         })
@@ -156,8 +181,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn mkdir(&self, dir: Fh, name: &str, perm: u16) -> FsResult<(Fh, Attr)> {
-        self.run("mkdir", 0, |fs| {
+    pub fn mkdir(&self, who: ClientId, dir: Fh, name: &str, perm: u16) -> FsResult<(Fh, Attr)> {
+        self.run(who, "mkdir", 0, |fs| {
             let ino = fs.mkdir(dir.0, name, perm)?;
             Ok((Fh(ino), fs.getattr(ino)?))
         })
@@ -168,8 +193,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn rmdir(&self, dir: Fh, name: &str) -> FsResult<()> {
-        self.run("rmdir", 0, |fs| fs.rmdir(dir.0, name))
+    pub fn rmdir(&self, who: ClientId, dir: Fh, name: &str) -> FsResult<()> {
+        self.run(who, "rmdir", 0, |fs| fs.rmdir(dir.0, name))
     }
 
     /// REMOVE (unlink).
@@ -177,8 +202,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn remove(&self, dir: Fh, name: &str) -> FsResult<()> {
-        self.run("remove", 0, |fs| fs.unlink(dir.0, name))
+    pub fn remove(&self, who: ClientId, dir: Fh, name: &str) -> FsResult<()> {
+        self.run(who, "remove", 0, |fs| fs.unlink(dir.0, name))
     }
 
     /// LINK.
@@ -186,8 +211,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn link(&self, dir: Fh, name: &str, target: Fh) -> FsResult<()> {
-        self.run("link", 0, |fs| fs.link(dir.0, name, target.0))
+    pub fn link(&self, who: ClientId, dir: Fh, name: &str, target: Fh) -> FsResult<()> {
+        self.run(who, "link", 0, |fs| fs.link(dir.0, name, target.0))
     }
 
     /// SYMLINK.
@@ -195,8 +220,10 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn symlink(&self, dir: Fh, name: &str, target: &str) -> FsResult<Fh> {
-        self.run("symlink", 0, |fs| Ok(Fh(fs.symlink(dir.0, name, target)?)))
+    pub fn symlink(&self, who: ClientId, dir: Fh, name: &str, target: &str) -> FsResult<Fh> {
+        self.run(who, "symlink", 0, |fs| {
+            Ok(Fh(fs.symlink(dir.0, name, target)?))
+        })
     }
 
     /// READLINK.
@@ -204,8 +231,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn readlink(&self, fh: Fh) -> FsResult<String> {
-        self.run("readlink", 0, |fs| fs.readlink(fh.0))
+    pub fn readlink(&self, who: ClientId, fh: Fh) -> FsResult<String> {
+        self.run(who, "readlink", 0, |fs| fs.readlink(fh.0))
     }
 
     /// RENAME.
@@ -213,8 +240,17 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn rename(&self, sdir: Fh, sname: &str, ddir: Fh, dname: &str) -> FsResult<()> {
-        self.run("rename", 0, |fs| fs.rename(sdir.0, sname, ddir.0, dname))
+    pub fn rename(
+        &self,
+        who: ClientId,
+        sdir: Fh,
+        sname: &str,
+        ddir: Fh,
+        dname: &str,
+    ) -> FsResult<()> {
+        self.run(who, "rename", 0, |fs| {
+            fs.rename(sdir.0, sname, ddir.0, dname)
+        })
     }
 
     /// READDIR.
@@ -222,8 +258,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn readdir(&self, dir: Fh) -> FsResult<Vec<DirEntry>> {
-        self.run("readdir", 0, |fs| fs.readdir(dir.0))
+    pub fn readdir(&self, who: ClientId, dir: Fh) -> FsResult<Vec<DirEntry>> {
+        self.run(who, "readdir", 0, |fs| fs.readdir(dir.0))
     }
 
     /// READ: returns up to `len` bytes. Server cache misses consume
@@ -232,8 +268,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn read(&self, fh: Fh, off: u64, len: usize) -> FsResult<Vec<u8>> {
-        self.run("read", len as u64, |fs| fs.read(fh.0, off, len))
+    pub fn read(&self, who: ClientId, fh: Fh, off: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.run(who, "read", len as u64, |fs| fs.read(fh.0, off, len))
     }
 
     /// WRITE: applied to the server's page cache; stability is the
@@ -242,8 +278,10 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn write(&self, fh: Fh, off: u64, data: &[u8]) -> FsResult<usize> {
-        self.run("write", data.len() as u64, |fs| fs.write(fh.0, off, data))
+    pub fn write(&self, who: ClientId, fh: Fh, off: u64, data: &[u8]) -> FsResult<usize> {
+        self.run(who, "write", data.len() as u64, |fs| {
+            fs.write(fh.0, off, data)
+        })
     }
 
     /// FSSTAT/STATFS: file-system-wide statistics.
@@ -251,8 +289,8 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn fsstat(&self) -> FsResult<ext3::StatFs> {
-        self.run("fsstat", 0, |fs| fs.statfs())
+    pub fn fsstat(&self, who: ClientId) -> FsResult<ext3::StatFs> {
+        self.run(who, "fsstat", 0, |fs| fs.statfs())
     }
 
     /// COMMIT (v3): force the written data to stable storage.
@@ -260,7 +298,7 @@ impl NfsServer {
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn commit(&self, fh: Fh) -> FsResult<()> {
-        self.run("commit", 0, |fs| fs.fsync(fh.0))
+    pub fn commit(&self, who: ClientId, fh: Fh) -> FsResult<()> {
+        self.run(who, "commit", 0, |fs| fs.fsync(fh.0))
     }
 }

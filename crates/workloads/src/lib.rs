@@ -19,5 +19,5 @@ pub mod shell;
 
 pub use dss::{DssConfig, DssReport};
 pub use oltp::{OltpConfig, OltpReport};
-pub use postmark::{PostmarkConfig, PostmarkReport};
+pub use postmark::{PostmarkConfig, PostmarkReport, Session as PostmarkSession};
 pub use shell::{ShellReport, TreeSpec};

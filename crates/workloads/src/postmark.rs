@@ -6,6 +6,13 @@
 //! and finally deletes the pool. Its meta-data intensity — creates,
 //! deletes, and lookups dominating data transfer — is what exposes the
 //! NFS/iSCSI gap in the paper's Table 5.
+//!
+//! Two entry points: [`run`] executes the whole benchmark on one file
+//! system, and [`Session`] exposes the same benchmark one transaction
+//! at a time, so a multi-client experiment can interleave N clients'
+//! transactions round-robin on the shared simulation clock. `run` is
+//! implemented on top of `Session` and draws the identical RNG
+//! sequence it always has.
 
 use simkit::SplitMix64;
 use vfs::FileSystem;
@@ -61,6 +68,182 @@ pub struct PostmarkReport {
     pub bytes_written: u64,
 }
 
+/// A PostMark run driven one transaction at a time.
+///
+/// Call [`setup`](Session::setup) once, then [`step`](Session::step)
+/// until it returns `false`, then [`teardown`](Session::teardown).
+/// [`run`] wraps this sequence for the single-client case.
+pub struct Session<'a> {
+    fs: &'a dyn FileSystem,
+    dir: String,
+    cfg: PostmarkConfig,
+    rng: SplitMix64,
+    report: PostmarkReport,
+    next_id: u64,
+    /// Live files: `(id, size)`.
+    pool: Vec<(u64, usize)>,
+    remaining: usize,
+}
+
+impl<'a> Session<'a> {
+    /// Prepares a session over `fs` rooted at `dir` (created by
+    /// [`setup`](Session::setup) if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_size > max_size` or `file_count == 0`.
+    pub fn new(fs: &'a dyn FileSystem, dir: &str, cfg: PostmarkConfig) -> Session<'a> {
+        assert!(cfg.min_size <= cfg.max_size && cfg.file_count > 0);
+        Session {
+            fs,
+            dir: dir.to_string(),
+            rng: SplitMix64::new(cfg.seed),
+            report: PostmarkReport::default(),
+            next_id: 0,
+            pool: Vec::with_capacity(cfg.file_count),
+            remaining: cfg.transactions,
+            cfg,
+        }
+    }
+
+    fn subdirs(&self) -> u64 {
+        self.cfg.subdirs.max(1) as u64
+    }
+
+    fn path(&self, id: u64) -> String {
+        format!("{}/s{}/pm{id}", self.dir, id % self.subdirs())
+    }
+
+    /// "Random text": mixed printable bytes, deterministic.
+    fn payload(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| (self.rng.below(94) + 32) as u8).collect()
+    }
+
+    /// Creates one pool file of random size (used by both the setup
+    /// phase and create transactions).
+    fn create_file(&mut self) -> Result<(), ext3::FsError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let size = self
+            .rng
+            .range_inclusive(self.cfg.min_size as u64, self.cfg.max_size as u64)
+            as usize;
+        self.fs.creat(&self.path(id))?;
+        let fd = self.fs.open(&self.path(id))?;
+        let data = self.payload(size);
+        self.fs.write(fd, 0, &data)?;
+        self.fs.close(fd)?;
+        self.report.created += 1;
+        self.report.bytes_written += size as u64;
+        self.pool.push((id, size));
+        Ok(())
+    }
+
+    /// Phase 1: creates the directory tree and the initial file pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors (e.g. out of space).
+    pub fn setup(&mut self) -> Result<(), ext3::FsError> {
+        match self.fs.mkdir(&self.dir) {
+            Ok(()) | Err(ext3::FsError::Exists) => {}
+            Err(e) => return Err(e),
+        }
+        for s in 0..self.subdirs() {
+            match self.fs.mkdir(&format!("{}/s{s}", self.dir)) {
+                Ok(()) | Err(ext3::FsError::Exists) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for _ in 0..self.cfg.file_count {
+            self.create_file()?;
+        }
+        Ok(())
+    }
+
+    /// Transactions not yet run.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Phase 2, one step: runs a single transaction. Returns `false`
+    /// once all transactions have run (and runs nothing further).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn step(&mut self) -> Result<bool, ext3::FsError> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        self.remaining -= 1;
+        let create_delete = self.rng.below(2) == 0;
+        if create_delete {
+            if self.rng.below(2) == 0 || self.pool.is_empty() {
+                self.create_file()?;
+            } else {
+                // Delete a random file.
+                let idx = self.rng.below(self.pool.len() as u64) as usize;
+                let (id, _) = self.pool.swap_remove(idx);
+                self.fs.unlink(&self.path(id))?;
+                self.report.deleted += 1;
+            }
+        } else if !self.pool.is_empty() {
+            let idx = self.rng.below(self.pool.len() as u64) as usize;
+            if self.rng.below(2) == 0 {
+                // Read the whole file in io_unit chunks.
+                let (id, size) = self.pool[idx];
+                let fd = self.fs.open(&self.path(id))?;
+                let mut off = 0usize;
+                while off < size {
+                    let n = self.fs.read(fd, off as u64, self.cfg.io_unit)?.len();
+                    if n == 0 {
+                        break;
+                    }
+                    off += n;
+                }
+                self.fs.close(fd)?;
+                self.report.reads += 1;
+                self.report.bytes_read += size as u64;
+            } else {
+                // Append a random amount.
+                let (id, size) = self.pool[idx];
+                let extra = self
+                    .rng
+                    .range_inclusive(self.cfg.min_size as u64, self.cfg.max_size as u64)
+                    as usize;
+                let fd = self.fs.open(&self.path(id))?;
+                let data = self.payload(extra);
+                self.fs.write(fd, size as u64, &data)?;
+                self.fs.close(fd)?;
+                self.pool[idx].1 = size + extra;
+                self.report.appends += 1;
+                self.report.bytes_written += extra as u64;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Phase 3: deletes the remaining pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn teardown(&mut self) -> Result<(), ext3::FsError> {
+        let pool: Vec<(u64, usize)> = self.pool.drain(..).collect();
+        for (id, _) in pool {
+            self.fs.unlink(&self.path(id))?;
+            self.report.deleted += 1;
+        }
+        Ok(())
+    }
+
+    /// Operation counts so far.
+    pub fn report(&self) -> PostmarkReport {
+        self.report
+    }
+}
+
 /// Runs PostMark in `dir` (created if needed) on any file system.
 ///
 /// # Errors
@@ -75,107 +258,11 @@ pub fn run(
     dir: &str,
     cfg: PostmarkConfig,
 ) -> Result<PostmarkReport, ext3::FsError> {
-    assert!(cfg.min_size <= cfg.max_size && cfg.file_count > 0);
-    let mut rng = SplitMix64::new(cfg.seed);
-    let mut report = PostmarkReport::default();
-    match fs.mkdir(dir) {
-        Ok(()) | Err(ext3::FsError::Exists) => {}
-        Err(e) => return Err(e),
-    }
-
-    let subdirs = cfg.subdirs.max(1) as u64;
-    for s in 0..subdirs {
-        match fs.mkdir(&format!("{dir}/s{s}")) {
-            Ok(()) | Err(ext3::FsError::Exists) => {}
-            Err(e) => return Err(e),
-        }
-    }
-
-    let mut next_id: u64 = 0;
-    let mut pool: Vec<(u64, usize)> = Vec::with_capacity(cfg.file_count); // (id, size)
-    let path = |id: u64| format!("{dir}/s{}/pm{id}", id % subdirs);
-    let payload = |rng: &mut SplitMix64, len: usize| -> Vec<u8> {
-        // "Random text": mixed printable bytes, deterministic.
-        (0..len).map(|_| (rng.below(94) + 32) as u8).collect()
-    };
-
-    // Phase 1: create the initial pool.
-    for _ in 0..cfg.file_count {
-        let id = next_id;
-        next_id += 1;
-        let size = rng.range_inclusive(cfg.min_size as u64, cfg.max_size as u64) as usize;
-        fs.creat(&path(id))?;
-        let fd = fs.open(&path(id))?;
-        let data = payload(&mut rng, size);
-        fs.write(fd, 0, &data)?;
-        fs.close(fd)?;
-        report.created += 1;
-        report.bytes_written += size as u64;
-        pool.push((id, size));
-    }
-
-    // Phase 2: transactions.
-    for _ in 0..cfg.transactions {
-        let create_delete = rng.below(2) == 0;
-        if create_delete {
-            if rng.below(2) == 0 || pool.is_empty() {
-                // Create.
-                let id = next_id;
-                next_id += 1;
-                let size = rng.range_inclusive(cfg.min_size as u64, cfg.max_size as u64) as usize;
-                fs.creat(&path(id))?;
-                let fd = fs.open(&path(id))?;
-                let data = payload(&mut rng, size);
-                fs.write(fd, 0, &data)?;
-                fs.close(fd)?;
-                report.created += 1;
-                report.bytes_written += size as u64;
-                pool.push((id, size));
-            } else {
-                // Delete a random file.
-                let idx = rng.below(pool.len() as u64) as usize;
-                let (id, _) = pool.swap_remove(idx);
-                fs.unlink(&path(id))?;
-                report.deleted += 1;
-            }
-        } else if !pool.is_empty() {
-            let idx = rng.below(pool.len() as u64) as usize;
-            if rng.below(2) == 0 {
-                // Read the whole file in io_unit chunks.
-                let (id, size) = pool[idx];
-                let fd = fs.open(&path(id))?;
-                let mut off = 0usize;
-                while off < size {
-                    let n = fs.read(fd, off as u64, cfg.io_unit)?.len();
-                    if n == 0 {
-                        break;
-                    }
-                    off += n;
-                }
-                fs.close(fd)?;
-                report.reads += 1;
-                report.bytes_read += size as u64;
-            } else {
-                // Append a random amount.
-                let (id, size) = pool[idx];
-                let extra = rng.range_inclusive(cfg.min_size as u64, cfg.max_size as u64) as usize;
-                let fd = fs.open(&path(id))?;
-                let data = payload(&mut rng, extra);
-                fs.write(fd, size as u64, &data)?;
-                fs.close(fd)?;
-                pool[idx].1 = size + extra;
-                report.appends += 1;
-                report.bytes_written += extra as u64;
-            }
-        }
-    }
-
-    // Phase 3: delete the remaining pool.
-    for (id, _) in pool.drain(..) {
-        fs.unlink(&path(id))?;
-        report.deleted += 1;
-    }
-    Ok(report)
+    let mut session = Session::new(fs, dir, cfg);
+    session.setup()?;
+    while session.step()? {}
+    session.teardown()?;
+    Ok(session.report())
 }
 
 #[cfg(test)]

@@ -1,0 +1,138 @@
+//! Cross-client NFS cache consistency (tier 1): in a two-client
+//! topology, one client's writes must become visible to the other
+//! through the standard Linux revalidation windows — attributes after
+//! 3 s, data after 30 s — and the revalidation traffic must show up in
+//! the per-host wire counters that only the reading client pays.
+//! iSCSI's private-LUN model is the control: no cross-visibility, no
+//! consistency traffic.
+
+use ipstorage::core::{Protocol, Testbed, TopologyConfig};
+use simkit::SimDuration;
+
+fn two_clients(protocol: Protocol) -> Testbed {
+    Testbed::build_topology(TopologyConfig::new(protocol).with_clients(2))
+}
+
+/// The writer's update reaches the reader through the 3 s meta-data
+/// window, and the revalidation traffic the window expiry triggers is
+/// billed to the reader's host (`net.c1.*`, `nfs.server.c1.*`), not
+/// the writer's.
+///
+/// The model follows Linux: `stat(2)` always sends one GETATTR
+/// (close-to-open consistency), while path resolution serves from the
+/// dentry cache for 3 s. So a warm stat inside the window costs
+/// exactly one RPC (2 messages), and the first stat after the window
+/// lapses additionally revalidates the dentry with a LOOKUP (4
+/// messages) — the "extra" cross-client consistency traffic.
+#[test]
+fn writer_invalidates_reader_attribute_cache_within_3s() {
+    let tb = two_clients(Protocol::NfsV3);
+    let (writer, reader) = (tb.client_fs(0), tb.client_fs(1));
+    let c = tb.sim().counters();
+
+    writer.creat("/shared").unwrap();
+    let fd = writer.open("/shared").unwrap();
+    writer.write(fd, 0, &[1u8; 512]).unwrap();
+    writer.fsync(fd).unwrap();
+    writer.close(fd).unwrap();
+
+    // The reader's first stat populates its dentry/attribute caches.
+    assert_eq!(reader.stat("/shared").unwrap().size, 512);
+
+    // Inside the 3 s window: the dentry cache answers the resolution,
+    // only the mandatory GETATTR crosses the wire.
+    let snap = c.snapshot();
+    assert_eq!(reader.stat("/shared").unwrap().size, 512);
+    assert_eq!(
+        c.delta_since(&snap, "net.c1.nfs.msgs"),
+        2,
+        "warm stat = one GETATTR round trip, no LOOKUP"
+    );
+    assert_eq!(c.delta_since(&snap, "nfs.server.c1.lookup"), 0);
+    assert_eq!(c.delta_since(&snap, "nfs.server.c1.getattr"), 1);
+
+    // The writer grows the file.
+    let fd = writer.open("/shared").unwrap();
+    writer.write(fd, 512, &[2u8; 512]).unwrap();
+    writer.fsync(fd).unwrap();
+    writer.close(fd).unwrap();
+
+    // Past the window, the reader's next stat revalidates the stale
+    // dentry too — extra consistency traffic, all billed to c1.
+    tb.advance(SimDuration::from_secs(4));
+    let snap = c.snapshot();
+    let after = reader.stat("/shared").unwrap();
+    assert_eq!(after.size, 1024, "revalidation sees the writer's update");
+    assert_eq!(
+        c.delta_since(&snap, "net.c1.nfs.msgs"),
+        4,
+        "stale window adds a LOOKUP revalidation to the GETATTR"
+    );
+    assert_eq!(c.delta_since(&snap, "nfs.server.c1.lookup"), 1);
+    assert_eq!(
+        c.delta_since(&snap, "net.c0.nfs.msgs"),
+        0,
+        "the writer's host sends nothing for the reader's revalidation"
+    );
+}
+
+/// Cached file *data* revalidates on the 30 s window: a reader that
+/// re-reads inside the window keeps serving stale bytes from its page
+/// cache, and sees the writer's bytes once the window lapses.
+#[test]
+fn writer_invalidates_reader_data_cache_within_30s() {
+    let tb = two_clients(Protocol::NfsV3);
+    let (writer, reader) = (tb.client_fs(0), tb.client_fs(1));
+
+    writer.creat("/data").unwrap();
+    let fd = writer.open("/data").unwrap();
+    writer.write(fd, 0, &[0xAAu8; 4096]).unwrap();
+    writer.fsync(fd).unwrap();
+    writer.close(fd).unwrap();
+
+    let fd = reader.open("/data").unwrap();
+    assert_eq!(reader.read(fd, 0, 4096).unwrap(), vec![0xAAu8; 4096]);
+
+    // Overwrite from the writer.
+    let wfd = writer.open("/data").unwrap();
+    writer.write(wfd, 0, &[0xBBu8; 4096]).unwrap();
+    writer.fsync(wfd).unwrap();
+    writer.close(wfd).unwrap();
+
+    // Inside both windows the reader's page cache still answers.
+    assert_eq!(
+        reader.read(fd, 0, 4096).unwrap(),
+        vec![0xAAu8; 4096],
+        "cached data valid inside the 30 s window"
+    );
+
+    // Past the data window, the re-read revalidates and refetches.
+    tb.advance(SimDuration::from_secs(31));
+    assert_eq!(
+        reader.read(fd, 0, 4096).unwrap(),
+        vec![0xBBu8; 4096],
+        "stale data refetched after the 30 s window"
+    );
+    reader.close(fd).unwrap();
+}
+
+/// The control: two iSCSI initiators hold disjoint LUN partitions of
+/// the same target, so one client's writes are invisible to the other
+/// and nothing ever needs revalidating.
+#[test]
+fn iscsi_private_luns_share_nothing() {
+    let tb = two_clients(Protocol::Iscsi);
+    let (a, b) = (tb.client_fs(0), tb.client_fs(1));
+
+    a.creat("/mine").unwrap();
+    let fd = a.open("/mine").unwrap();
+    a.write(fd, 0, &[7u8; 128]).unwrap();
+    a.fsync(fd).unwrap();
+    a.close(fd).unwrap();
+    tb.settle();
+
+    // Client b's private file system never heard of it.
+    assert!(b.stat("/mine").is_err(), "private volumes do not share");
+    // And no NFS-style consistency traffic exists anywhere.
+    assert_eq!(tb.sim().counters().get("nfs.server.proc.getattr"), 0);
+}

@@ -46,3 +46,25 @@ fn cell_seeds_are_schedule_independent() {
         assert_eq!(s, cell_seed(MASTER_SEED, i));
     }
 }
+
+/// The multi-client scaling experiment rides the same engine: its
+/// (clients × protocol) grid must render the same table and report
+/// bytes whether the cells run sequentially or across workers. CI
+/// additionally diffs the full `tables --json scale` output at
+/// `--jobs 1` vs `--jobs 2`.
+#[test]
+fn scale_sweep_is_byte_identical_across_jobs() {
+    use ipstorage::core::experiments::scale::scale_report_jobs;
+    let (t1, r1) = scale_report_jobs(&[1, 2], 40, 80, 1);
+    let (t3, r3) = scale_report_jobs(&[1, 2], 40, 80, 3);
+    assert_eq!(
+        t1.render(),
+        t3.render(),
+        "table bytes independent of --jobs"
+    );
+    assert_eq!(
+        r1.to_json(),
+        r3.to_json(),
+        "report bytes independent of --jobs"
+    );
+}

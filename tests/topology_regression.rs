@@ -1,0 +1,46 @@
+//! N=1 byte-identity anchor for the multi-host fabric refactor.
+//!
+//! The golden fixtures under `tests/golden/` were captured from the
+//! pre-refactor tree by running the release `tables` binary:
+//!
+//! ```text
+//! tables --json --quick table2 > tests/golden/table2_quick.stdout
+//! tables --json --quick table5 > tests/golden/table5_quick.stdout
+//! ```
+//!
+//! With `clients: 1` the topology build must be the degenerate case of
+//! the old point-to-point testbed: same construction order, same RNG
+//! draws, same counter registry, same report bytes. These tests rebuild
+//! the exact stdout of those runner invocations in-process and compare
+//! byte-for-byte against the committed fixtures.
+
+use ipstorage::core::experiments::{macrob, micro};
+use ipstorage::core::{RunReport, Table};
+
+/// Reconstruct the bytes `tables --json` writes for one runner: the
+/// rendered table, a blank line, then the report as one JSON line.
+fn runner_stdout(t: &Table, r: &RunReport) -> String {
+    format!("{}\n\n{}\n", t.render(), r.to_json())
+}
+
+#[test]
+fn table2_matches_pre_refactor_golden() {
+    let golden = include_str!("golden/table2_quick.stdout");
+    let (t, r) = micro::table2_report();
+    assert_eq!(
+        runner_stdout(&t, &r),
+        golden,
+        "single-client table2 output drifted from the pre-refactor golden"
+    );
+}
+
+#[test]
+fn table5_matches_pre_refactor_golden() {
+    let golden = include_str!("golden/table5_quick.stdout");
+    let (t, r) = macrob::table5_report_with(&[1000, 5000], 10_000);
+    assert_eq!(
+        runner_stdout(&t, &r),
+        golden,
+        "single-client table5 (PostMark) output drifted from the pre-refactor golden"
+    );
+}
