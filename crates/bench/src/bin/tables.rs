@@ -8,6 +8,9 @@
 //!                           # byte-identical to --jobs 1)
 //! tables --json table4      # also emit each runner's RunReport as one
 //!                           # JSON line on stdout (see EXPERIMENTS.md)
+//! tables --no-snapshot      # rebuild every setup cold instead of
+//!                           # sharing snapshots (identical output,
+//!                           # slower; CI diffs both modes)
 //! ```
 
 use ipstorage_core::experiments::{data, enhance, macrob, micro, scale};
@@ -17,6 +20,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--no-snapshot") {
+        ipstorage_core::set_snapshots_enabled(false);
+    }
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         let jobs = args
             .get(i + 1)

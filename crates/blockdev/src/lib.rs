@@ -34,7 +34,7 @@ mod raid5;
 mod writecache;
 
 pub use diskmodel::{DiskModel, DiskParams};
-pub use memdisk::MemDisk;
+pub use memdisk::{DiskImage, MemDisk};
 pub use partition::Partition;
 pub use raid5::{Raid5, Raid5Geometry};
 pub use writecache::WriteCache;
@@ -159,6 +159,27 @@ pub trait BlockDevice {
     ///
     /// Fails if the device has failed.
     fn flush(&self) -> Result<IoCost>;
+}
+
+/// Shared handles are devices too: the testbed keeps an `Rc` to each
+/// RAID member's backing store (to export [`DiskImage`] snapshots)
+/// while the timing layers own another.
+impl<T: BlockDevice + ?Sized> BlockDevice for std::rc::Rc<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn block_count(&self) -> u64 {
+        (**self).block_count()
+    }
+    fn read(&self, start: BlockNo, nblocks: u32, buf: &mut [u8]) -> Result<IoCost> {
+        (**self).read(start, nblocks, buf)
+    }
+    fn write(&self, start: BlockNo, data: &[u8]) -> Result<IoCost> {
+        (**self).write(start, data)
+    }
+    fn flush(&self) -> Result<IoCost> {
+        (**self).flush()
+    }
 }
 
 /// Validates a request range and buffer alignment; shared by all

@@ -1,17 +1,65 @@
-//! Sparse in-memory backing store.
+//! Sparse in-memory backing store with copy-on-write layering.
 
 use crate::{check_request, BlockDevice, BlockNo, IoCost, Result, BLOCK_SIZE};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable, shareable image of a [`MemDisk`]'s contents.
+///
+/// Blocks are individually `Arc`-shared, so an image derived from a
+/// disk that was itself forked from an image shares the storage of
+/// every block the fork never wrote. Images are `Send + Sync`: the
+/// snapshot cache hands one image to many worker threads, each of
+/// which builds a private [`MemDisk`] overlay on top of it.
+pub struct DiskImage {
+    name: String,
+    blocks: u64,
+    data: HashMap<BlockNo, Arc<[u8; BLOCK_SIZE]>>,
+}
+
+impl DiskImage {
+    /// Device name the image was captured from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in blocks.
+    pub fn block_count(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Number of blocks with captured (non-zero-fill) content.
+    pub fn touched_blocks(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl std::fmt::Debug for DiskImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskImage")
+            .field("name", &self.name)
+            .field("blocks", &self.blocks)
+            .field("touched", &self.data.len())
+            .finish()
+    }
+}
 
 /// A sparse, in-memory block store with zero-fill semantics for blocks
 /// never written. All operations have zero [`IoCost`]; wrap a
 /// `MemDisk` in a [`DiskModel`](crate::DiskModel) to get mechanical
 /// timing.
+///
+/// A disk may sit on top of a shared immutable [`DiskImage`] base
+/// (see [`MemDisk::from_image`]): reads fall through to the base for
+/// blocks not yet written locally, and every write lands in a private
+/// overlay — the base is never mutated, so many disks can fork from
+/// one image concurrently.
 #[derive(Debug)]
 pub struct MemDisk {
     name: String,
     blocks: u64,
+    base: Option<Arc<DiskImage>>,
     data: RefCell<HashMap<BlockNo, Box<[u8; BLOCK_SIZE]>>>,
 }
 
@@ -21,17 +69,64 @@ impl MemDisk {
         MemDisk {
             name: name.into(),
             blocks,
+            base: None,
             data: RefCell::new(HashMap::new()),
         }
     }
 
-    /// Number of blocks that have ever been written (memory footprint).
+    /// Creates a copy-on-write disk whose initial contents are `image`
+    /// (name and capacity are inherited). Writes divert into a private
+    /// overlay; the image itself is never modified.
+    pub fn from_image(image: Arc<DiskImage>) -> Self {
+        MemDisk {
+            name: image.name.clone(),
+            blocks: image.blocks,
+            base: Some(image),
+            data: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Number of distinct blocks with content, counting both the local
+    /// overlay and any base image (logical footprint).
     pub fn touched_blocks(&self) -> usize {
+        let data = self.data.borrow();
+        match &self.base {
+            None => data.len(),
+            Some(img) => {
+                let unshadowed = img.data.keys().filter(|b| !data.contains_key(b)).count();
+                data.len() + unshadowed
+            }
+        }
+    }
+
+    /// Number of blocks written locally since construction — for a
+    /// disk forked from an image, how far it has diverged (its private
+    /// memory footprint).
+    pub fn diverged_blocks(&self) -> usize {
         self.data.borrow().len()
     }
 
-    /// Discards the content of every block (used to emulate
-    /// reinitialization between experiments).
+    /// Captures the current contents as an immutable image. Blocks
+    /// inherited untouched from a base image share its storage; only
+    /// locally written blocks are copied.
+    pub fn image(&self) -> DiskImage {
+        let overlay = self.data.borrow();
+        let mut data: HashMap<BlockNo, Arc<[u8; BLOCK_SIZE]>> = match &self.base {
+            Some(img) => img.data.clone(),
+            None => HashMap::new(),
+        };
+        for (&block, content) in overlay.iter() {
+            data.insert(block, Arc::new(**content));
+        }
+        DiskImage {
+            name: self.name.clone(),
+            blocks: self.blocks,
+            data,
+        }
+    }
+
+    /// Discards the content of every block, including any base image
+    /// (used to emulate reinitialization between experiments).
     pub fn clear(&self) {
         self.data.borrow_mut().clear();
     }
@@ -53,7 +148,14 @@ impl BlockDevice for MemDisk {
             let dst = &mut buf[(i as usize) * BLOCK_SIZE..][..BLOCK_SIZE];
             match data.get(&(start + i)) {
                 Some(block) => dst.copy_from_slice(&block[..]),
-                None => dst.fill(0),
+                None => match self
+                    .base
+                    .as_ref()
+                    .and_then(|img| img.data.get(&(start + i)))
+                {
+                    Some(block) => dst.copy_from_slice(&block[..]),
+                    None => dst.fill(0),
+                },
             }
         }
         Ok(IoCost::FREE)
@@ -124,5 +226,67 @@ mod tests {
         let mut buf = vec![9u8; BLOCK_SIZE];
         d.read(10, 1, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fork_reads_base_content() {
+        let d = MemDisk::new("m", 16);
+        d.write(3, &vec![7u8; BLOCK_SIZE]).unwrap();
+        let img = Arc::new(d.image());
+        let fork = MemDisk::from_image(img);
+        assert_eq!(fork.name(), "m");
+        assert_eq!(fork.block_count(), 16);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        fork.read(3, 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+        // Blocks the base never touched still read zero.
+        fork.read(4, 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fork_writes_never_reach_the_base() {
+        let d = MemDisk::new("m", 16);
+        d.write(3, &vec![7u8; BLOCK_SIZE]).unwrap();
+        let img = Arc::new(d.image());
+        let a = MemDisk::from_image(Arc::clone(&img));
+        let b = MemDisk::from_image(Arc::clone(&img));
+        a.write(3, &vec![1u8; BLOCK_SIZE]).unwrap();
+        a.write(9, &vec![2u8; BLOCK_SIZE]).unwrap();
+        assert_eq!(a.diverged_blocks(), 2);
+        assert_eq!(b.diverged_blocks(), 0);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        b.read(3, 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7), "sibling fork sees base data");
+        assert_eq!(img.touched_blocks(), 1, "image itself unchanged");
+    }
+
+    #[test]
+    fn image_of_fork_shares_untouched_blocks() {
+        let d = MemDisk::new("m", 16);
+        d.write(0, &vec![5u8; BLOCK_SIZE]).unwrap();
+        d.write(1, &vec![6u8; BLOCK_SIZE]).unwrap();
+        let img = Arc::new(d.image());
+        let fork = MemDisk::from_image(Arc::clone(&img));
+        fork.write(1, &vec![9u8; BLOCK_SIZE]).unwrap();
+        let img2 = fork.image();
+        assert_eq!(img2.touched_blocks(), 2);
+        // Block 0 was never written by the fork: its storage is the
+        // base image's allocation, not a copy.
+        assert!(Arc::ptr_eq(&img.data[&0], &img2.data[&0]));
+        assert!(!Arc::ptr_eq(&img.data[&1], &img2.data[&1]));
+    }
+
+    #[test]
+    fn touched_counts_base_and_overlay_distinctly() {
+        let d = MemDisk::new("m", 16);
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        d.write(1, &vec![1u8; BLOCK_SIZE]).unwrap();
+        let fork = MemDisk::from_image(Arc::new(d.image()));
+        assert_eq!(fork.touched_blocks(), 2);
+        fork.write(1, &vec![2u8; BLOCK_SIZE]).unwrap(); // shadows base
+        fork.write(5, &vec![3u8; BLOCK_SIZE]).unwrap(); // new block
+        assert_eq!(fork.touched_blocks(), 3);
+        assert_eq!(fork.diverged_blocks(), 2);
     }
 }

@@ -2,6 +2,12 @@
 //! varies one mechanism the paper identifies as load-bearing and shows
 //! its effect in isolation.
 
+//! Every sweep here varies a knob consumed at testbed construction
+//! (commit interval, dirty-page limit, cache timeout, read-ahead), so
+//! all its cells share one canonical-config setup snapshot and apply
+//! the knob as a fork-time override.
+
+use crate::snapshot::{snapshot_cell_with, SetupKey};
 use crate::sweep::Sweep;
 use crate::table::{fmt_f, fmt_secs, Table};
 use crate::{Protocol, ReportBuilder, RunReport, Testbed, TestbedConfig};
@@ -24,11 +30,18 @@ pub fn commit_interval_sweep_report() -> (Table, RunReport) {
         &["commit interval (s)", "messages", "msgs/op"],
     );
     const INTERVALS: [u64; 5] = [1, 2, 5, 15, 30];
-    let results = Sweep::new().run(INTERVALS.len(), |cell| {
-        let mut cfg = TestbedConfig::new(Protocol::Iscsi);
-        cfg.commit_interval = Some(SimDuration::from_secs(INTERVALS[cell.index]));
-        cfg.seed = cell.seed;
-        let tb = Testbed::build(cfg);
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    let results = sweep.run(INTERVALS.len(), |cell| {
+        let cfg = TestbedConfig::new(Protocol::Iscsi);
+        let key = SetupKey::for_config(&cfg, "ablation:blank");
+        let tb = snapshot_cell_with(
+            snaps,
+            key,
+            cell.seed,
+            |c| c.commit_interval = Some(SimDuration::from_secs(INTERVALS[cell.index])),
+            |setup_seed| Testbed::with_protocol_seeded(Protocol::Iscsi, setup_seed),
+        );
         let m0 = tb.messages();
         // An application trickling meta-data updates: the commit
         // window determines how many land in each journal commit.
@@ -69,11 +82,18 @@ pub fn write_window_sweep_report() -> (Table, RunReport) {
         &["limit (pages)", "time (s)"],
     );
     const LIMITS: [usize; 5] = [16, 64, 256, 1024, 16_384];
-    let results = Sweep::new().run(LIMITS.len(), |cell| {
-        let mut cfg = TestbedConfig::new(Protocol::NfsV3);
-        cfg.nfs_max_dirty_pages = Some(LIMITS[cell.index]);
-        cfg.seed = cell.seed;
-        let tb = Testbed::build(cfg);
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    let results = sweep.run(LIMITS.len(), |cell| {
+        let cfg = TestbedConfig::new(Protocol::NfsV3);
+        let key = SetupKey::for_config(&cfg, "ablation:blank");
+        let tb = snapshot_cell_with(
+            snaps,
+            key,
+            cell.seed,
+            |c| c.nfs_max_dirty_pages = Some(LIMITS[cell.index]),
+            |setup_seed| Testbed::with_protocol_seeded(Protocol::NfsV3, setup_seed),
+        );
         let r = crate::experiments::data::write_file(
             &tb,
             "/w",
@@ -108,12 +128,22 @@ pub fn attr_timeout_sweep_report() -> (Table, RunReport) {
         &["timeout (s)", "messages for 100 spread stats"],
     );
     const TIMEOUTS: [u64; 5] = [0, 1, 3, 10, 60];
-    let results = Sweep::new().run(TIMEOUTS.len(), |cell| {
-        let mut cfg = TestbedConfig::new(Protocol::NfsV3);
-        cfg.nfs_metadata_timeout = Some(SimDuration::from_secs(TIMEOUTS[cell.index]));
-        cfg.seed = cell.seed;
-        let tb = Testbed::build(cfg);
-        tb.fs().creat("/f").unwrap();
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    let results = sweep.run(TIMEOUTS.len(), |cell| {
+        let cfg = TestbedConfig::new(Protocol::NfsV3);
+        let key = SetupKey::for_config(&cfg, "ablation:statfile");
+        let tb = snapshot_cell_with(
+            snaps,
+            key,
+            cell.seed,
+            |c| c.nfs_metadata_timeout = Some(SimDuration::from_secs(TIMEOUTS[cell.index])),
+            |setup_seed| {
+                let tb = Testbed::with_protocol_seeded(Protocol::NfsV3, setup_seed);
+                tb.fs().creat("/f").unwrap();
+                tb
+            },
+        );
         let m0 = tb.messages();
         for _ in 0..100 {
             tb.fs().stat("/f").unwrap();
@@ -146,16 +176,26 @@ pub fn readahead_sweep_report() -> (Table, RunReport) {
         &["merge limit (blocks)", "messages", "time (s)"],
     );
     const WINDOWS: [u32; 4] = [1, 4, 16, 64];
-    let results = Sweep::new().run(WINDOWS.len(), |cell| {
-        let mut cfg = TestbedConfig::new(Protocol::Iscsi);
-        cfg.readahead_max = Some(WINDOWS[cell.index]);
-        cfg.seed = cell.seed;
-        let tb = Testbed::build(cfg);
-        let _ = crate::experiments::data::write_file(
-            &tb,
-            "/f",
-            8,
-            crate::experiments::data::Pattern::Sequential,
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    let results = sweep.run(WINDOWS.len(), |cell| {
+        let cfg = TestbedConfig::new(Protocol::Iscsi);
+        let key = SetupKey::for_config(&cfg, "ablation:seqfile8");
+        let tb = snapshot_cell_with(
+            snaps,
+            key,
+            cell.seed,
+            |c| c.readahead_max = Some(WINDOWS[cell.index]),
+            |setup_seed| {
+                let tb = Testbed::with_protocol_seeded(Protocol::Iscsi, setup_seed);
+                let _ = crate::experiments::data::write_file(
+                    &tb,
+                    "/f",
+                    8,
+                    crate::experiments::data::Pattern::Sequential,
+                );
+                tb
+            },
         );
         tb.cold_caches();
         let fs = tb.fs();

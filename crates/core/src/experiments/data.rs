@@ -2,6 +2,7 @@
 //! and Figure 6 (wide-area latency sweep).
 
 use crate::report::{ReportBuilder, RunReport};
+use crate::snapshot::{snapshot_cell, snapshot_cell_with, SetupKey};
 use crate::sweep::Sweep;
 use crate::table::{fmt_f, fmt_secs, Table};
 use crate::{Protocol, Testbed, TestbedConfig};
@@ -115,19 +116,30 @@ fn table4_rows_into(
         "Sequential writes",
         "Random writes",
     ];
-    // One cell per benchmark row; reads use a testbed whose file was
-    // written sequentially first.
-    let results = Sweep::new().run(BENCHES.len(), |cell| {
-        let tb = Testbed::with_protocol_seeded(protocol, cell.seed);
-        let r = match BENCHES[cell.index] {
-            "Sequential reads" => {
-                let _ = write_file(&tb, "/seq", mb, Pattern::Sequential);
-                read_file(&tb, "/seq", mb, Pattern::Sequential)
-            }
-            "Random reads" => {
+    // One cell per benchmark row. Both read rows fork one setup
+    // holding the sequentially written source file; both write rows
+    // fork the shared blank (freshly formatted) volume.
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    let results = sweep.run(BENCHES.len(), |cell| {
+        let bench = BENCHES[cell.index];
+        let is_read = bench.ends_with("reads");
+        let cfg = TestbedConfig::new(protocol);
+        let key = if is_read {
+            SetupKey::for_config(&cfg, &format!("data:table4:read:{mb}"))
+        } else {
+            SetupKey::for_config(&cfg, "data:blank")
+        };
+        let tb = snapshot_cell(snaps, key, cell.seed, |setup_seed| {
+            let tb = Testbed::with_protocol_seeded(protocol, setup_seed);
+            if is_read {
                 let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
-                read_file(&tb, "/f", mb, Pattern::Random)
             }
+            tb
+        });
+        let r = match bench {
+            "Sequential reads" => read_file(&tb, "/f", mb, Pattern::Sequential),
+            "Random reads" => read_file(&tb, "/f", mb, Pattern::Random),
             "Sequential writes" => write_file(&tb, "/w", mb, Pattern::Sequential),
             // The paper writes a random permutation of the 32K blocks
             // of a new file.
@@ -231,14 +243,33 @@ fn figure6_data_into(
             }
         }
     }
-    let results = Sweep::new().run(cells.len(), |cell| {
+    // Setup (file creation, mkfs) runs once per protocol under the
+    // canonical LAN; the WAN RTT is a measure-phase knob applied when
+    // each cell forks, so one setup serves the whole RTT sweep.
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    let results = sweep.run(cells.len(), |cell| {
         let (rtt, proto, pattern, is_read) = cells[cell.index];
-        let mut cfg = TestbedConfig::new(proto);
-        cfg.link = net::LinkParams::wan(SimDuration::from_millis(rtt));
-        cfg.seed = cell.seed;
-        let tb = Testbed::build(cfg);
+        let cfg = TestbedConfig::new(proto);
+        let key = if is_read {
+            SetupKey::for_config(&cfg, &format!("data:fig6:read:{mb}"))
+        } else {
+            SetupKey::for_config(&cfg, "data:blank")
+        };
+        let tb = snapshot_cell_with(
+            snaps,
+            key,
+            cell.seed,
+            |c| c.link = net::LinkParams::wan(SimDuration::from_millis(rtt)),
+            |setup_seed| {
+                let tb = Testbed::with_protocol_seeded(proto, setup_seed);
+                if is_read {
+                    let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
+                }
+                tb
+            },
+        );
         let r = if is_read {
-            let _ = write_file(&tb, "/f", mb, Pattern::Sequential);
             read_file(&tb, "/f", mb, pattern)
         } else {
             write_file(&tb, "/w", mb, pattern)

@@ -9,9 +9,10 @@
 //! the paper's Ethereal traces.
 
 use crate::report::{ReportBuilder, RunReport};
+use crate::snapshot::{snapshot_cell, SetupKey, SnapshotCache};
 use crate::sweep::Sweep;
 use crate::table::Table;
-use crate::{Protocol, Testbed};
+use crate::{Protocol, Testbed, TestbedConfig};
 use std::collections::BTreeMap;
 use vfs::FileSystem;
 
@@ -123,13 +124,21 @@ fn run_op(fs: &dyn FileSystem, op: &str, depth: u32, x: &str) {
 /// Measures the message count of one syscall invocation on the
 /// default (seed-42) testbed.
 pub fn measure_op(protocol: Protocol, op: &str, depth: u32, state: CacheState) -> u64 {
-    measure_op_seeded(protocol, op, depth, state, None, None)
+    measure_op_seeded(
+        protocol,
+        op,
+        depth,
+        state,
+        None,
+        None,
+        &SnapshotCache::new(),
+    )
 }
 
 /// [`measure_op`] with an optional per-cell seed (sweep cells pass
-/// their derived seed; the public path keeps the testbed default) and
-/// an optional report to fold the testbed's observability state into
-/// before it is dropped.
+/// their derived seed; the public path keeps the testbed default), an
+/// optional report to fold the testbed's observability state into
+/// before it is dropped, and the sweep's snapshot cache.
 fn measure_op_seeded(
     protocol: Protocol,
     op: &str,
@@ -137,12 +146,18 @@ fn measure_op_seeded(
     state: CacheState,
     seed: Option<u64>,
     rb: Option<&mut ReportBuilder>,
+    cache: &SnapshotCache,
 ) -> u64 {
-    let tb = match seed {
-        Some(s) => Testbed::with_protocol_seeded(protocol, s),
-        None => Testbed::with_protocol(protocol),
-    };
-    prepare(&tb, depth);
+    // The prepared tree depends only on (protocol, depth): all
+    // seventeen syscall cells at a depth fork one captured setup.
+    let cfg = TestbedConfig::new(protocol);
+    let seed = seed.unwrap_or(cfg.seed);
+    let key = SetupKey::for_config(&cfg, &format!("micro:prepare:d{depth}"));
+    let tb = snapshot_cell(cache, key, seed, |setup_seed| {
+        let tb = Testbed::with_protocol_seeded(protocol, setup_seed);
+        prepare(&tb, depth);
+        tb
+    });
     tb.cold_caches();
     let msgs = match state {
         CacheState::Cold => {
@@ -207,10 +222,19 @@ fn matrix_sweep(
             }
         }
     }
+    let snaps = sweep.snapshots();
     let results = sweep.run(cells.len(), |cell| {
         let (depth, proto, op) = cells[cell.index];
         let mut frag = ReportBuilder::new("");
-        let v = measure_op_seeded(proto, op, depth, state, Some(cell.seed), Some(&mut frag));
+        let v = measure_op_seeded(
+            proto,
+            op,
+            depth,
+            state,
+            Some(cell.seed),
+            Some(&mut frag),
+            snaps,
+        );
         (v, frag.finish())
     });
     let mut m = MicroMatrix::new();
@@ -298,20 +322,32 @@ fn figure3_data_into(mut rb: Option<&mut ReportBuilder>) -> Vec<(String, u32, f6
             batch *= 2;
         }
     }
-    let results = Sweep::new().run(cells.len(), |cell| {
+    // Ops that mutate pre-existing files share a pre-file-pool setup
+    // keyed only by the pool size; creat/mkdir share the empty pool.
+    let prefiles = |op: &str, batch: u32| match op {
+        "link" | "rename" | "chmod" | "stat" | "access" | "write" => batch,
+        _ => 0,
+    };
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    // A cell's work scales with its batch size: claim the big ones
+    // first so the 1024-op cells never anchor the tail of the sweep.
+    let costs: Vec<u64> = cells.iter().map(|&(_, b)| u64::from(b)).collect();
+    let results = sweep.run_with_costs(cells.len(), &costs, |cell| {
         let (op, batch) = cells[cell.index];
-        let tb = Testbed::with_protocol_seeded(Protocol::Iscsi, cell.seed);
-        let fs = tb.fs();
-        // Targets for ops that need pre-existing files.
-        for i in 0..batch {
-            match op {
-                "link" | "rename" | "chmod" | "stat" | "access" | "write" => {
-                    fs.creat(&format!("/pre{i}")).unwrap();
-                }
-                _ => {}
+        let pre = prefiles(op, batch);
+        let cfg = TestbedConfig::new(Protocol::Iscsi);
+        let key = SetupKey::for_config(&cfg, &format!("micro:fig3:pre{pre}"));
+        let tb = snapshot_cell(snaps, key, cell.seed, |setup_seed| {
+            let tb = Testbed::with_protocol_seeded(Protocol::Iscsi, setup_seed);
+            let fs = tb.fs();
+            for i in 0..pre {
+                fs.creat(&format!("/pre{i}")).unwrap();
             }
-        }
-        tb.settle();
+            tb.settle();
+            tb
+        });
+        let fs = tb.fs();
         tb.cold_caches();
         let before = tb.messages();
         for i in 0..batch {
@@ -406,10 +442,12 @@ fn figure4_data_into(
             }
         }
     }
-    let results = Sweep::new().run(cells.len(), |cell| {
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    let results = sweep.run(cells.len(), |cell| {
         let (op, state, proto, d) = cells[cell.index];
         let mut frag = ReportBuilder::new("");
-        let v = measure_op_seeded(proto, op, d, state, Some(cell.seed), Some(&mut frag));
+        let v = measure_op_seeded(proto, op, d, state, Some(cell.seed), Some(&mut frag), snaps);
         (v, frag.finish())
     });
     let mut out = Vec::new();
@@ -477,19 +515,28 @@ fn figure5_data_into(mut rb: Option<&mut ReportBuilder>) -> Vec<(String, &'stati
         }
     }
     // One cell = one (proto, size): a read testbed (cold + warm read)
-    // then a write testbed, exactly as the sequential loop ran them.
-    let results = Sweep::new().run(cells.len(), |cell| {
+    // then a write testbed. All ten sizes of a protocol fork the same
+    // pair of setups — the 64 KB source file and the empty target.
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    let results = sweep.run(cells.len(), |cell| {
         let (proto, size) = cells[cell.index];
         let mut frag = ReportBuilder::new("");
+        let cfg = TestbedConfig::new(proto);
 
         // Cold read.
-        let tb = Testbed::with_protocol_seeded(proto, cell.seed);
+        let read_key = SetupKey::for_config(&cfg, "micro:fig5:read");
+        let tb = snapshot_cell(snaps, read_key, cell.seed, |setup_seed| {
+            let tb = Testbed::with_protocol_seeded(proto, setup_seed);
+            let fs = tb.fs();
+            fs.creat("/f").unwrap();
+            let fd = fs.open("/f").unwrap();
+            fs.write(fd, 0, &vec![9u8; 65_536]).unwrap();
+            fs.close(fd).unwrap();
+            tb.settle();
+            tb
+        });
         let fs = tb.fs();
-        fs.creat("/f").unwrap();
-        let fd = fs.open("/f").unwrap();
-        fs.write(fd, 0, &vec![9u8; 65_536]).unwrap();
-        fs.close(fd).unwrap();
-        tb.settle();
         tb.cold_caches();
         let fd = fs.open("/f").unwrap();
         let before = tb.messages();
@@ -511,10 +558,14 @@ fn figure5_data_into(mut rb: Option<&mut ReportBuilder>) -> Vec<(String, &'stati
         frag.absorb(&tb);
 
         // Cold write into a fresh file.
-        let tb = Testbed::with_protocol_seeded(proto, cell.seed);
+        let write_key = SetupKey::for_config(&cfg, "micro:fig5:write");
+        let tb = snapshot_cell(snaps, write_key, cell.seed, |setup_seed| {
+            let tb = Testbed::with_protocol_seeded(proto, setup_seed);
+            tb.fs().creat("/w").unwrap();
+            tb.settle();
+            tb
+        });
         let fs = tb.fs();
-        fs.creat("/w").unwrap();
-        tb.settle();
         tb.cold_caches();
         let fd = fs.open("/w").unwrap();
         let before = tb.messages();

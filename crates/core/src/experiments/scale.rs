@@ -41,6 +41,7 @@
 //! flattens — the curve `BENCH_scale.json` records.
 
 use crate::report::{ReportBuilder, RunReport};
+use crate::snapshot::{snapshot_cell, SetupKey, SnapshotCache};
 use crate::sweep::Sweep;
 use crate::table::{fmt_f, Table};
 use crate::{Protocol, Testbed, TopologyConfig};
@@ -49,6 +50,20 @@ use workloads::{PostmarkConfig, PostmarkSession};
 
 /// Every how many transactions a client touches the shared file.
 const SHARED_PERIOD: usize = 50;
+
+/// Client `i`'s PostMark configuration: seeds fan out from `master`
+/// (the snapshot's setup seed) so each client draws an independent
+/// stream, yet the whole topology's pool is a pure function of the
+/// setup key.
+fn client_pm(files: usize, transactions: usize, master: u64, i: usize) -> PostmarkConfig {
+    PostmarkConfig {
+        file_count: files,
+        transactions,
+        subdirs: (files / 500).clamp(10, 100),
+        seed: master ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1)),
+        ..PostmarkConfig::default()
+    }
+}
 
 /// One (protocol, client-count) cell of the scaling experiment.
 #[derive(Debug, Clone, Copy)]
@@ -85,9 +100,18 @@ pub fn scale_run(
     files: usize,
     transactions: usize,
 ) -> ScaleRun {
-    scale_run_seeded(protocol, clients, files, transactions, None, None)
+    scale_run_seeded(
+        protocol,
+        clients,
+        files,
+        transactions,
+        None,
+        None,
+        &SnapshotCache::new(),
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn scale_run_seeded(
     protocol: Protocol,
     clients: usize,
@@ -95,44 +119,57 @@ fn scale_run_seeded(
     transactions: usize,
     seed: Option<u64>,
     rb: Option<&mut ReportBuilder>,
+    cache: &SnapshotCache,
 ) -> ScaleRun {
-    let mut topo = TopologyConfig::new(protocol).with_clients(clients);
-    if let Some(s) = seed {
-        topo.base.seed = s;
-    }
-    let master_seed = topo.base.seed;
-    let tb = Testbed::build_topology(topo);
+    let topo = TopologyConfig::new(protocol).with_clients(clients);
+    let seed = seed.unwrap_or(topo.base.seed);
+    // Phase 1 is the snapshot: every client's pool plus the shared
+    // file, identical for every transaction count — all scales fork
+    // the same captured topology.
+    let key = SetupKey::new(&topo, &format!("scale:files{files}"));
+    let tb = snapshot_cell(cache, key, seed, |setup_seed| {
+        let mut topo = TopologyConfig::new(protocol).with_clients(clients);
+        topo.base.seed = setup_seed;
+        let tb = Testbed::build_topology(topo);
+        tb.set_active_clients(clients as u32);
+        // Every client builds its own pool, plus the shared file
+        // (created once on NFS — later clients see `Exists` — and
+        // once per private volume on iSCSI). Each client works in its
+        // own directory: on NFS the namespace is shared, so the pools
+        // must not collide. The transaction count is zeroed: setup
+        // must not depend on it, since it is not part of the key.
+        for i in 0..clients {
+            let mut s = PostmarkSession::new(
+                tb.client_fs(i),
+                &format!("/postmark{i}"),
+                client_pm(files, 0, setup_seed, i),
+            );
+            s.setup().expect("postmark setup");
+            let fs = tb.client_fs(i);
+            match fs.mkdir("/shared") {
+                Ok(()) | Err(ext3::FsError::Exists) => {}
+                Err(e) => panic!("mkdir /shared: {e:?}"),
+            }
+            match fs.creat("/shared/config") {
+                Ok(()) | Err(ext3::FsError::Exists) => {}
+                Err(e) => panic!("creat /shared/config: {e:?}"),
+            }
+        }
+        tb
+    });
     tb.set_active_clients(clients as u32);
-
-    // Phase 1: every client builds its own pool, plus the shared file
-    // (created once on NFS — later clients see `Exists` — and once per
-    // private volume on iSCSI).
+    let master = tb.setup_info().expect("forked testbed").setup_seed;
     let mut sessions: Vec<PostmarkSession> = (0..clients)
         .map(|i| {
-            let cfg = PostmarkConfig {
-                file_count: files,
-                transactions,
-                subdirs: (files / 500).clamp(10, 100),
-                seed: master_seed ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1)),
-                ..PostmarkConfig::default()
-            };
-            // Each client works in its own directory: on NFS the
-            // namespace is shared, so the pools must not collide.
-            PostmarkSession::new(tb.client_fs(i), &format!("/postmark{i}"), cfg)
+            let mut s = PostmarkSession::new(
+                tb.client_fs(i),
+                &format!("/postmark{i}"),
+                client_pm(files, transactions, master, i),
+            );
+            s.resume_setup();
+            s
         })
         .collect();
-    for (i, s) in sessions.iter_mut().enumerate() {
-        s.setup().expect("postmark setup");
-        let fs = tb.client_fs(i);
-        match fs.mkdir("/shared") {
-            Ok(()) | Err(ext3::FsError::Exists) => {}
-            Err(e) => panic!("mkdir /shared: {e:?}"),
-        }
-        match fs.creat("/shared/config") {
-            Ok(()) | Err(ext3::FsError::Exists) => {}
-            Err(e) => panic!("creat /shared/config: {e:?}"),
-        }
-    }
     tb.settle();
 
     // Transaction phase, with the books opened after setup.
@@ -264,7 +301,12 @@ pub fn scale_report_jobs(
             cells.push((n, proto));
         }
     }
-    let results = Sweep::with_jobs(jobs).run(cells.len(), |cell| {
+    // Cost hint: a cell's work scales with its client count, so
+    // workers claim the big topologies first.
+    let costs: Vec<u64> = cells.iter().map(|&(n, _)| n as u64).collect();
+    let sweep = Sweep::with_jobs(jobs);
+    let snaps = sweep.snapshots();
+    let results = sweep.run_with_costs(cells.len(), &costs, |cell| {
         let (n, proto) = cells[cell.index];
         let mut frag = ReportBuilder::new("");
         let r = scale_run_seeded(
@@ -274,6 +316,7 @@ pub fn scale_report_jobs(
             transactions,
             Some(cell.seed),
             Some(&mut frag),
+            snaps,
         );
         (r, frag.finish())
     });
@@ -316,9 +359,12 @@ pub fn scale_curve(client_counts: &[usize], files: usize, transactions: usize) -
             cells.push((n, proto));
         }
     }
-    Sweep::new().run(cells.len(), |cell| {
+    let costs: Vec<u64> = cells.iter().map(|&(n, _)| n as u64).collect();
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    sweep.run_with_costs(cells.len(), &costs, |cell| {
         let (n, proto) = cells[cell.index];
-        scale_run_seeded(proto, n, files, transactions, Some(cell.seed), None)
+        scale_run_seeded(proto, n, files, transactions, Some(cell.seed), None, snaps)
     })
 }
 
@@ -357,7 +403,15 @@ mod tests {
     #[test]
     fn report_carries_per_host_latency_histograms() {
         let mut rb = ReportBuilder::new("t");
-        scale_run_seeded(Protocol::NfsV3, 2, 40, 80, None, Some(&mut rb));
+        scale_run_seeded(
+            Protocol::NfsV3,
+            2,
+            40,
+            80,
+            None,
+            Some(&mut rb),
+            &SnapshotCache::new(),
+        );
         let rep = rb.finish();
         assert!(rep.histograms.contains_key("scale.c0.txn"));
         assert!(rep.histograms.contains_key("scale.c1.txn"));

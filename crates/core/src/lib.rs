@@ -33,12 +33,16 @@ pub mod calibration;
 pub mod experiments;
 pub mod plot;
 pub mod report;
+pub mod snapshot;
 pub mod sweep;
 pub mod table;
 mod testbed;
 
 pub use plot::{Plot, Series};
 pub use report::{ChannelStats, ReportBuilder, RunReport};
+pub use snapshot::{
+    set_snapshots_enabled, snapshots_enabled, SetupInfo, SetupKey, Snapshot, SnapshotCache,
+};
 pub use table::Table;
 pub use testbed::{Protocol, Testbed, TestbedConfig, TopologyConfig};
 

@@ -19,9 +19,11 @@
 //! Consequently `--jobs N` and `--jobs 1` emit the same bytes for the
 //! same master seed, which CI verifies on every push.
 
+use crate::snapshot::SnapshotCache;
 use simkit::{sweep as engine, SplitMix64};
+use std::sync::Arc;
 
-pub use simkit::sweep::{default_jobs, set_default_jobs, JOBS_ENV};
+pub use simkit::sweep::{default_jobs, max_jobs, set_default_jobs, JOBS_ENV};
 
 /// Master seed all experiment sweeps derive their cell streams from.
 pub const MASTER_SEED: u64 = 42;
@@ -43,7 +45,8 @@ pub fn cell_seed(master_seed: u64, index: usize) -> u64 {
     SplitMix64::new(master_seed).fork(index as u64).next_u64()
 }
 
-/// A sweep configuration: worker count plus master seed.
+/// A sweep configuration: worker count, master seed, and the per-run
+/// [`SnapshotCache`] its cells share setup prefixes through.
 ///
 /// # Example
 ///
@@ -52,10 +55,11 @@ pub fn cell_seed(master_seed: u64, index: usize) -> u64 {
 /// let squares = Sweep::with_jobs(4).run(8, |cell| cell.index * cell.index);
 /// assert_eq!(squares, Sweep::with_jobs(1).run(8, |cell| cell.index * cell.index));
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Sweep {
     jobs: usize,
     master_seed: u64,
+    snapshots: Arc<SnapshotCache>,
 }
 
 impl Default for Sweep {
@@ -71,15 +75,16 @@ impl Sweep {
         Sweep {
             jobs: default_jobs(),
             master_seed: MASTER_SEED,
+            snapshots: Arc::new(SnapshotCache::new()),
         }
     }
 
-    /// A sweep with an explicit worker count (clamped to at least 1)
-    /// and [`MASTER_SEED`].
+    /// A sweep with an explicit worker count (clamped to at least 1
+    /// and at most [`max_jobs`] by the executor) and [`MASTER_SEED`].
     pub fn with_jobs(jobs: usize) -> Sweep {
         Sweep {
             jobs: jobs.max(1),
-            master_seed: MASTER_SEED,
+            ..Sweep::new()
         }
     }
 
@@ -94,12 +99,21 @@ impl Sweep {
         self.jobs
     }
 
+    /// The setup-snapshot cache this run's cells share: built once per
+    /// unique [`SetupKey`](crate::snapshot::SetupKey), handed read-only
+    /// to every worker.
+    pub fn snapshots(&self) -> &SnapshotCache {
+        &self.snapshots
+    }
+
     /// Runs `n` cells and returns their results in cell-index order.
     ///
     /// The closure must be a pure function of its [`Cell`] (build a
     /// testbed from `cell.seed`, run, return plain data): that plus
     /// index-ordered collection is exactly what makes a parallel sweep
-    /// reproduce the sequential bytes.
+    /// reproduce the sequential bytes. (Snapshot reuse preserves this:
+    /// a snapshot is a pure function of its key, so a cell's result
+    /// does not depend on which worker built the setup.)
     pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -107,6 +121,27 @@ impl Sweep {
     {
         let master = self.master_seed;
         engine::run_indexed(self.jobs, n, move |index| {
+            f(Cell {
+                index,
+                seed: cell_seed(master, index),
+            })
+        })
+    }
+
+    /// Like [`run`](Self::run), with per-cell cost estimates (any
+    /// monotone proxy) so workers claim expensive cells first. Results
+    /// are byte-identical to `run` — only the schedule changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len() != n`.
+    pub fn run_with_costs<T, F>(&self, n: usize, costs: &[u64], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Cell) -> T + Sync,
+    {
+        let master = self.master_seed;
+        engine::run_indexed_hinted(self.jobs, n, costs, move |index| {
             f(Cell {
                 index,
                 seed: cell_seed(master, index),
@@ -135,6 +170,16 @@ mod tests {
         let seq = Sweep::with_jobs(1).run(40, work);
         let par = Sweep::with_jobs(4).run(40, work);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn cost_hinted_run_matches_plain_run() {
+        let work = |cell: Cell| (cell.index, cell.seed);
+        let costs: Vec<u64> = (0..12).map(|i| (i * 37) % 5).collect();
+        assert_eq!(
+            Sweep::with_jobs(4).run(12, work),
+            Sweep::with_jobs(4).run_with_costs(12, &costs, work)
+        );
     }
 
     #[test]

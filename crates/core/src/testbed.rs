@@ -14,7 +14,10 @@
 //! the point-to-point build.
 
 use crate::calibration;
-use blockdev::{BlockDevice, BlockNo, DiskModel, IoCost, MemDisk, Partition, Raid5, Raid5Geometry};
+use crate::snapshot::SetupInfo;
+use blockdev::{
+    BlockDevice, BlockNo, DiskImage, DiskModel, IoCost, MemDisk, Partition, Raid5, Raid5Geometry,
+};
 use cpu::{CostModel, CpuAccount};
 use ext3::Ext3;
 use iscsi::{Initiator, SessionParams, Target};
@@ -23,6 +26,7 @@ use nfs::{Enhancements, NfsClient, NfsConfig, NfsServer, Version};
 use rpc::{RpcClient, RpcConfig};
 use simkit::{Sim, SimDuration, SimTime};
 use std::rc::Rc;
+use std::sync::Arc;
 use vfs::{FileSystem, LocalMount, NfsMount};
 
 /// Which protocol the testbed runs.
@@ -215,6 +219,27 @@ pub struct Testbed {
     config: TestbedConfig,
     clients: Vec<ClientHost>,
     server_cpu: Rc<CpuAccount>,
+    /// Backing stores of the RAID members, kept so a snapshot capture
+    /// can export them as shared images.
+    members: Vec<Rc<MemDisk>>,
+    /// Setup-phase provenance when resumed from a snapshot.
+    setup: Option<SetupInfo>,
+}
+
+/// Snapshot state a resumed construction starts from.
+struct Resume {
+    images: Vec<Arc<DiskImage>>,
+    epoch: SimTime,
+    info: SetupInfo,
+}
+
+/// What a snapshot capture extracts from a quiesced testbed.
+pub(crate) struct CapturedParts {
+    pub config: TestbedConfig,
+    pub clients: usize,
+    pub images: Vec<Arc<DiskImage>>,
+    pub epoch: SimTime,
+    pub counters: Vec<(String, u64)>,
 }
 
 enum MountKind {
@@ -247,17 +272,32 @@ impl Testbed {
     ///
     /// Panics if the underlying mkfs fails (volume too small).
     pub fn build(config: TestbedConfig) -> Testbed {
+        Self::construct_single(config, None)
+    }
+
+    /// The single-client construction path, cold or resumed: the only
+    /// difference a snapshot makes is mounts instead of mkfs, disks
+    /// forked from images instead of blank ones, and the clock
+    /// starting at the captured epoch.
+    fn construct_single(config: TestbedConfig, resume: Option<Resume>) -> Testbed {
         let sim = Sim::new(config.seed);
+        if let Some(r) = &resume {
+            // Restore the captured epoch before any component exists:
+            // daemons registered below align their cadence to it
+            // exactly as the captured testbed's did.
+            sim.advance_to(r.epoch);
+        }
         let network = Network::new(sim.clone(), config.link);
         let client_cpu = Rc::new(CpuAccount::new());
         let server_cpu = Rc::new(CpuAccount::new());
 
-        let raid = Self::build_raid(&sim, &config);
+        let remount = resume.is_some();
+        let (raid, members) =
+            Self::build_raid(&sim, &config, resume.as_ref().map(|r| r.images.as_slice()));
 
         let kind = match config.protocol.nfs_version() {
             Some(version) => {
-                let fs = Ext3::mkfs(sim.clone(), raid, calibration::server_ext3_options())
-                    .expect("server mkfs");
+                let fs = Self::server_fs(&sim, raid, remount);
                 let server = Rc::new(NfsServer::new(fs, server_cpu.clone(), config.cost));
                 let rpcc = RpcClient::new(
                     network.channel("nfs", version.transport()),
@@ -290,18 +330,15 @@ impl Testbed {
                 let initiator =
                     Initiator::new(network.channel("iscsi", net::Transport::Tcp), target);
                 let disk = Rc::new(initiator.login(SessionParams::default()).expect("login"));
-                let fs = Rc::new(
-                    Ext3::mkfs(sim.clone(), disk, Self::client_ext3_options(&config))
-                        .expect("client mkfs"),
-                );
+                let fs = Rc::new(Self::client_fs_init(&sim, disk, &config, remount));
                 MountKind::Iscsi {
                     mount: LocalMount::new(fs, client_cpu.clone(), config.cost),
                 }
             }
         };
 
-        // Formatting and login traffic is setup, not workload: start
-        // the experiment's books clean.
+        // Formatting/mounting and login traffic is setup, not
+        // workload: start the experiment's books clean.
         sim.counters().reset();
         sim.metrics().reset();
         sim.tracer().clear();
@@ -316,6 +353,8 @@ impl Testbed {
                 kind,
             }],
             server_cpu,
+            members,
+            setup: resume.map(|r| r.info),
         }
     }
 
@@ -330,17 +369,26 @@ impl Testbed {
     /// system: keep `volume_blocks / clients` comfortably above the
     /// ext3 minimum).
     pub fn build_topology(topo: TopologyConfig) -> Testbed {
+        Self::construct_topology(topo, None)
+    }
+
+    fn construct_topology(topo: TopologyConfig, resume: Option<Resume>) -> Testbed {
         assert!(topo.clients >= 1, "a topology needs at least one client");
         if topo.clients == 1 {
-            return Testbed::build(topo.base);
+            return Testbed::construct_single(topo.base, resume);
         }
         let config = topo.base;
         let n = topo.clients;
         let sim = Sim::new(config.seed);
+        if let Some(r) = &resume {
+            sim.advance_to(r.epoch);
+        }
         let fabric = Fabric::new(sim.clone(), config.link);
         let server_cpu = Rc::new(CpuAccount::new());
 
-        let raid = Self::build_raid(&sim, &config);
+        let remount = resume.is_some();
+        let (raid, members) =
+            Self::build_raid(&sim, &config, resume.as_ref().map(|r| r.images.as_slice()));
 
         let clients: Vec<ClientHost> = match config.protocol.nfs_version() {
             Some(version) => {
@@ -348,8 +396,7 @@ impl Testbed {
                 // channels and CPU accounts. Cache consistency between
                 // them flows through the shared server mtimes, exactly
                 // as on a real shared NFS export.
-                let fs = Ext3::mkfs(sim.clone(), raid, calibration::server_ext3_options())
-                    .expect("server mkfs");
+                let fs = Self::server_fs(&sim, raid, remount);
                 let server = Rc::new(NfsServer::new(fs, server_cpu.clone(), config.cost));
                 (0..n)
                     .map(|i| {
@@ -417,10 +464,7 @@ impl Testbed {
                                 .login_lun(SessionParams::default(), i as u32)
                                 .expect("login"),
                         );
-                        let fs = Rc::new(
-                            Ext3::mkfs(sim.clone(), disk, Self::client_ext3_options(&config))
-                                .expect("client mkfs"),
-                        );
+                        let fs = Rc::new(Self::client_fs_init(&sim, disk, &config, remount));
                         let mount = LocalMount::new(fs, cpu.clone(), config.cost);
                         ClientHost {
                             name,
@@ -443,16 +487,34 @@ impl Testbed {
             config,
             clients,
             server_cpu,
+            members,
+            setup: resume.map(|r| r.info),
         }
     }
 
     /// The server-side RAID-5 array (4+p) used by both protocols.
-    fn build_raid(sim: &Rc<Sim>, config: &TestbedConfig) -> Rc<dyn BlockDevice> {
+    /// Members start blank on a cold build, or as copy-on-write forks
+    /// of the given snapshot images; the raw backing stores are
+    /// returned alongside so a capture can image them later.
+    fn build_raid(
+        sim: &Rc<Sim>,
+        config: &TestbedConfig,
+        images: Option<&[Arc<DiskImage>]>,
+    ) -> (Rc<dyn BlockDevice>, Vec<Rc<MemDisk>>) {
         let member_blocks = (config.volume_blocks / (calibration::RAID_MEMBERS as u64 - 1)) + 1024;
-        let members: Vec<Rc<dyn BlockDevice>> = (0..calibration::RAID_MEMBERS)
+        let stores: Vec<Rc<MemDisk>> = (0..calibration::RAID_MEMBERS)
             .map(|i| {
+                Rc::new(match images {
+                    Some(imgs) => MemDisk::from_image(Arc::clone(&imgs[i])),
+                    None => MemDisk::new(format!("sd{i}"), member_blocks),
+                })
+            })
+            .collect();
+        let members: Vec<Rc<dyn BlockDevice>> = stores
+            .iter()
+            .map(|store| {
                 let m = Rc::new(DiskModel::new(
-                    MemDisk::new(format!("sd{i}"), member_blocks),
+                    Rc::clone(store),
                     calibration::raid_member_params(),
                 ));
                 m.instrument(sim.clone());
@@ -469,10 +531,98 @@ impl Testbed {
         r5.instrument(sim.clone());
         // The ServeRAID adapter's battery-backed write cache absorbs
         // synchronous writes (journal commits, v2 stable writes).
-        Rc::new(blockdev::WriteCache::new(
+        let raid = Rc::new(blockdev::WriteCache::new(
             r5,
             calibration::controller_cache_hit(),
-        ))
+        ));
+        (raid, stores)
+    }
+
+    /// The server-side ext3: fresh mkfs on a cold build, a clean mount
+    /// when resuming from a snapshot image.
+    fn server_fs(sim: &Rc<Sim>, dev: Rc<dyn BlockDevice>, remount: bool) -> Ext3 {
+        if remount {
+            Ext3::mount(sim.clone(), dev, calibration::server_ext3_options()).expect("server mount")
+        } else {
+            Ext3::mkfs(sim.clone(), dev, calibration::server_ext3_options()).expect("server mkfs")
+        }
+    }
+
+    /// The client-side ext3 (iSCSI): mkfs cold, mount on resume.
+    fn client_fs_init(
+        sim: &Rc<Sim>,
+        dev: Rc<dyn BlockDevice>,
+        config: &TestbedConfig,
+        remount: bool,
+    ) -> Ext3 {
+        let opts = Self::client_ext3_options(config);
+        if remount {
+            Ext3::mount(sim.clone(), dev, opts).expect("client mount")
+        } else {
+            Ext3::mkfs(sim.clone(), dev, opts).expect("client mkfs")
+        }
+    }
+
+    /// Rebuilds a testbed from captured snapshot state: the same
+    /// construction path as a cold build, with mounts instead of mkfs
+    /// and copy-on-write forks of the captured member images instead
+    /// of blank disks.
+    pub(crate) fn resume(
+        config: TestbedConfig,
+        clients: usize,
+        images: &[Arc<DiskImage>],
+        epoch: SimTime,
+        info: SetupInfo,
+    ) -> Testbed {
+        Self::construct_topology(
+            TopologyConfig {
+                base: config,
+                clients,
+            },
+            Some(Resume {
+                images: images.to_vec(),
+                epoch,
+                info,
+            }),
+        )
+    }
+
+    /// Quiesces this testbed and extracts the parts a
+    /// [`Snapshot`](crate::snapshot::Snapshot) needs: deferred
+    /// write-back landed, caches dropped (the cold-cache protocol),
+    /// file systems cleanly unmounted, RAID members exported as
+    /// shared images.
+    pub(crate) fn capture_parts(self) -> CapturedParts {
+        self.settle();
+        self.cold_caches();
+        match &self.clients[0].kind {
+            MountKind::Nfs { mount } => {
+                // One server file system, however many clients.
+                mount
+                    .client()
+                    .server()
+                    .fs()
+                    .unmount()
+                    .expect("server unmount");
+            }
+            MountKind::Iscsi { .. } => {
+                for host in &self.clients {
+                    if let MountKind::Iscsi { mount } = &host.kind {
+                        mount.fs().unmount().expect("client unmount");
+                    }
+                }
+            }
+        }
+        let epoch = self.sim.now();
+        let counters = self.sim.counters().to_vec();
+        let images = self.members.iter().map(|m| Arc::new(m.image())).collect();
+        CapturedParts {
+            config: self.config,
+            clients: self.clients.len(),
+            images,
+            epoch,
+            counters,
+        }
     }
 
     /// NFS client configuration for one host of the topology.
@@ -568,6 +718,21 @@ impl Testbed {
     /// The protocol under test.
     pub fn protocol(&self) -> Protocol {
         self.config.protocol
+    }
+
+    /// Setup-phase provenance, present when this testbed was forked
+    /// from a [`Snapshot`](crate::snapshot::Snapshot): what the setup
+    /// cost in virtual time and messages before the fork's books
+    /// opened.
+    pub fn setup_info(&self) -> Option<&SetupInfo> {
+        self.setup.as_ref()
+    }
+
+    /// Blocks this testbed has written to its backing stores since
+    /// construction. For a snapshot fork, how far it has diverged from
+    /// the shared images (its private copy-on-write footprint).
+    pub fn diverged_blocks(&self) -> usize {
+        self.members.iter().map(|m| m.diverged_blocks()).sum()
     }
 
     /// Client CPU account (Table 10); client 0's in a multi-client

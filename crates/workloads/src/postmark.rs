@@ -161,6 +161,31 @@ impl<'a> Session<'a> {
         Ok(())
     }
 
+    /// Replays the bookkeeping of [`setup`](Session::setup) — RNG
+    /// draws, id counter, pool contents, report totals — without
+    /// touching the file system. For sessions resuming over a snapshot
+    /// image that already holds the pool: the session must use the
+    /// same config (seed included) the captured setup ran with, after
+    /// which [`step`](Session::step) continues the exact transaction
+    /// stream a never-snapshotted run would have produced.
+    pub fn resume_setup(&mut self) {
+        for _ in 0..self.cfg.file_count {
+            let id = self.next_id;
+            self.next_id += 1;
+            let size = self
+                .rng
+                .range_inclusive(self.cfg.min_size as u64, self.cfg.max_size as u64)
+                as usize;
+            // One draw per payload byte, as payload() consumed them.
+            for _ in 0..size {
+                let _ = self.rng.below(94);
+            }
+            self.report.created += 1;
+            self.report.bytes_written += size as u64;
+            self.pool.push((id, size));
+        }
+    }
+
     /// Transactions not yet run.
     pub fn remaining(&self) -> usize {
         self.remaining

@@ -1,0 +1,190 @@
+//! Properties of the setup-snapshot cache (the PR's hard invariant):
+//! forking a cell from a cached snapshot must be observationally
+//! identical to cold-building it, for every experiment runner, and
+//! forks must be isolated from the snapshot and from each other.
+
+use ipstorage_core::experiments::micro::CacheState;
+use ipstorage_core::experiments::{ablation, data, enhance, macrob, micro, scale};
+use ipstorage_core::snapshot::{SetupKey, Snapshot};
+use ipstorage_core::{Protocol, Testbed, TestbedConfig};
+use workloads::{DssConfig, OltpConfig};
+
+/// Serializes access to the process-wide sharing switch: the
+/// `snapshot_transparency_...` tests run on parallel test threads in
+/// this binary, and a toggle mid-sweep would corrupt a sibling's
+/// comparison (not its correctness — that's the property under test —
+/// just which mode it measures).
+static SHARING_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` with snapshot sharing forced on or off, restoring the
+/// default afterwards.
+fn with_sharing<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    ipstorage_core::set_snapshots_enabled(on);
+    let r = f();
+    ipstorage_core::set_snapshots_enabled(true);
+    r
+}
+
+/// Asserts one runner emits the same bytes with sharing on and off.
+fn transparent(name: &str, run: impl Fn() -> String) {
+    let _guard = SHARING_LOCK.lock().unwrap();
+    let shared = with_sharing(true, &run);
+    let cold = with_sharing(false, &run);
+    assert!(
+        shared == cold,
+        "runner `{name}` output differs when snapshot sharing is disabled"
+    );
+}
+
+/// Every runner covers all its protocols internally; each is exercised
+/// at two or more configurations (depths, sizes, file counts, client
+/// counts), quick-scaled to keep the suite affordable.
+#[test]
+fn snapshot_transparency_micro_and_data_runners() {
+    for state in [CacheState::Cold, CacheState::Warm] {
+        transparent("micro matrix", || {
+            let (_, r) = micro::matrix_report_ops(state, &["mkdir", "creat", "stat"], &[0, 2], 1);
+            r.to_json()
+        });
+    }
+    transparent("table4", || {
+        let (t, r) = data::table4_report_with(8);
+        format!("{}{}", t.render(), r.to_json())
+    });
+    transparent("figure6", || {
+        let (t, r) = data::figure6_report_with(&[10, 50], 8);
+        format!("{}{}", t.render(), r.to_json())
+    });
+}
+
+#[test]
+fn snapshot_transparency_macro_runners() {
+    transparent("table5", || {
+        let (t, r) = macrob::table5_report_with(&[400, 800], 500);
+        format!("{}{}", t.render(), r.to_json())
+    });
+    transparent("table6", || {
+        let (t, r) = macrob::table6_report_with(OltpConfig {
+            db_pages: 2048,
+            transactions: 300,
+            ..OltpConfig::default()
+        });
+        format!("{}{}", t.render(), r.to_json())
+    });
+    transparent("table7", || {
+        let (t, r) = macrob::table7_report_with(DssConfig {
+            db_pages: 4096,
+            ..DssConfig::default()
+        });
+        format!("{}{}", t.render(), r.to_json())
+    });
+    transparent("table9_10", || {
+        let (t9, t10, r) = macrob::table9_10_report_with(
+            300,
+            500,
+            OltpConfig {
+                db_pages: 1024,
+                transactions: 200,
+                ..OltpConfig::default()
+            },
+            DssConfig {
+                db_pages: 2048,
+                ..DssConfig::default()
+            },
+        );
+        format!("{}{}{}", t9.render(), t10.render(), r.to_json())
+    });
+}
+
+#[test]
+fn snapshot_transparency_ablation_enhance_scale_runners() {
+    transparent("ablations", || {
+        ablation::all_reports()
+            .into_iter()
+            .map(|(t, r)| format!("{}{}", t.render(), r.to_json()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    transparent("section7 postmark", || {
+        let (t, r) = enhance::section7_postmark_report(500, 800);
+        format!("{}{}", t.render(), r.to_json())
+    });
+    transparent("scale", || {
+        let (t, r) = scale::scale_report_with(&[1, 2], 100, 200);
+        format!("{}{}", t.render(), r.to_json())
+    });
+}
+
+/// Builds a small-pool snapshot for the isolation properties.
+fn pool_snapshot(protocol: Protocol) -> Snapshot {
+    let key = SetupKey::for_config(&TestbedConfig::new(protocol), "props:pool");
+    let tb = Testbed::with_protocol_seeded(protocol, key.setup_seed());
+    tb.fs().mkdir("/pool").unwrap();
+    for i in 0..20 {
+        let path = format!("/pool/f{i}");
+        tb.fs().creat(&path).unwrap();
+        let fd = tb.fs().open(&path).unwrap();
+        tb.fs().write(fd, 0, &[i as u8; 4096]).unwrap();
+        tb.fs().close(fd).unwrap();
+    }
+    Snapshot::capture(tb, key)
+}
+
+/// A fork's writes stay in its overlay: siblings (and the snapshot)
+/// never observe them, on either protocol stack.
+#[test]
+fn fork_writes_are_isolated() {
+    for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+        let snap = pool_snapshot(proto);
+        let baseline = snap.fork(99).diverged_blocks();
+
+        let a = snap.fork(1);
+        a.fs().creat("/pool/only-in-a").unwrap();
+        let fd = a.fs().open("/pool/only-in-a").unwrap();
+        a.fs().write(fd, 0, &[0xAA; 32_768]).unwrap();
+        a.settle();
+        assert!(a.diverged_blocks() > baseline, "{proto:?}: writes diverge");
+
+        let b = snap.fork(2);
+        assert_eq!(
+            b.diverged_blocks(),
+            baseline,
+            "{proto:?}: sibling fork starts clean"
+        );
+        assert!(
+            b.fs().open("/pool/only-in-a").is_err(),
+            "{proto:?}: sibling fork must not see a's file"
+        );
+        let fd = b.fs().open("/pool/f3").unwrap();
+        let data = b.fs().read(fd, 0, 4096).unwrap();
+        assert!(
+            data.iter().all(|&x| x == 3),
+            "{proto:?}: snapshot content intact in sibling"
+        );
+    }
+}
+
+/// The measured phase of a fork is a pure function of its seed:
+/// concurrent forks on worker threads reproduce the sequential
+/// results exactly (the property the parallel sweep relies on).
+#[test]
+fn concurrent_forks_match_sequential_forks() {
+    let snap = pool_snapshot(Protocol::NfsV3);
+    let measure = |seed: u64| {
+        let tb = snap.fork(seed);
+        let m0 = tb.messages();
+        let t0 = tb.now();
+        for i in 0..20 {
+            tb.fs().stat(&format!("/pool/f{i}")).unwrap();
+        }
+        tb.fs().creat("/pool/extra").unwrap();
+        tb.settle();
+        (tb.now().since(t0), tb.messages() - m0)
+    };
+    let sequential: Vec<_> = (0..4).map(measure).collect();
+    let concurrent: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4).map(|seed| s.spawn(move || measure(seed))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(sequential, concurrent);
+}

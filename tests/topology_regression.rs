@@ -13,6 +13,16 @@
 //! draws, same counter registry, same report bytes. These tests rebuild
 //! the exact stdout of those runner invocations in-process and compare
 //! byte-for-byte against the committed fixtures.
+//!
+//! The fixtures were re-captured (same commands) when the setup
+//! snapshot cache landed: every cell now runs its setup under a
+//! key-derived seed, captures through a clean unmount, and reports
+//! measured-phase traffic only (setup totals move to `SetupInfo`), so
+//! the JSON counter sections shrank. Table 2's cells were unchanged;
+//! Table 5's times/messages moved a few percent (the capture's
+//! unmount lands the pool's deferred write-back, which the old
+//! mid-run accounting deferred past the snapshot point) while keeping
+//! every ratio the paper reports.
 
 use ipstorage::core::experiments::{macrob, micro};
 use ipstorage::core::{RunReport, Table};
