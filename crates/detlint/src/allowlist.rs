@@ -1,0 +1,261 @@
+//! The `detlint.toml` allowlist: the only way to suppress a finding.
+//!
+//! The format is a restricted TOML subset (parsed by hand — the
+//! workspace is offline and carries no TOML crate):
+//!
+//! ```toml
+//! # Comments start with '#'.
+//! [[allow]]
+//! lint = "D2"                      # required: D1..D5
+//! path = "crates/ext3/src/cache.rs" # required: workspace-relative
+//! contains = "self.map.values()"   # optional: substring of the line
+//! reason = "why this is sound"     # required, must be non-empty
+//! ```
+//!
+//! An entry suppresses a diagnostic when `lint` and `path` match and,
+//! if `contains` is present, the offending source line contains it.
+//! Omitting `contains` suppresses every finding of that lint in the
+//! file — use sparingly. Entries that suppress nothing are reported
+//! so the allowlist cannot rot.
+
+use crate::{Diagnostic, Lint};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint this entry suppresses.
+    pub lint: Lint,
+    /// Workspace-relative path it applies to.
+    pub path: String,
+    /// Optional substring the offending line must contain.
+    pub contains: Option<String>,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line in `detlint.toml` where the entry starts (for messages).
+    pub defined_at: usize,
+}
+
+impl AllowEntry {
+    /// Does this entry suppress `d`?
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        self.lint == d.lint
+            && self.path == d.path
+            && self
+                .contains
+                .as_ref()
+                .is_none_or(|c| d.source_line.contains(c))
+    }
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Splits `diags` into (kept, suppressed) and returns the indexes
+    /// of entries that suppressed nothing.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<usize>) {
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        let mut used = vec![false; self.entries.len()];
+        for d in diags {
+            match self.entries.iter().position(|e| e.matches(&d)) {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed.push(d);
+                }
+                None => kept.push(d),
+            }
+        }
+        let unused = (0..self.entries.len()).filter(|&i| !used[i]).collect();
+        (kept, suppressed, unused)
+    }
+}
+
+/// Parses `detlint.toml` text. Errors carry a line number and are
+/// meant to fail the lint run loudly — a malformed allowlist must
+/// never silently suppress nothing (or everything).
+pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
+    /// An `[[allow]]` block mid-parse: every field still optional.
+    struct Partial {
+        at: usize,
+        lint: Option<Lint>,
+        path: Option<String>,
+        contains: Option<String>,
+        reason: Option<String>,
+    }
+
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut cur: Option<Partial> = None;
+
+    fn finish(cur: Option<Partial>, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
+        if let Some(p) = cur {
+            let at = p.at;
+            let lint = p
+                .lint
+                .ok_or(format!("allow entry at line {at}: missing `lint`"))?;
+            let path = p
+                .path
+                .ok_or(format!("allow entry at line {at}: missing `path`"))?;
+            let reason = p.reason.ok_or(format!(
+                "allow entry at line {at}: missing `reason` — every suppression must be justified"
+            ))?;
+            if reason.trim().is_empty() {
+                return Err(format!("allow entry at line {at}: empty `reason`"));
+            }
+            entries.push(AllowEntry {
+                lint,
+                path,
+                contains: p.contains,
+                reason,
+                defined_at: at,
+            });
+        }
+        Ok(())
+    }
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(cur.take(), &mut entries)?;
+            cur = Some(Partial {
+                at: lineno,
+                lint: None,
+                path: None,
+                contains: None,
+                reason: None,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("detlint.toml:{lineno}: expected `key = \"value\"`"));
+        };
+        let key = key.trim();
+        let value = parse_string(value.trim()).ok_or(format!(
+            "detlint.toml:{lineno}: value must be a quoted string"
+        ))?;
+        let Some(entry) = cur.as_mut() else {
+            return Err(format!(
+                "detlint.toml:{lineno}: `{key}` outside an [[allow]] entry"
+            ));
+        };
+        match key {
+            "lint" => {
+                entry.lint = Some(Lint::from_id(&value).ok_or(format!(
+                    "detlint.toml:{lineno}: unknown lint `{value}` (expected D1..D5)"
+                ))?)
+            }
+            "path" => entry.path = Some(value),
+            "contains" => entry.contains = Some(value),
+            "reason" => entry.reason = Some(value),
+            other => {
+                return Err(format!("detlint.toml:{lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    finish(cur, &mut entries)?;
+    Ok(Allowlist { entries })
+}
+
+/// Parses a double-quoted TOML string with `\"` and `\\` escapes.
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                't' => out.push('\t'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            return None; // unescaped quote mid-string
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# workspace allowlist
+[[allow]]
+lint = "D2"
+path = "crates/ext3/src/cache.rs"
+contains = "self.map.values()"
+reason = "commutative count over the CLOCK cache"
+
+[[allow]]
+lint = "D1"
+path = "crates/x/src/lib.rs"
+reason = "calibration-only"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let a = parse_allowlist(GOOD).unwrap();
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.entries[0].lint, Lint::D2);
+        assert_eq!(a.entries[0].contains.as_deref(), Some("self.map.values()"));
+        assert_eq!(a.entries[1].contains, None);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let bad = "[[allow]]\nlint = \"D1\"\npath = \"x.rs\"\n";
+        let err = parse_allowlist(bad).unwrap_err();
+        assert!(err.contains("missing `reason`"), "{err}");
+        let empty = "[[allow]]\nlint = \"D1\"\npath = \"x.rs\"\nreason = \"  \"\n";
+        assert!(parse_allowlist(empty)
+            .unwrap_err()
+            .contains("empty `reason`"));
+    }
+
+    #[test]
+    fn unknown_lint_and_keys_are_rejected() {
+        assert!(
+            parse_allowlist("[[allow]]\nlint = \"D7\"\npath = \"x\"\nreason = \"r\"\n")
+                .unwrap_err()
+                .contains("unknown lint")
+        );
+        assert!(parse_allowlist("[[allow]]\nfoo = \"bar\"\n")
+            .unwrap_err()
+            .contains("unknown key"));
+    }
+
+    #[test]
+    fn apply_tracks_usage() {
+        let a = parse_allowlist(GOOD).unwrap();
+        let d = Diagnostic {
+            path: "crates/ext3/src/cache.rs".into(),
+            line: 10,
+            lint: Lint::D2,
+            message: String::new(),
+            source_line: "        self.map.values().count()".into(),
+        };
+        let other = Diagnostic {
+            path: "crates/ext3/src/cache.rs".into(),
+            lint: Lint::D2,
+            source_line: "for x in self.ring {".into(),
+            ..d.clone()
+        };
+        let (kept, suppressed, unused) = a.apply(vec![d, other]);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(unused, vec![1], "the D1 entry suppressed nothing");
+    }
+}

@@ -1,0 +1,156 @@
+//! `cargo run -p detlint` — lint the whole workspace for determinism
+//! violations (see the library docs for the D1–D5 catalogue).
+//!
+//! Exit status: 0 when every finding is suppressed by `detlint.toml`,
+//! 1 when any finding remains (or the allowlist is malformed).
+//!
+//! Flags:
+//!   --root <dir>    workspace root (default: two levels above this
+//!                   crate's manifest, i.e. the repo root)
+//!   --verbose       also print suppressed findings and their reasons
+//!   --no-allowlist  ignore detlint.toml (shows the raw findings)
+
+use detlint::{lint_source, parse_allowlist, Allowlist};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut use_allowlist = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--verbose" => verbose = true,
+            "--no-allowlist" => use_allowlist = false,
+            "--help" | "-h" => {
+                println!(
+                    "detlint: workspace determinism linter (D1-D5)\n\
+                     usage: detlint [--root <dir>] [--verbose] [--no-allowlist]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let allowlist = if use_allowlist {
+        match load_allowlist(&root) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut diags = Vec::new();
+    for rel in &files {
+        let src = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("detlint: skipping {rel}: {e}");
+                continue;
+            }
+        };
+        diags.extend(lint_source(rel, &src));
+    }
+    let scanned = files.len();
+
+    let (kept, suppressed, unused) = allowlist.apply(diags);
+
+    for d in &kept {
+        println!("{d}");
+    }
+    if verbose {
+        for d in &suppressed {
+            let reason = allowlist
+                .entries
+                .iter()
+                .find(|e| e.matches(d))
+                .map(|e| e.reason.as_str())
+                .unwrap_or("");
+            println!("{d} [allowed: {reason}]");
+        }
+    }
+    for i in &unused {
+        let e = &allowlist.entries[*i];
+        eprintln!(
+            "detlint: warning: unused allowlist entry at detlint.toml:{} ({} {}{}) — remove it",
+            e.defined_at,
+            e.lint,
+            e.path,
+            e.contains
+                .as_deref()
+                .map(|c| format!(" contains {c:?}"))
+                .unwrap_or_default()
+        );
+    }
+    eprintln!(
+        "detlint: {scanned} files scanned, {} finding(s), {} suppressed, {} unused allowlist entr{}",
+        kept.len(),
+        suppressed.len(),
+        unused.len(),
+        if unused.len() == 1 { "y" } else { "ies" }
+    );
+    if kept.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The repo root: two levels above this crate's manifest dir.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("detlint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => parse_allowlist(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+/// Recursively collects workspace-relative paths of `.rs` files,
+/// skipping build output, VCS metadata, and the linter's own
+/// intentionally-violating fixtures.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "fixtures") {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}

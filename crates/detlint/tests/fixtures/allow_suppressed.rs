@@ -1,0 +1,7 @@
+//! Fixture: a real D1 violation that the accompanying allowlist in
+//! `selftest.rs` suppresses with a reason. Expected: one D1 finding
+//! before the allowlist is applied, zero after.
+
+pub fn wall_deadline() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,36 @@
+//! Fixture: HashMap/HashSet iteration feeding output (D2).
+//! Expected: D2 on the `.iter()` chain, the `for` loop, and the
+//! multi-line `.keys()` chain; NOT on the immediately-sorted case.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn summarize(counts: &HashMap<String, u64>) -> u64 {
+    counts.iter().map(|(_, v)| v).sum()
+}
+
+pub fn render(seen: &HashSet<u32>) -> String {
+    let mut out = String::new();
+    for id in seen.iter() {
+        out.push_str(&id.to_string());
+    }
+    out
+}
+
+pub struct Stats {
+    counts: HashMap<String, u64>,
+}
+
+impl Stats {
+    pub fn names(&self) -> Vec<String> {
+        self.counts
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    pub fn sorted_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.counts.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: ambient (seed-free) randomness (D3).
+//! Expected: D3 on the `RandomState` line and the `DefaultHasher`
+//! line. All simulation randomness must flow from
+//! `simkit::rng::SplitMix64` streams forked per cell.
+
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::hash::BuildHasher;
+
+pub fn ambient_seed() -> u64 {
+    let state = RandomState::new();
+    state.hash_one(42u64)
+}
+
+pub fn ambient_hash() -> DefaultHasher {
+    DefaultHasher::new()
+}

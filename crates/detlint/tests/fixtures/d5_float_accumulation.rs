@@ -1,0 +1,23 @@
+//! Fixture: float state built inside a spawned thread (D5).
+//! Expected: D5 once for the spawn body below — cross-thread float
+//! folds are only allowed in the index-ordered merge inside
+//! `ReportBuilder::merge_report`. Integer work in a spawn is not
+//! flagged.
+
+use std::thread;
+
+pub fn parallel_mean(xs: &'static [f64]) -> f64 {
+    let h = thread::spawn(move || {
+        let mut acc = 0.0f64;
+        for x in xs {
+            acc += x;
+        }
+        acc
+    });
+    h.join().unwrap() / xs.len() as f64
+}
+
+pub fn parallel_count(xs: &'static [u64]) -> u64 {
+    let h = thread::spawn(move || xs.iter().sum::<u64>());
+    h.join().unwrap()
+}

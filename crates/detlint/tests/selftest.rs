@@ -1,0 +1,215 @@
+//! Linter self-tests: each file under `tests/fixtures/` is fed to
+//! [`lint_source`] under a fake workspace-relative path (the real
+//! fixture path would be skipped — the scanner ignores
+//! `tests/fixtures/` so the fixtures never fail the workspace gate)
+//! and the resulting diagnostics are checked lint-by-lint and
+//! line-by-line.
+
+use detlint::{lint_source, parse_allowlist, Lint};
+
+fn lint_fixture(name: &str) -> Vec<detlint::Diagnostic> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    // Pretend the fixture lives in library code so every lint applies.
+    lint_source(&format!("crates/example/src/{name}"), &src)
+}
+
+/// `(lint, line)` pairs, sorted, for compact expectations.
+fn findings(name: &str) -> Vec<(Lint, usize)> {
+    let mut v: Vec<(Lint, usize)> = lint_fixture(name)
+        .iter()
+        .map(|d| (d.lint, d.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn d1_flags_wall_clock_but_not_comments_or_strings() {
+    // Line 9 is the `-> std::time::SystemTime` return type: the token
+    // scanner deliberately over-approximates (type position and call
+    // position look alike), and the crate docs say so.
+    assert_eq!(
+        findings("d1_wall_clock.rs"),
+        vec![(Lint::D1, 5), (Lint::D1, 9), (Lint::D1, 10)]
+    );
+}
+
+#[test]
+fn d2_flags_hash_iteration_but_not_immediate_sorts() {
+    let got = findings("d2_hash_iteration.rs");
+    assert_eq!(
+        got.len(),
+        3,
+        "exactly the three unordered iterations: {got:?}"
+    );
+    assert!(got.iter().all(|&(l, _)| l == Lint::D2));
+    // .iter() map-sum, for-loop over HashSet, multi-line .keys() chain
+    // (reported at the receiver line, 25) — and nothing inside
+    // `sorted_names`, whose collect is sorted on the next line.
+    assert_eq!(
+        got.iter().map(|&(_, line)| line).collect::<Vec<_>>(),
+        vec![8, 13, 25]
+    );
+}
+
+#[test]
+fn d3_flags_ambient_randomness() {
+    // The `use` import (line 6, one finding even though it names both
+    // banned types) and the `-> DefaultHasher` return type (line 14)
+    // are flagged too: importing ambient randomness is the thing the
+    // lint exists to make conspicuous.
+    assert_eq!(
+        findings("d3_ambient_randomness.rs"),
+        vec![
+            (Lint::D3, 6),
+            (Lint::D3, 10),
+            (Lint::D3, 14),
+            (Lint::D3, 15)
+        ]
+    );
+}
+
+#[test]
+fn d4_flags_threads_and_channels() {
+    assert_eq!(
+        findings("d4_thread_spawn.rs"),
+        vec![(Lint::D4, 10), (Lint::D4, 11)]
+    );
+}
+
+#[test]
+fn d5_flags_float_accumulation_in_spawn_only() {
+    let got = findings("d5_float_accumulation.rs");
+    // The spawn itself is D4 either way; exactly one D5, in the float
+    // body, none in the integer body.
+    let d5: Vec<usize> = got
+        .iter()
+        .filter(|&&(l, _)| l == Lint::D5)
+        .map(|&(_, n)| n)
+        .collect();
+    assert_eq!(d5.len(), 1, "one float-accumulation finding: {got:?}");
+    assert!(
+        d5[0] >= 10 && d5[0] <= 16,
+        "D5 lands inside the float spawn body"
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    assert_eq!(findings("clean.rs"), vec![]);
+}
+
+#[test]
+fn allowlist_suppresses_with_reason_and_reports_unused() {
+    let diags = lint_fixture("allow_suppressed.rs");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].lint, Lint::D1);
+
+    let toml = r#"
+[[allow]]
+lint = "D1"
+path = "crates/example/src/allow_suppressed.rs"
+contains = "Instant::now()"
+reason = "fixture: demonstrates a justified suppression"
+
+[[allow]]
+lint = "D4"
+path = "crates/example/src/never_matches.rs"
+reason = "fixture: stale entry the linter must call out"
+"#;
+    let allow = parse_allowlist(toml).expect("valid allowlist");
+    let (kept, suppressed, unused) = allow.apply(diags);
+    assert!(kept.is_empty(), "the D1 finding is suppressed: {kept:?}");
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(unused, vec![1], "the stale entry is reported unused");
+}
+
+#[test]
+fn allowlist_requires_a_reason() {
+    let missing = r#"
+[[allow]]
+lint = "D1"
+path = "crates/example/src/x.rs"
+"#;
+    assert!(parse_allowlist(missing).is_err());
+    let empty = r#"
+[[allow]]
+lint = "D1"
+path = "crates/example/src/x.rs"
+reason = ""
+"#;
+    assert!(parse_allowlist(empty).is_err());
+}
+
+/// The binary end to end, pointed at the fixtures: must exit nonzero
+/// and name every violating file (the walker only skips `fixtures`
+/// directories while descending, so using one as `--root` lints it).
+#[test]
+fn binary_exits_nonzero_on_fixture_violations() {
+    let fixtures = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .args(["--root", &fixtures])
+        .output()
+        .expect("run detlint");
+    assert!(
+        !out.status.success(),
+        "violating fixtures must fail the gate"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for file in [
+        "d1_wall_clock.rs",
+        "d2_hash_iteration.rs",
+        "d3_ambient_randomness.rs",
+        "d4_thread_spawn.rs",
+        "d5_float_accumulation.rs",
+        "allow_suppressed.rs",
+    ] {
+        assert!(
+            stdout.contains(file),
+            "missing finding for {file}:\n{stdout}"
+        );
+    }
+    assert!(
+        !stdout.contains("clean.rs"),
+        "clean fixture must not be flagged"
+    );
+}
+
+/// The binary against the real workspace (its default root): the gate
+/// CI runs must pass, with every suppression justified in
+/// detlint.toml.
+#[test]
+fn binary_exits_zero_on_the_workspace() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .output()
+        .expect("run detlint");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "workspace must be lint-clean:\n{}{stderr}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        !stderr.contains("unused allowlist entry"),
+        "allowlist must not rot:\n{stderr}"
+    );
+}
+
+/// The policy matrix in one place: bench may read the wall clock,
+/// the sweep module may spawn threads, test code may iterate hashes
+/// — but nobody gets ambient randomness.
+#[test]
+fn policy_matrix_is_enforced_per_path() {
+    let clock = "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert!(lint_source("crates/bench/src/bin/tables.rs", clock).is_empty());
+    assert_eq!(lint_source("crates/core/src/testbed.rs", clock).len(), 1);
+
+    let spawn = "pub fn go() { std::thread::spawn(|| {}).join().unwrap(); }\n";
+    assert!(lint_source("crates/simkit/src/sweep.rs", spawn).is_empty());
+    assert_eq!(lint_source("crates/simkit/src/clock.rs", spawn).len(), 1);
+
+    let rand = "use std::collections::hash_map::RandomState;\npub fn r() -> RandomState { RandomState::new() }\n";
+    assert!(!lint_source("crates/bench/src/lib.rs", rand).is_empty());
+    assert!(!lint_source("crates/core/tests/x.rs", rand).is_empty());
+}

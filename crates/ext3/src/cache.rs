@@ -8,7 +8,7 @@
 //! pdflush-style daemon).
 
 use blockdev::{BlockNo, BLOCK_SIZE};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Dirty state of a cached block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +39,7 @@ struct Buf {
 #[derive(Debug)]
 pub struct BufferCache {
     capacity: usize,
-    map: HashMap<BlockNo, Buf>,
+    map: BTreeMap<BlockNo, Buf>,
     /// CLOCK ring of candidate victims (may contain stale keys).
     ring: std::collections::VecDeque<BlockNo>,
     /// Blocks currently dirty with [`DirtyKind::Data`], kept sorted so
@@ -55,7 +55,7 @@ impl BufferCache {
     pub fn new(capacity: usize) -> Self {
         BufferCache {
             capacity: capacity.max(8),
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             ring: std::collections::VecDeque::new(),
             dirty_data: BTreeSet::new(),
             hits: 0,
@@ -182,14 +182,12 @@ impl BufferCache {
         if kind == DirtyKind::Data {
             return self.dirty_data.iter().copied().collect();
         }
-        let mut v: Vec<BlockNo> = self
-            .map
+        // BTreeMap iteration is already in block order.
+        self.map
             .iter()
             .filter(|(_, b)| b.dirty == kind)
             .map(|(&k, _)| k)
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
     }
 
     /// The first `limit` dirty-data blocks, in block order (the

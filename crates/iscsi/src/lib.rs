@@ -47,7 +47,7 @@ use net::Channel;
 use scsi::{Cdb, ScsiStatus, ScsiTarget, SenseKey};
 use simkit::{CounterHandle, MetricHandle};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -337,7 +337,7 @@ impl Initiator {
             read_head: Cell::new(u64::MAX),
             name: format!("iscsi:{}", self.target.lun_volume(lun).name()),
             txns: sim.counters().handle("proto.iscsi.txns"),
-            cmds: RefCell::new(HashMap::new()),
+            cmds: RefCell::new(BTreeMap::new()),
         })
     }
 }
@@ -368,7 +368,7 @@ pub struct RemoteDisk {
     /// Per-opcode counter/histogram handles, resolved on the first
     /// command of each kind; the per-command path then only bumps
     /// handles — no name formatting, no registry lookups.
-    cmds: RefCell<HashMap<&'static str, CmdHandles>>,
+    cmds: RefCell<BTreeMap<&'static str, CmdHandles>>,
 }
 
 #[derive(Debug, Clone)]

@@ -1,0 +1,73 @@
+//! Concurrency model test for the thread-safe [`net::Sniffer`]
+//! (`cargo test -p net --features loom`): the Mutex/atomic capture
+//! path must neither lose nor double-count a message under any
+//! explored schedule, and the bounded buffer must never exceed its
+//! capacity — the invariant behind trusting per-channel summaries
+//! even if parallel sweep cells ever shared one tap.
+#![cfg(feature = "loom")]
+
+use loom::sync::Arc;
+use net::Sniffer;
+use simkit::SimTime;
+
+#[test]
+fn concurrent_appends_account_every_message_exactly_once() {
+    loom::model(|| {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 64;
+        const CAP: usize = 100;
+        let s = Arc::new(Sniffer::default());
+        s.set_enabled(true);
+        s.set_capacity(CAP);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                loom::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        if i == PER_THREAD / 2 {
+                            loom::hint::interleave();
+                        }
+                        s.observe(SimTime::from_nanos(t * PER_THREAD + i), "nfs", 64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = THREADS * PER_THREAD;
+        assert_eq!(s.len(), CAP, "buffer fills exactly to capacity");
+        assert_eq!(s.dropped(), total - CAP as u64);
+        let sum = s.summary();
+        assert_eq!(
+            sum["nfs"].messages + sum["nfs"].dropped,
+            total,
+            "captured + dropped covers every observe exactly once"
+        );
+        assert_eq!(sum["nfs"].bytes, CAP as u64 * 64);
+    });
+}
+
+#[test]
+fn capacity_zero_drops_everything_without_capturing() {
+    loom::model(|| {
+        let s = Arc::new(Sniffer::default());
+        s.set_enabled(true);
+        s.set_capacity(0);
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                loom::thread::spawn(move || {
+                    for i in 0..16u64 {
+                        s.observe(SimTime::from_nanos(t * 16 + i), "iscsi", 8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.dropped(), 32);
+    });
+}

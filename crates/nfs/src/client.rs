@@ -26,7 +26,7 @@ use ext3::{Attr, DirEntry, FsError, FsResult, SetAttr};
 use rpc::RpcClient;
 use simkit::{Sim, SimDuration};
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// Client configuration.
@@ -103,7 +103,7 @@ pub struct OpenFile {
 }
 
 /// One directory's cached entries: child name → `(fh, generation)`.
-type DirEntries = HashMap<String, (Fh, u64)>;
+type DirEntries = BTreeMap<String, (Fh, u64)>;
 
 /// The NFS client endpoint.
 pub struct NfsClient {
@@ -113,12 +113,12 @@ pub struct NfsClient {
     cfg: NfsConfig,
     cpu: Rc<CpuAccount>,
     cost: CostModel,
-    attrs: RefCell<HashMap<Fh, CachedAttr>>,
+    attrs: RefCell<BTreeMap<Fh, CachedAttr>>,
     /// Cached directory entries, keyed by directory then child name.
     /// The two-level shape lets the hot lookup path probe with a
     /// borrowed `&str` instead of building an owned `(Fh, String)` key
     /// per resolution.
-    dentries: RefCell<HashMap<Fh, DirEntries>>,
+    dentries: RefCell<BTreeMap<Fh, DirEntries>>,
     pages: PageCache,
     /// Completion times (ns) of in-flight async writes.
     pending: RefCell<VecDeque<u64>>,
@@ -126,13 +126,13 @@ pub struct NfsClient {
     dirty_queue: RefCell<VecDeque<(Fh, u64, u64)>>,
     /// Total queued dirty pages.
     dirty_page_count: Cell<usize>,
-    seq: RefCell<HashMap<Fh, SeqState>>,
+    seq: RefCell<BTreeMap<Fh, SeqState>>,
     /// §7 directory delegation: leased directories and their queued
     /// (not yet flushed) meta-data updates.
-    delegations: RefCell<HashMap<Fh, u64>>,
+    delegations: RefCell<BTreeMap<Fh, u64>>,
     /// v4 file delegations currently held (read delegations granted at
     /// OPEN; the single-client testbed never recalls them).
-    file_delegations: RefCell<HashMap<Fh, ()>>,
+    file_delegations: RefCell<BTreeMap<Fh, ()>>,
     queued_updates: Cell<u64>,
 }
 
@@ -170,15 +170,15 @@ impl NfsClient {
             server,
             cpu,
             cost,
-            attrs: RefCell::new(HashMap::new()),
-            dentries: RefCell::new(HashMap::new()),
+            attrs: RefCell::new(BTreeMap::new()),
+            dentries: RefCell::new(BTreeMap::new()),
             pages: PageCache::new(cfg.page_cache_pages),
             pending: RefCell::new(VecDeque::new()),
             dirty_queue: RefCell::new(VecDeque::new()),
             dirty_page_count: Cell::new(0),
-            seq: RefCell::new(HashMap::new()),
-            delegations: RefCell::new(HashMap::new()),
-            file_delegations: RefCell::new(HashMap::new()),
+            seq: RefCell::new(BTreeMap::new()),
+            delegations: RefCell::new(BTreeMap::new()),
+            file_delegations: RefCell::new(BTreeMap::new()),
             queued_updates: Cell::new(0),
             cfg,
         }

@@ -6,7 +6,7 @@
 
 use crate::Fh;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Page size: 4 KiB, as on the paper's testbed.
 pub const PAGE_SIZE: usize = 4096;
@@ -32,8 +32,8 @@ struct FileState {
 #[derive(Debug)]
 pub struct PageCache {
     capacity: usize,
-    pages: RefCell<HashMap<(Fh, u64), Page>>,
-    files: RefCell<HashMap<Fh, FileState>>,
+    pages: RefCell<BTreeMap<(Fh, u64), Page>>,
+    files: RefCell<BTreeMap<Fh, FileState>>,
     /// CLOCK ring of candidate victims (may contain stale keys).
     ring: RefCell<std::collections::VecDeque<(Fh, u64)>>,
 }
@@ -43,8 +43,8 @@ impl PageCache {
     pub fn new(capacity: usize) -> PageCache {
         PageCache {
             capacity: capacity.max(8),
-            pages: RefCell::new(HashMap::new()),
-            files: RefCell::new(HashMap::new()),
+            pages: RefCell::new(BTreeMap::new()),
+            files: RefCell::new(BTreeMap::new()),
             ring: RefCell::new(std::collections::VecDeque::new()),
         }
     }

@@ -41,7 +41,7 @@ pub mod wire;
 use net::Channel;
 use simkit::{CounterHandle, MetricHandle, Sim, SimDuration};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Retransmission-timer parameters of the RPC client.
@@ -102,7 +102,7 @@ pub struct RpcClient {
     /// Per-procedure counter/histogram handles, resolved on first use
     /// of each procedure name. Steady-state calls bump handles only —
     /// no name formatting, no registry lookups.
-    procs: RefCell<HashMap<String, ProcHandles>>,
+    procs: RefCell<BTreeMap<String, ProcHandles>>,
 }
 
 #[derive(Debug, Clone)]
@@ -126,7 +126,7 @@ impl RpcClient {
             total_retransmits: Cell::new(0),
             txns,
             retrans,
-            procs: RefCell::new(HashMap::new()),
+            procs: RefCell::new(BTreeMap::new()),
         }
     }
 

@@ -64,13 +64,18 @@ pub fn default_jobs() -> usize {
     max_jobs()
 }
 
-/// One write-once result slot per cell index.
+/// One write-once result slot per cell index — the lock-free ordered
+/// result store behind [`run_indexed`].
 ///
 /// The claim counter hands each index to exactly one worker, so each
 /// slot has exactly one writer and needs no lock; `thread::scope`
 /// joins every worker before the slots are read, which provides the
 /// happens-before edge that makes the reads sound.
-struct Slots<T> {
+///
+/// Public so the feature-gated loom model tests (and any future
+/// executor) can check the publish/claim protocol directly; ordinary
+/// callers should use [`run_indexed`].
+pub struct Slots<T> {
     cells: Vec<UnsafeCell<Option<T>>>,
 }
 
@@ -80,13 +85,48 @@ struct Slots<T> {
 unsafe impl<T: Send> Sync for Slots<T> {}
 
 impl<T> Slots<T> {
+    /// Creates `n` empty slots.
+    pub fn new(n: usize) -> Slots<T> {
+        Slots {
+            cells: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
     /// Stores the result for cell `i`.
     ///
     /// # Safety
     ///
-    /// The caller must be the unique claimant of index `i`.
-    unsafe fn set(&self, i: usize, value: T) {
+    /// The caller must be the unique claimant of index `i` (e.g. via a
+    /// shared `fetch_add` counter), and no reads may happen before all
+    /// writers are joined.
+    pub unsafe fn set(&self, i: usize, value: T) {
         *self.cells[i].get() = Some(value);
+    }
+
+    /// Consumes the slots in index order. Call only after every writer
+    /// has been joined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot was never written.
+    pub fn into_results(self) -> Vec<T> {
+        self.cells
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every cell index was claimed exactly once")
+            })
+            .collect()
     }
 }
 
@@ -143,9 +183,7 @@ where
     let order: Option<Vec<usize>> = costs.map(claim_order);
     let workers = jobs.min(n);
     let next = AtomicUsize::new(0);
-    let slots = Slots {
-        cells: (0..n).map(|_| UnsafeCell::new(None)).collect(),
-    };
+    let slots = Slots::new(n);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -161,14 +199,7 @@ where
             });
         }
     });
-    slots
-        .cells
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("every cell index was claimed exactly once")
-        })
-        .collect()
+    slots.into_results()
 }
 
 /// Claim-order permutation for a hinted run: most expensive first.

@@ -13,7 +13,7 @@
 pub mod io;
 
 use simkit::SplitMix64;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Kind of meta-data access in a trace event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -179,15 +179,15 @@ pub fn sharing_analysis(events: &[TraceEvent], intervals_s: &[u64]) -> Vec<Shari
         for w in 0..nwin {
             let lo = w * iv;
             let hi = lo + iv;
-            let mut readers: HashMap<u32, HashSet<u32>> = HashMap::new();
-            let mut writers: HashMap<u32, HashSet<u32>> = HashMap::new();
+            let mut readers: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+            let mut writers: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
             for e in events.iter().filter(|e| e.t >= lo && e.t < hi) {
                 match e.kind {
                     AccessKind::Read => readers.entry(e.dir).or_default().insert(e.client),
                     AccessKind::Write => writers.entry(e.dir).or_default().insert(e.client),
                 };
             }
-            let mut dirs: HashSet<u32> = readers.keys().copied().collect();
+            let mut dirs: BTreeSet<u32> = readers.keys().copied().collect();
             dirs.extend(writers.keys().copied());
             if dirs.is_empty() {
                 continue;
@@ -241,8 +241,8 @@ pub fn rw_shared_fraction(events: &[TraceEvent], iv: u64) -> f64 {
     for w in 0..nwin {
         let lo = w * iv;
         let hi = lo + iv;
-        let mut clients: HashMap<u32, HashSet<u32>> = HashMap::new();
-        let mut wrote: HashSet<u32> = HashSet::new();
+        let mut clients: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        let mut wrote: BTreeSet<u32> = BTreeSet::new();
         for e in events.iter().filter(|e| e.t >= lo && e.t < hi) {
             clients.entry(e.dir).or_default().insert(e.client);
             if e.kind == AccessKind::Write {
@@ -285,7 +285,7 @@ pub fn simulate_metadata_cache(events: &[TraceEvent], cache_size: usize) -> Cach
     #[derive(Default)]
     struct ClientCache {
         lru: VecDeque<u32>,
-        set: HashSet<u32>,
+        set: BTreeSet<u32>,
     }
     impl ClientCache {
         fn touch(&mut self, dir: u32, cap: usize) -> bool {
@@ -318,8 +318,8 @@ pub fn simulate_metadata_cache(events: &[TraceEvent], cache_size: usize) -> Cach
         }
     }
 
-    let mut caches: HashMap<u32, ClientCache> = HashMap::new();
-    let mut holders: HashMap<u32, HashSet<u32>> = HashMap::new(); // dir -> clients caching it
+    let mut caches: BTreeMap<u32, ClientCache> = BTreeMap::new();
+    let mut holders: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new(); // dir -> clients caching it
     let mut cached_messages = 0u64;
     let mut invalidations = 0u64;
     for e in events {
@@ -377,7 +377,7 @@ pub struct DelegationReport {
 /// update; local updates are flushed in batches of `batch`; another
 /// client touching the directory forces a recall (flush + transfer).
 pub fn simulate_delegation(events: &[TraceEvent], batch: u64) -> DelegationReport {
-    let mut lease: HashMap<u32, (u32, u64)> = HashMap::new(); // dir -> (client, queued)
+    let mut lease: BTreeMap<u32, (u32, u64)> = BTreeMap::new(); // dir -> (client, queued)
     let mut updates = 0u64;
     let mut msgs = 0u64;
     let mut recalls = 0u64;
