@@ -11,6 +11,9 @@
 //! tables --no-snapshot      # rebuild every setup cold instead of
 //!                           # sharing snapshots (identical output,
 //!                           # slower; CI diffs both modes)
+//! tables --attribution      # trace every request and append the
+//!                           # critical-path attribution and gauge
+//!                           # tables to each runner's output
 //! ```
 
 use ipstorage_core::experiments::{data, enhance, macrob, micro, scale};
@@ -22,6 +25,10 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     if args.iter().any(|a| a == "--no-snapshot") {
         ipstorage_core::set_snapshots_enabled(false);
+    }
+    let attribution = args.iter().any(|a| a == "--attribution");
+    if attribution {
+        ipstorage_core::set_attribution_enabled(true);
     }
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         let jobs = args
@@ -44,6 +51,10 @@ fn main() {
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
     let emit = |r: &RunReport| {
+        if attribution {
+            println!("{}\n", ipstorage_core::attribution_table(r).render());
+            println!("{}\n", ipstorage_core::gauge_table(r).render());
+        }
         if json {
             println!("{}", r.to_json());
         }

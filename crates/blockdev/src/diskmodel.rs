@@ -141,7 +141,10 @@ impl<D: BlockDevice> DiskModel<D> {
             let tracer = sim.tracer();
             if tracer.enabled() {
                 let now = sim.now();
-                tracer.record(
+                // Physical disks live at the server regardless of
+                // which client's request reached them.
+                tracer.record_at(
+                    simkit::HostId::SERVER,
                     "disk",
                     if is_read { "read" } else { "write" },
                     now,

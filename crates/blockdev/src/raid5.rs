@@ -106,7 +106,9 @@ impl Raid5 {
             let tracer = sim.tracer();
             if tracer.enabled() {
                 let now = sim.now();
-                tracer.record(
+                // The array (and its parity work) lives at the server.
+                tracer.record_at(
+                    simkit::HostId::SERVER,
                     "raid5",
                     "parity_update",
                     now,

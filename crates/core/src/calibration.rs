@@ -84,6 +84,10 @@ pub fn client_ext3_options() -> ext3::Options {
         journal_blocks: JOURNAL_BLOCKS,
         atime: true,
         mem_copy_cost: mem_copy_cost(),
+        // The iSCSI client's file system (journal commits included)
+        // runs on the client machine; multi-client topologies override
+        // this per client.
+        trace_host: simkit::HostId::client(0),
     }
 }
 
@@ -94,6 +98,7 @@ pub fn server_ext3_options() -> ext3::Options {
     ext3::Options {
         cache_blocks: SERVER_CACHE_BLOCKS,
         mem_copy_cost: SimDuration::ZERO,
+        trace_host: simkit::HostId::SERVER,
         ..client_ext3_options()
     }
 }

@@ -29,6 +29,7 @@
 //! | Table 9/10 (CPU utilization) | [`experiments::macrob::table9_10`] |
 //! | Figure 7 + §7 (traces, enhancements) | [`experiments::enhance::figure7`], [`experiments::enhance::section7`] |
 
+pub mod attribution;
 pub mod calibration;
 pub mod experiments;
 pub mod plot;
@@ -38,6 +39,9 @@ pub mod sweep;
 pub mod table;
 mod testbed;
 
+pub use attribution::{
+    attribution_enabled, attribution_table, gauge_table, set_attribution_enabled,
+};
 pub use plot::{Plot, Series};
 pub use report::{ChannelStats, ReportBuilder, RunReport};
 pub use snapshot::{

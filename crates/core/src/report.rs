@@ -10,7 +10,7 @@
 //! seed produce byte-identical lines that can be diffed directly.
 
 use crate::Testbed;
-use simkit::Histogram;
+use simkit::{GaugeStats, Histogram};
 use std::collections::BTreeMap;
 
 /// Per-channel wire summary copied out of a [`net::Sniffer`].
@@ -41,6 +41,13 @@ pub struct RunReport {
     pub channels: BTreeMap<String, ChannelStats>,
     /// CPU busy ns per `<machine>.<tag>` (e.g. `server.nfs.server`).
     pub cpu_busy_ns: BTreeMap<String, u64>,
+    /// Critical-path attribution folded from traced spans (attribution
+    /// mode only): `<op>.ops`, `<op>.total_ns`, `<op>.<bucket>_ns`.
+    /// Counts and nanoseconds, never span IDs, so the map is additive
+    /// and merge-order independent.
+    pub attribution: BTreeMap<String, u64>,
+    /// Virtual-clock gauge summaries from the testbeds' samplers.
+    pub gauges: BTreeMap<String, GaugeStats>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -77,9 +84,10 @@ impl RunReport {
     /// "counters":{name:value},
     /// "histograms":{name:{"count","p50","p90","p99","max","mean"}},
     /// "channels":{name:{"messages","bytes","dropped"}},
-    /// "cpu_busy_ns":{tag:ns}}` — all values are integers
-    /// (nanoseconds for times), so equal-seed runs serialize
-    /// byte-identically.
+    /// "cpu_busy_ns":{tag:ns},"attribution":{key:value},
+    /// "gauges":{name:{"samples","min","max","sum"}}}` — all values
+    /// are integers (nanoseconds for times), so equal-seed runs
+    /// serialize byte-identically.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -120,7 +128,23 @@ impl RunReport {
         }
         out.push_str("},");
         push_u64_map(&mut out, "cpu_busy_ns", &self.cpu_busy_ns);
-        out.push('}');
+        out.push(',');
+        push_u64_map(&mut out, "attribution", &self.attribution);
+        out.push_str(",\"gauges\":{");
+        for (i, (k, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"samples\":{},\"min\":{},\"max\":{},\"sum\":{}}}",
+                json_escape(k),
+                g.samples,
+                g.min,
+                g.max,
+                g.sum
+            ));
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -164,6 +188,14 @@ impl ReportBuilder {
         }
         for (name, h) in tb.sim().metrics().snapshot() {
             r.histograms.entry(name).or_default().merge(&h);
+        }
+        // Attribution-mode spans fold into flat counts/nanoseconds; the
+        // buffer is left intact so callers can still dump or export it.
+        for (key, v) in simkit::critpath::analyze(tb.sim().tracer()) {
+            *r.attribution.entry(key).or_insert(0) += v;
+        }
+        for (name, g) in tb.gauges().stats() {
+            r.gauges.entry(name.to_string()).or_default().merge(&g);
         }
         if tb.client_count() > 1 {
             for i in 0..tb.client_count() {
@@ -213,6 +245,12 @@ impl ReportBuilder {
         }
         for (tag, busy) in &frag.cpu_busy_ns {
             *r.cpu_busy_ns.entry(tag.clone()).or_insert(0) += busy;
+        }
+        for (key, v) in &frag.attribution {
+            *r.attribution.entry(key.clone()).or_insert(0) += v;
+        }
+        for (name, g) in &frag.gauges {
+            r.gauges.entry(name.clone()).or_default().merge(g);
         }
     }
 
@@ -307,6 +345,8 @@ mod tests {
         assert_eq!(opens, closes);
         assert!(j.contains("\"histograms\":{"));
         assert!(j.contains("\"p99\":"));
+        assert!(j.contains("\"attribution\":{"));
+        assert!(j.contains("\"gauges\":{"));
     }
 
     #[test]

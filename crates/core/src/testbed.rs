@@ -24,7 +24,8 @@ use iscsi::{Initiator, SessionParams, Target};
 use net::{Fabric, LinkParams, Network};
 use nfs::{Enhancements, NfsClient, NfsConfig, NfsServer, Version};
 use rpc::{RpcClient, RpcConfig};
-use simkit::{Sim, SimDuration, SimTime};
+use simkit::{GaugeSampler, HostId, Sim, SimDuration, SimTime};
+use std::cell::Cell;
 use std::rc::Rc;
 use std::sync::Arc;
 use vfs::{FileSystem, LocalMount, NfsMount};
@@ -222,6 +223,9 @@ pub struct Testbed {
     /// Backing stores of the RAID members, kept so a snapshot capture
     /// can export them as shared images.
     members: Vec<Rc<MemDisk>>,
+    /// Virtual-clock gauge sampler (link/disk utilization, cache
+    /// occupancy); registered as a daemon, reset after construction.
+    gauges: Rc<GaugeSampler>,
     /// Setup-phase provenance when resumed from a snapshot.
     setup: Option<SetupInfo>,
 }
@@ -290,9 +294,11 @@ impl Testbed {
         let network = Network::new(sim.clone(), config.link);
         let client_cpu = Rc::new(CpuAccount::new());
         let server_cpu = Rc::new(CpuAccount::new());
+        client_cpu.instrument(sim.clone(), HostId::client(0));
+        server_cpu.instrument(sim.clone(), HostId::SERVER);
 
         let remount = resume.is_some();
-        let (raid, members) =
+        let (raid, members, disks) =
             Self::build_raid(&sim, &config, resume.as_ref().map(|r| r.images.as_slice()));
 
         let kind = match config.protocol.nfs_version() {
@@ -330,30 +336,44 @@ impl Testbed {
                 let initiator =
                     Initiator::new(network.channel("iscsi", net::Transport::Tcp), target);
                 let disk = Rc::new(initiator.login(SessionParams::default()).expect("login"));
-                let fs = Rc::new(Self::client_fs_init(&sim, disk, &config, remount));
+                let fs = Rc::new(Self::client_fs_init(
+                    &sim,
+                    disk,
+                    &config,
+                    remount,
+                    HostId::client(0),
+                ));
                 MountKind::Iscsi {
                     mount: LocalMount::new(fs, client_cpu.clone(), config.cost),
                 }
             }
         };
 
+        let clients = vec![ClientHost {
+            name: "c0".to_string(),
+            cpu: client_cpu,
+            kind,
+        }];
+        let gauges = Self::register_gauges(&sim, &config.link, disks, &clients);
+
         // Formatting/mounting and login traffic is setup, not
         // workload: start the experiment's books clean.
         sim.counters().reset();
         sim.metrics().reset();
         sim.tracer().clear();
+        gauges.reset(sim.now());
+        if crate::attribution::attribution_enabled() {
+            sim.tracer().set_enabled(true);
+        }
         Testbed {
             sim,
             network,
             fabric: None,
             config,
-            clients: vec![ClientHost {
-                name: "c0".to_string(),
-                cpu: client_cpu,
-                kind,
-            }],
+            clients,
             server_cpu,
             members,
+            gauges,
             setup: resume.map(|r| r.info),
         }
     }
@@ -385,9 +405,10 @@ impl Testbed {
         }
         let fabric = Fabric::new(sim.clone(), config.link);
         let server_cpu = Rc::new(CpuAccount::new());
+        server_cpu.instrument(sim.clone(), HostId::SERVER);
 
         let remount = resume.is_some();
-        let (raid, members) =
+        let (raid, members, disks) =
             Self::build_raid(&sim, &config, resume.as_ref().map(|r| r.images.as_slice()));
 
         let clients: Vec<ClientHost> = match config.protocol.nfs_version() {
@@ -402,6 +423,7 @@ impl Testbed {
                     .map(|i| {
                         let name = format!("c{i}");
                         let cpu = Rc::new(CpuAccount::new());
+                        cpu.instrument(sim.clone(), HostId::client(i as u32));
                         let rpcc = RpcClient::new(
                             fabric.host(&name).channel("nfs", version.transport()),
                             RpcConfig::default(),
@@ -455,6 +477,7 @@ impl Testbed {
                     .map(|i| {
                         let name = format!("c{i}");
                         let cpu = Rc::new(CpuAccount::new());
+                        cpu.instrument(sim.clone(), HostId::client(i as u32));
                         let initiator = Initiator::new(
                             fabric.host(&name).channel("iscsi", net::Transport::Tcp),
                             Rc::clone(&target),
@@ -464,8 +487,15 @@ impl Testbed {
                                 .login_lun(SessionParams::default(), i as u32)
                                 .expect("login"),
                         );
-                        let fs = Rc::new(Self::client_fs_init(&sim, disk, &config, remount));
+                        let fs = Rc::new(Self::client_fs_init(
+                            &sim,
+                            disk,
+                            &config,
+                            remount,
+                            HostId::client(i as u32),
+                        ));
                         let mount = LocalMount::new(fs, cpu.clone(), config.cost);
+                        mount.set_trace_host(HostId::client(i as u32));
                         ClientHost {
                             name,
                             cpu,
@@ -477,9 +507,14 @@ impl Testbed {
         };
 
         let network = fabric.host("c0");
+        let gauges = Self::register_gauges(&sim, &config.link, disks, &clients);
         sim.counters().reset();
         sim.metrics().reset();
         sim.tracer().clear();
+        gauges.reset(sim.now());
+        if crate::attribution::attribution_enabled() {
+            sim.tracer().set_enabled(true);
+        }
         Testbed {
             sim,
             network,
@@ -488,6 +523,7 @@ impl Testbed {
             clients,
             server_cpu,
             members,
+            gauges,
             setup: resume.map(|r| r.info),
         }
     }
@@ -495,12 +531,19 @@ impl Testbed {
     /// The server-side RAID-5 array (4+p) used by both protocols.
     /// Members start blank on a cold build, or as copy-on-write forks
     /// of the given snapshot images; the raw backing stores are
-    /// returned alongside so a capture can image them later.
+    /// returned alongside so a capture can image them later, and the
+    /// timed member models so the gauge sampler can watch their busy
+    /// time.
+    #[allow(clippy::type_complexity)]
     fn build_raid(
         sim: &Rc<Sim>,
         config: &TestbedConfig,
         images: Option<&[Arc<DiskImage>]>,
-    ) -> (Rc<dyn BlockDevice>, Vec<Rc<MemDisk>>) {
+    ) -> (
+        Rc<dyn BlockDevice>,
+        Vec<Rc<MemDisk>>,
+        Vec<Rc<DiskModel<Rc<MemDisk>>>>,
+    ) {
         let member_blocks = (config.volume_blocks / (calibration::RAID_MEMBERS as u64 - 1)) + 1024;
         let stores: Vec<Rc<MemDisk>> = (0..calibration::RAID_MEMBERS)
             .map(|i| {
@@ -510,7 +553,7 @@ impl Testbed {
                 })
             })
             .collect();
-        let members: Vec<Rc<dyn BlockDevice>> = stores
+        let models: Vec<Rc<DiskModel<Rc<MemDisk>>>> = stores
             .iter()
             .map(|store| {
                 let m = Rc::new(DiskModel::new(
@@ -518,8 +561,12 @@ impl Testbed {
                     calibration::raid_member_params(),
                 ));
                 m.instrument(sim.clone());
-                m as Rc<dyn BlockDevice>
+                m
             })
+            .collect();
+        let members: Vec<Rc<dyn BlockDevice>> = models
+            .iter()
+            .map(|m| Rc::clone(m) as Rc<dyn BlockDevice>)
             .collect();
         let r5 = Raid5::new(
             "raid5",
@@ -535,7 +582,77 @@ impl Testbed {
             r5,
             calibration::controller_cache_hit(),
         ));
-        (raid, stores)
+        (raid, stores, models)
+    }
+
+    /// Builds the virtual-clock gauge sampler and registers its
+    /// read-only probes: link utilization against the configured base
+    /// bandwidth, aggregate RAID-member busy time (100 per fully busy
+    /// member, so `/100` reads as mean in-service depth), and
+    /// client-cache occupancy (pagecache blocks and, for NFS, cached
+    /// dentries — iSCSI keeps a stable zero row). Delta-based probes
+    /// seed their baseline at registration so setup-phase traffic never
+    /// leaks into the first sample; [`GaugeSampler::reset`] afterwards
+    /// aligns the cadence to absolute multiples of the period.
+    fn register_gauges(
+        sim: &Rc<Sim>,
+        link: &LinkParams,
+        disks: Vec<Rc<DiskModel<Rc<MemDisk>>>>,
+        clients: &[ClientHost],
+    ) -> Rc<GaugeSampler> {
+        let period = SimDuration::from_millis(100);
+        let g = Rc::new(GaugeSampler::new(period));
+        {
+            let sim2 = Rc::clone(sim);
+            let last = Cell::new(sim2.counters().get("net.total.bytes"));
+            // Bits the link can carry per sampling period.
+            let cap_bits = link.bandwidth_bps.saturating_mul(period.as_nanos()) / 1_000_000_000;
+            g.register("link.util_pct", move || {
+                let total = sim2.counters().get("net.total.bytes");
+                let delta = total.saturating_sub(last.get());
+                last.set(total);
+                if cap_bits == 0 {
+                    return 0;
+                }
+                delta.saturating_mul(8).saturating_mul(100) / cap_bits
+            });
+        }
+        {
+            let last = Cell::new(disks.iter().map(|d| d.stats().busy.as_nanos()).sum::<u64>());
+            let period_ns = period.as_nanos();
+            g.register("disk.busy_pct", move || {
+                let busy: u64 = disks.iter().map(|d| d.stats().busy.as_nanos()).sum();
+                let delta = busy.saturating_sub(last.get());
+                last.set(busy);
+                delta.saturating_mul(100) / period_ns
+            });
+        }
+        let mut nfs_clients: Vec<Rc<NfsClient>> = Vec::new();
+        let mut client_fss: Vec<Rc<Ext3>> = Vec::new();
+        for host in clients {
+            match &host.kind {
+                MountKind::Nfs { mount } => nfs_clients.push(Rc::clone(mount.client())),
+                MountKind::Iscsi { mount } => client_fss.push(Rc::clone(mount.fs())),
+            }
+        }
+        {
+            let nfs = nfs_clients.clone();
+            g.register("cache.pagecache_blocks", move || {
+                nfs.iter().map(|c| c.cached_pages() as u64).sum::<u64>()
+                    + client_fss
+                        .iter()
+                        .map(|f| f.cached_blocks() as u64)
+                        .sum::<u64>()
+            });
+        }
+        g.register("cache.dentries", move || {
+            nfs_clients
+                .iter()
+                .map(|c| c.cached_dentry_count() as u64)
+                .sum()
+        });
+        sim.register_daemon(Rc::downgrade(&g) as std::rc::Weak<dyn simkit::Daemon>);
+        g
     }
 
     /// The server-side ext3: fresh mkfs on a cold build, a clean mount
@@ -548,14 +665,18 @@ impl Testbed {
         }
     }
 
-    /// The client-side ext3 (iSCSI): mkfs cold, mount on resume.
+    /// The client-side ext3 (iSCSI): mkfs cold, mount on resume. The
+    /// trace host pins its daemon-rooted journal spans to the owning
+    /// client's track.
     fn client_fs_init(
         sim: &Rc<Sim>,
         dev: Rc<dyn BlockDevice>,
         config: &TestbedConfig,
         remount: bool,
+        host: HostId,
     ) -> Ext3 {
-        let opts = Self::client_ext3_options(config);
+        let mut opts = Self::client_ext3_options(config);
+        opts.trace_host = host;
         if remount {
             Ext3::mount(sim.clone(), dev, opts).expect("client mount")
         } else {
@@ -705,6 +826,12 @@ impl Testbed {
     /// The multi-host fabric, when `clients > 1`.
     pub fn fabric(&self) -> Option<&Rc<Fabric>> {
         self.fabric.as_ref()
+    }
+
+    /// The virtual-clock gauge sampler (link/disk utilization, cache
+    /// occupancy); its summaries fold into reports on absorb.
+    pub fn gauges(&self) -> &Rc<GaugeSampler> {
+        &self.gauges
     }
 
     /// Marks `n` clients as actively contending for the server link

@@ -20,9 +20,10 @@
 //! assert!(nfs.as_nanos() > 1 * iscsi.as_nanos() && nfs.as_nanos() < 3 * iscsi.as_nanos());
 //! ```
 
-use simkit::{SimDuration, SimTime};
+use simkit::{HostId, Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Kernel layers a request may traverse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,17 +124,49 @@ impl Default for CostModel {
 /// `charge` records busy time at an instant; utilization is derived by
 /// bucketing charges into fixed windows, exactly like sampling `vmstat`
 /// every 2 seconds as the paper does.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct CpuAccount {
     events: RefCell<Vec<(u64, u64)>>, // (at ns, busy ns)
     /// Busy nanoseconds attributed per tag (software layer).
     by_tag: RefCell<BTreeMap<&'static str, u64>>,
+    /// When instrumented, tagged charges also emit `"cpu"` spans into
+    /// the tracer, attributed to this machine.
+    sim: RefCell<Option<(Rc<Sim>, HostId)>>,
+}
+
+impl std::fmt::Debug for CpuAccount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuAccount")
+            .field("events", &self.events.borrow().len())
+            .field("tags", &self.by_tag.borrow().len())
+            .finish()
+    }
 }
 
 impl CpuAccount {
     /// Creates an empty account.
     pub fn new() -> CpuAccount {
         CpuAccount::default()
+    }
+
+    /// Connects the account to a simulation tracer: tagged charges
+    /// become `"cpu"` spans on `host`'s track, nested under whatever
+    /// request span is open when the charge lands.
+    pub fn instrument(&self, sim: Rc<Sim>, host: HostId) {
+        *self.sim.borrow_mut() = Some((sim, host));
+    }
+
+    fn trace_charge(&self, at: SimTime, busy: SimDuration, tag: &'static str) {
+        if let Some((sim, host)) = self.sim.borrow().as_ref() {
+            let tracer = sim.tracer();
+            if tracer.enabled() {
+                // The span covers the busy time itself, not any spread
+                // window it is amortized over: attribution wants actual
+                // processing time, and a window-length span would
+                // swallow its siblings' share of the request.
+                tracer.record_at(*host, "cpu", tag, at, at + busy, vec![]);
+            }
+        }
     }
 
     /// Records `busy` CPU time spent at time `at`.
@@ -174,6 +207,7 @@ impl CpuAccount {
             return;
         }
         *self.by_tag.borrow_mut().entry(tag).or_insert(0) += busy.as_nanos();
+        self.trace_charge(at, busy, tag);
         self.charge(at, busy);
     }
 
@@ -190,6 +224,7 @@ impl CpuAccount {
             return;
         }
         *self.by_tag.borrow_mut().entry(tag).or_insert(0) += busy.as_nanos();
+        self.trace_charge(at, busy, tag);
         self.charge_spread(at, busy, span);
     }
 
@@ -354,6 +389,38 @@ mod tests {
         assert_eq!(a.total_busy(), SimDuration::from_micros(135));
         a.reset();
         assert!(a.busy_by_tag().is_empty());
+    }
+
+    #[test]
+    fn instrumented_account_emits_cpu_spans() {
+        let sim = Sim::new(1);
+        let a = CpuAccount::new();
+        a.instrument(Rc::clone(&sim), HostId::SERVER);
+        // Tracer off: no spans.
+        a.charge_tagged(SimTime::ZERO, SimDuration::from_micros(10), "nfs.server");
+        assert!(sim.tracer().is_empty());
+        sim.tracer().set_enabled(true);
+        a.charge_tagged(
+            SimTime::from_nanos(100),
+            SimDuration::from_micros(10),
+            "nfs.server",
+        );
+        a.charge_spread_tagged(
+            SimTime::from_nanos(200),
+            SimDuration::from_micros(20),
+            SimDuration::from_secs(5),
+            "iscsi.target",
+        );
+        let spans = sim.tracer().spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].layer, "cpu");
+        assert_eq!(spans[0].op, "nfs.server");
+        assert_eq!(spans[0].host, HostId::SERVER);
+        // Spread charges span their busy time, not the spread window.
+        assert_eq!(
+            spans[1].end.since(spans[1].start),
+            SimDuration::from_micros(20)
+        );
     }
 
     #[test]

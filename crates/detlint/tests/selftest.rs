@@ -54,6 +54,18 @@ fn d2_flags_hash_iteration_but_not_immediate_sorts() {
 }
 
 #[test]
+fn d2_flags_trace_id_maps_but_not_sorted_exports() {
+    // The causal tracer's temptation case: spans keyed by trace ID in
+    // a HashMap. The `for` loop and the `.values()` sum are unordered
+    // (flagged); the collect-then-sort export on the next line is the
+    // sanctioned idiom.
+    assert_eq!(
+        findings("d2_trace_id_map.rs"),
+        vec![(Lint::D2, 10), (Lint::D2, 17)]
+    );
+}
+
+#[test]
 fn d3_flags_ambient_randomness() {
     // The `use` import (line 6, one finding even though it names both
     // banned types) and the `-> DefaultHasher` return type (line 14)

@@ -47,6 +47,12 @@ pub struct Options {
     /// CPU cost of moving one block between user and page cache;
     /// models the client-side memory path that bounds cached I/O.
     pub mem_copy_cost: SimDuration,
+    /// Machine this instance runs on, for trace attribution: journal
+    /// commits fire from a daemon (no enclosing request span), so the
+    /// host cannot be inherited and must be configured. The server's
+    /// ext3 runs at `HostId::SERVER`; an iSCSI client's runs at
+    /// `HostId::client(i)`.
+    pub trace_host: simkit::HostId,
 }
 
 impl Default for Options {
@@ -62,6 +68,7 @@ impl Default for Options {
             journal_blocks: 1024,
             atime: true,
             mem_copy_cost: SimDuration::from_micros(60),
+            trace_host: simkit::HostId::SERVER,
         }
     }
 }
@@ -451,6 +458,12 @@ impl Ext3 {
         self.inner.state.borrow().cache.stats()
     }
 
+    /// Blocks currently resident in the buffer cache (pagecache
+    /// occupancy, as sampled by the testbed's gauge daemon).
+    pub fn cached_blocks(&self) -> usize {
+        self.inner.state.borrow().cache.len()
+    }
+
     /// File-system-wide statistics from the group descriptors.
     ///
     /// # Errors
@@ -828,9 +841,16 @@ pub(crate) fn commit_journal(inner: &Inner, st: &mut State) {
         } = *st;
         let plan = journal.commit(|bno| cache.peek(bno).unwrap_or([0u8; BLOCK_SIZE]));
         let Some(plan) = plan else { return };
-        // Issue the merged commands to the device.
+        // Issue the merged commands to the device, bracketed by a span
+        // so per-command device work (disk service or remote CDBs)
+        // nests under this commit slice. Commits fire from a daemon, so
+        // there is no request to inherit a host from: the configured
+        // trace_host says whose machine's journal this is.
+        let tracer = inner.sim.tracer();
+        let ctx = tracer.open_span(Some(inner.opts.trace_host));
         let mut widx = 0usize;
         let mut commit_time = SimDuration::ZERO;
+        let mut failed = false;
         for &(start, len) in &plan.commands {
             let mut buf = Vec::with_capacity(len as usize * BLOCK_SIZE);
             for _ in 0..len {
@@ -842,8 +862,16 @@ pub(crate) fn commit_journal(inner: &Inner, st: &mut State) {
                     commit_time += cost.time;
                     inner.charge(cost);
                 }
-                Err(_) => return, // device failure: transaction stays dirty-ish
+                Err(_) => {
+                    failed = true; // device failure: transaction stays dirty-ish
+                    break;
+                }
             }
+        }
+        if failed {
+            let now = inner.sim.now();
+            tracer.close_span(ctx, "ext3", "journal_commit", now, now, Vec::new());
+            return;
         }
         // Meta blocks are now stable in the log.
         for (bno, _) in plan.writes.iter().skip(1).take(plan.writes.len() - 2) {
@@ -854,21 +882,17 @@ pub(crate) fn commit_journal(inner: &Inner, st: &mut State) {
             .sim
             .metrics()
             .record_duration("ext3.journal.commit", commit_time);
-        let tracer = inner.sim.tracer();
-        if tracer.enabled() {
-            let now = inner.sim.now();
-            tracer.record(
-                "ext3",
-                "journal_commit",
-                now,
-                now + commit_time,
-                vec![
-                    ("seq", plan.seq.to_string()),
-                    // Descriptor + commit block bracket the meta images.
-                    ("meta_blocks", (plan.writes.len() - 2).to_string()),
-                ],
-            );
-        }
+        let now = inner.sim.now();
+        let attrs = if ctx.is_disabled() {
+            Vec::new()
+        } else {
+            vec![
+                ("seq", plan.seq.to_string()),
+                // Descriptor + commit block bracket the meta images.
+                ("meta_blocks", (plan.writes.len() - 2).to_string()),
+            ]
+        };
+        tracer.close_span(ctx, "ext3", "journal_commit", now, now + commit_time, attrs);
         debug_assert!(plan.seq >= 1);
     }
 }

@@ -433,6 +433,10 @@ impl RemoteDisk {
         self.cmd_sn.set(cmd_sn.wrapping_add(1));
         let op = opcode_name(&cdb);
         let cmd = self.cmd_handles(op);
+        // Bracket the exchange: target-side work recorded during
+        // execute (CPU charges, disk service, parity updates) nests
+        // under this CDB's span.
+        let cdb_ctx = sim.tracer().open_span(None);
         self.txns.incr();
         cmd.count.incr();
 
@@ -468,11 +472,22 @@ impl RemoteDisk {
             Some(buf) => match cdb {
                 Cdb::Read10 { lba, blocks } => {
                     self.target
-                        .execute_read_into(self.session, cmd_sn, lba, blocks, buf)?
+                        .execute_read_into(self.session, cmd_sn, lba, blocks, buf)
                 }
                 _ => unreachable!("read_into is only meaningful for Read10"),
             },
-            None => self.target.execute(self.session, cmd_sn, cdb, data_out)?,
+            None => self.target.execute(self.session, cmd_sn, cdb, data_out),
+        };
+        let completion = match completion {
+            Ok(c) => c,
+            Err(e) => {
+                // Close the bracketing span (zero-length: the exchange
+                // died at admission) before surfacing the error.
+                let now = sim.now();
+                sim.tracer()
+                    .close_span(cdb_ctx, "iscsi", op, now, now, Vec::new());
+                return Err(e);
+            }
         };
 
         // Data-in PDUs then the SCSI response (status piggybacked on
@@ -517,20 +532,30 @@ impl RemoteDisk {
         // through status) and a span over the same interval.
         cmd.latency.record_duration(total.time);
         let tracer = sim.tracer();
-        if tracer.enabled() {
-            let start = sim.now();
+        let start = sim.now();
+        let attrs = if cdb_ctx.is_disabled() {
+            Vec::new()
+        } else {
+            // PDU transfer time as a nested "net" child; the iscsi
+            // span's residue is command processing outside wire and
+            // device time.
             tracer.record(
-                "iscsi",
-                op,
+                "net",
+                "wire",
                 start,
-                start + total.time,
-                vec![
-                    ("cmd_sn", cmd_sn.to_string()),
-                    ("out_bytes", data_out.len().to_string()),
-                    ("in_bytes", data_in_total.to_string()),
-                ],
+                start + wire,
+                vec![(
+                    "bytes",
+                    (data_out.len() as u64 + data_in_total as u64).to_string(),
+                )],
             );
-        }
+            vec![
+                ("cmd_sn", cmd_sn.to_string()),
+                ("out_bytes", data_out.len().to_string()),
+                ("in_bytes", data_in_total.to_string()),
+            ]
+        };
+        tracer.close_span(cdb_ctx, "iscsi", op, start, start + total.time, attrs);
         match completion.status {
             ScsiStatus::Good => Ok((completion, total)),
             ScsiStatus::CheckCondition(k) => Err(IscsiError::CheckCondition(k)),
@@ -749,10 +774,12 @@ mod tests {
         sim.tracer().set_enabled(true);
         disk.flush().unwrap();
         let spans = sim.tracer().spans();
-        assert_eq!(spans.len(), 1);
-        assert_eq!(spans[0].layer, "iscsi");
-        assert_eq!(spans[0].op, "sync_cache");
-        assert!(spans[0].end > spans[0].start);
+        assert_eq!(spans.len(), 2, "net child + iscsi span");
+        assert_eq!(spans[0].layer, "net");
+        assert_eq!(spans[1].layer, "iscsi");
+        assert_eq!(spans[1].op, "sync_cache");
+        assert!(spans[1].end > spans[1].start);
+        assert_eq!(spans[0].parent, Some(spans[1].span), "wire nests in CDB");
     }
 
     #[test]

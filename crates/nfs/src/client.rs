@@ -189,6 +189,27 @@ impl NfsClient {
         ClientId(self.cfg.client_id)
     }
 
+    /// The simulation context this client runs in.
+    pub fn sim(&self) -> &Rc<Sim> {
+        &self.sim
+    }
+
+    /// The machine this client runs on, for trace attribution.
+    pub fn trace_host(&self) -> simkit::HostId {
+        simkit::HostId::client(self.cfg.client_id)
+    }
+
+    /// Pages currently held in the client page cache (gauge probe).
+    pub fn cached_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Directory entries currently cached across all dentry maps
+    /// (gauge probe).
+    pub fn cached_dentry_count(&self) -> usize {
+        self.dentries.borrow().values().map(|m| m.len()).sum()
+    }
+
     /// Performs the mount handshake and returns the root handle. For
     /// v2/v3 this is the separate MOUNT protocol (mountd) plus an
     /// FSINFO probe; v4 folds mounting into the main protocol with a

@@ -194,6 +194,10 @@ impl RpcClient {
     ) -> CallOutcome {
         let sim = self.sim().clone();
         let procs = self.proc_handles(proc_name);
+        // Bracket the whole transaction: wire time recorded below nests
+        // under this span, so critical-path analysis can split protocol
+        // stalls (jitter, retransmission waits) from raw transfer time.
+        let rpc_ctx = sim.tracer().open_span(None);
         self.txns.incr();
         procs.calls.incr();
         self.total_calls.set(self.total_calls.get() + 1);
@@ -240,23 +244,30 @@ impl RpcClient {
         // Per-procedure client-observed latency distribution, and a
         // span covering the whole transaction (the clock has not been
         // advanced yet — the caller does that — so the span runs from
-        // `now` to `now + latency`).
+        // `now` to `now + latency`). The first round trip's transfer
+        // time is a nested "net" child; the rpc span's residue is the
+        // protocol engine's own contribution (jitter, retransmission
+        // stalls).
         procs.latency.record_duration(latency);
         let tracer = sim.tracer();
-        if tracer.enabled() {
-            let start = sim.now();
+        let start = sim.now();
+        let attrs = if rpc_ctx.is_disabled() {
+            Vec::new()
+        } else {
             tracer.record(
-                "rpc",
-                proc_name,
+                "net",
+                "wire",
                 start,
-                start + latency,
-                vec![
-                    ("retrans", retransmits.to_string()),
-                    ("req_bytes", req_bytes.to_string()),
-                    ("resp_bytes", resp_bytes.to_string()),
-                ],
+                start + wire,
+                vec![("bytes", (req_bytes + resp_bytes).to_string())],
             );
-        }
+            vec![
+                ("retrans", retransmits.to_string()),
+                ("req_bytes", req_bytes.to_string()),
+                ("resp_bytes", resp_bytes.to_string()),
+            ]
+        };
+        tracer.close_span(rpc_ctx, "rpc", proc_name, start, start + latency, attrs);
 
         CallOutcome {
             latency,
@@ -365,10 +376,18 @@ mod tests {
         sim.tracer().set_enabled(true);
         let out = c.call("getattr", 64, 128, SimDuration::from_micros(30));
         let spans = sim.tracer().spans();
-        assert_eq!(spans.len(), 1);
-        assert_eq!(spans[0].layer, "rpc");
-        assert_eq!(spans[0].op, "getattr");
-        assert_eq!(spans[0].end.since(spans[0].start), out.latency);
+        assert_eq!(spans.len(), 2, "net child + rpc span");
+        assert_eq!(spans[0].layer, "net");
+        assert_eq!(spans[0].op, "wire");
+        assert_eq!(spans[1].layer, "rpc");
+        assert_eq!(spans[1].op, "getattr");
+        assert_eq!(spans[1].end.since(spans[1].start), out.latency);
+        assert_eq!(spans[0].parent, Some(spans[1].span), "wire nests in rpc");
+        assert_eq!(spans[0].trace, spans[1].trace);
+        assert!(
+            spans[0].end.since(spans[0].start) < out.latency,
+            "wire time is a strict part of the call"
+        );
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Deterministic time-series gauge sampling on the virtual clock.
+//!
+//! A [`GaugeSampler`] is a [`Daemon`](crate::Daemon) that reads a set
+//! of registered gauges — read-only closures returning an instantaneous
+//! `u64` (link utilization percent, disk queue depth, pagecache
+//! occupancy) — every `period` of *virtual* time, aligned to absolute
+//! multiples of the period so the sampling instants are a function of
+//! the clock alone, never of when the sampler was constructed or which
+//! foreground operation moved time. Per-gauge [`GaugeStats`] summarize
+//! the series (count/min/max/sum); summaries merge order-independently
+//! across sweep cells, and a gauge that never sampled still contributes
+//! a stable zero row.
+
+use crate::clock::{SimDuration, SimTime};
+use crate::Daemon;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+/// Summary of one gauge's sampled series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeStats {
+    /// Number of samples taken.
+    pub samples: u64,
+    /// Smallest sampled value (0 when `samples == 0`).
+    pub min: u64,
+    /// Largest sampled value (0 when `samples == 0`).
+    pub max: u64,
+    /// Sum of sampled values (mean = `sum / samples`).
+    pub sum: u64,
+}
+
+impl GaugeStats {
+    /// Folds one sample in.
+    pub fn observe(&mut self, v: u64) {
+        if self.samples == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.samples += 1;
+        self.sum += v;
+    }
+
+    /// Merges another summary in. Commutative and associative, with
+    /// empty summaries as identity — fragment merge order does not
+    /// matter.
+    pub fn merge(&mut self, other: &GaugeStats) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.samples += other.samples;
+        self.sum += other.sum;
+    }
+}
+
+type GaugeFn = Box<dyn Fn() -> u64>;
+
+/// Virtual-clock gauge sampler. See the [module docs](self).
+pub struct GaugeSampler {
+    period: SimDuration,
+    /// Next sampling instant, always an absolute multiple of `period`.
+    next: Cell<u64>,
+    gauges: RefCell<Vec<(&'static str, GaugeFn)>>,
+    stats: RefCell<BTreeMap<&'static str, GaugeStats>>,
+}
+
+impl std::fmt::Debug for GaugeSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GaugeSampler")
+            .field("period", &self.period)
+            .field("gauges", &self.gauges.borrow().len())
+            .finish()
+    }
+}
+
+impl GaugeSampler {
+    /// A sampler with the given virtual-time cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "gauge period must be non-zero");
+        GaugeSampler {
+            period,
+            next: Cell::new(period.as_nanos()),
+            gauges: RefCell::new(Vec::new()),
+            stats: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers a gauge. The closure must be read-only with respect to
+    /// simulation state (it runs from a daemon callback and must not
+    /// perturb counters, RNG, or the clock). Registering also creates
+    /// the zero-valued stats row, so never-sampled runs still report
+    /// the gauge.
+    pub fn register(&self, name: &'static str, f: impl Fn() -> u64 + 'static) {
+        self.gauges.borrow_mut().push((name, Box::new(f)));
+        self.stats.borrow_mut().entry(name).or_default();
+    }
+
+    /// Re-arms the schedule from `now` (next sample at the next
+    /// absolute multiple of the period) and zeroes the collected stats;
+    /// the testbed calls this at the end of construction so the settle
+    /// phase doesn't pollute measured series.
+    pub fn reset(&self, now: SimTime) {
+        let p = self.period.as_nanos();
+        let n = now.as_nanos();
+        self.next.set((n / p + 1) * p);
+        let mut stats = self.stats.borrow_mut();
+        for v in stats.values_mut() {
+            *v = GaugeStats::default();
+        }
+    }
+
+    /// Snapshot of the per-gauge summaries (registered-but-never-
+    /// sampled gauges appear with `samples == 0`).
+    pub fn stats(&self) -> BTreeMap<&'static str, GaugeStats> {
+        self.stats.borrow().clone()
+    }
+}
+
+impl Daemon for GaugeSampler {
+    fn next_due(&self) -> Option<SimTime> {
+        if self.gauges.borrow().is_empty() {
+            return None;
+        }
+        Some(SimTime::from_nanos(self.next.get()))
+    }
+
+    fn fire(&self, _now: SimTime) {
+        let gauges = self.gauges.borrow();
+        let mut stats = self.stats.borrow_mut();
+        for (name, f) in gauges.iter() {
+            stats.entry(*name).or_default().observe(f());
+        }
+        self.next.set(self.next.get() + self.period.as_nanos());
+    }
+
+    fn name(&self) -> &str {
+        "gauge-sampler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+    use std::rc::{Rc, Weak};
+
+    #[test]
+    fn cadence_follows_virtual_time_only() {
+        let sim = Sim::new(1);
+        let g = Rc::new(GaugeSampler::new(SimDuration::from_millis(100)));
+        let times = Rc::new(RefCell::new(Vec::new()));
+        {
+            let sim2 = Rc::clone(&sim);
+            let times = Rc::clone(&times);
+            g.register("clock.ms", move || {
+                times.borrow_mut().push(sim2.now().as_nanos());
+                sim2.now().as_nanos() / 1_000_000
+            });
+        }
+        sim.register_daemon(Rc::downgrade(&g) as Weak<dyn Daemon>);
+        sim.advance(SimDuration::from_millis(350));
+        assert_eq!(
+            *times.borrow(),
+            vec![100_000_000, 200_000_000, 300_000_000],
+            "samples land exactly on period multiples of the virtual clock"
+        );
+        let s = g.stats()["clock.ms"];
+        assert_eq!(s.samples, 3);
+        assert_eq!((s.min, s.max, s.sum), (100, 300, 600));
+    }
+
+    #[test]
+    fn reset_realigns_to_absolute_multiples() {
+        let sim = Sim::new(1);
+        let g = Rc::new(GaugeSampler::new(SimDuration::from_millis(100)));
+        g.register("x", || 7);
+        sim.register_daemon(Rc::downgrade(&g) as Weak<dyn Daemon>);
+        // Construction-phase time passes mid-period...
+        sim.advance(SimDuration::from_millis(250));
+        g.reset(sim.now());
+        // ...and the next sample still lands on an absolute multiple.
+        sim.advance(SimDuration::from_millis(100));
+        let s = g.stats()["x"];
+        assert_eq!(s.samples, 1, "sampled at t=300ms, skipped stale points");
+        assert_eq!(s.sum, 7);
+    }
+
+    #[test]
+    fn merge_is_order_independent_with_empty_identity() {
+        let mut a = GaugeStats::default();
+        a.observe(5);
+        a.observe(1);
+        let mut b = GaugeStats::default();
+        b.observe(9);
+        let empty = GaugeStats::default();
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!((ab.samples, ab.min, ab.max, ab.sum), (3, 1, 9, 15));
+
+        let mut with_empty = a;
+        with_empty.merge(&empty);
+        assert_eq!(with_empty, a, "empty is right identity");
+        let mut from_empty = empty;
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a, "empty is left identity");
+    }
+
+    #[test]
+    fn unsampled_gauges_emit_stable_zero_rows() {
+        let g = GaugeSampler::new(SimDuration::from_millis(100));
+        g.register("never.sampled", || 42);
+        let s = g.stats();
+        assert_eq!(s["never.sampled"], GaugeStats::default());
+        // Reset keeps the row.
+        g.reset(SimTime::ZERO);
+        assert_eq!(g.stats()["never.sampled"], GaugeStats::default());
+    }
+
+    #[test]
+    fn idle_sampler_schedules_nothing() {
+        let g = GaugeSampler::new(SimDuration::from_millis(100));
+        assert_eq!(g.next_due(), None, "no gauges, no wakeups");
+    }
+}

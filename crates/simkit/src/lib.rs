@@ -25,8 +25,11 @@
 //! assert_eq!(sim.now().as_nanos(), 5_000_000);
 //! ```
 
+pub mod chrome;
 mod clock;
 mod counters;
+pub mod critpath;
+mod gauge;
 mod histogram;
 mod rng;
 pub mod sweep;
@@ -34,9 +37,10 @@ mod trace;
 
 pub use clock::{SimDuration, SimTime};
 pub use counters::{CounterHandle, CounterSnapshot, Counters};
+pub use gauge::{GaugeSampler, GaugeStats};
 pub use histogram::{Histogram, MetricHandle, Metrics};
 pub use rng::SplitMix64;
-pub use trace::{SpanRecord, Tracer, DEFAULT_TRACE_CAPACITY};
+pub use trace::{HostId, SpanCtx, SpanId, SpanRecord, TraceId, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use std::cell::{Cell, RefCell};
 use std::rc::{Rc, Weak};
@@ -87,6 +91,10 @@ impl std::fmt::Debug for Sim {
 impl Sim {
     /// Creates a new simulation context with the given RNG seed.
     pub fn new(seed: u64) -> Rc<Self> {
+        // The tracer derives causal span IDs from the same seed, so
+        // equal-seed runs trace identically.
+        let tracer = Tracer::new();
+        tracer.set_seed(seed);
         Rc::new(Sim {
             now: Cell::new(0),
             // A full testbed registers a handful of daemons (journal
@@ -96,7 +104,7 @@ impl Sim {
             rng: RefCell::new(SplitMix64::new(seed)),
             counters: Counters::new(),
             metrics: Metrics::new(),
-            tracer: Tracer::new(),
+            tracer,
             advancing: Cell::new(false),
         })
     }
@@ -156,7 +164,13 @@ impl Sim {
         while let Some((t, daemon)) = self.earliest_due(target) {
             self.now.set(t);
             self.advancing.set(true);
+            // Daemon work is causally unrelated to whichever request is
+            // advancing the clock: shelve the tracer's open-span stack
+            // so daemon-recorded spans become roots of their own traces
+            // instead of nesting under the foreground operation.
+            self.tracer.shelve_stack();
             daemon.fire(SimTime::from_nanos(t));
+            self.tracer.unshelve_stack();
             self.advancing.set(false);
         }
         self.now.set(target);

@@ -155,161 +155,214 @@ impl NfsMount {
         let (parent, name) = split_parent(path)?;
         Ok((self.resolve_dir(&parent, self.start(path))?, name))
     }
+
+    /// Runs one system call under a root span: every RPC, CPU charge,
+    /// and disk access recorded while `f` runs nests under it, and its
+    /// start/end bracket the virtual time the call consumed. The op
+    /// labels are protocol-qualified (`nfs.read`) so the attribution
+    /// table can compare the two protocols at the same workload.
+    fn traced<T>(&self, op: &'static str, f: impl FnOnce() -> T) -> T {
+        let sim = Rc::clone(self.client.sim());
+        let tracer = sim.tracer();
+        let ctx = tracer.open_span(Some(self.client.trace_host()));
+        let start = sim.now();
+        let out = f();
+        tracer.close_span(ctx, "vfs", op, start, sim.now(), Vec::new());
+        out
+    }
 }
 
 impl FileSystem for NfsMount {
     fn mkdir(&self, path: &str) -> FsResult<()> {
-        let (dir, name) = self.resolve_parent(path)?;
-        self.client.mkdir(dir, name, 0o755).map(|_| ())
+        self.traced("nfs.mkdir", || {
+            let (dir, name) = self.resolve_parent(path)?;
+            self.client.mkdir(dir, name, 0o755).map(|_| ())
+        })
     }
 
     fn chdir(&self, path: &str) -> FsResult<()> {
-        let fh = self.resolve(path)?;
-        self.cwd.set(fh);
-        Ok(())
+        self.traced("nfs.chdir", || {
+            let fh = self.resolve(path)?;
+            self.cwd.set(fh);
+            Ok(())
+        })
     }
 
     fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
-        let fh = self.resolve(path)?;
-        Ok(self
-            .client
-            .readdir(fh)?
-            .into_iter()
-            .map(|e| e.name)
-            .collect())
+        self.traced("nfs.readdir", || {
+            let fh = self.resolve(path)?;
+            Ok(self
+                .client
+                .readdir(fh)?
+                .into_iter()
+                .map(|e| e.name)
+                .collect())
+        })
     }
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
-        let (dir, name) = self.resolve_parent(path)?;
-        self.client.rmdir(dir, name)
+        self.traced("nfs.rmdir", || {
+            let (dir, name) = self.resolve_parent(path)?;
+            self.client.rmdir(dir, name)
+        })
     }
 
     fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()> {
-        let (dir, name) = self.resolve_parent(linkpath)?;
-        self.client.symlink(dir, name, target).map(|_| ())
+        self.traced("nfs.symlink", || {
+            let (dir, name) = self.resolve_parent(linkpath)?;
+            self.client.symlink(dir, name, target).map(|_| ())
+        })
     }
 
     fn readlink(&self, path: &str) -> FsResult<String> {
-        let fh = self.resolve(path)?;
-        self.client.readlink(fh)
+        self.traced("nfs.readlink", || {
+            let fh = self.resolve(path)?;
+            self.client.readlink(fh)
+        })
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
-        let (dir, name) = self.resolve_parent(path)?;
-        self.client.unlink(dir, name)
+        self.traced("nfs.unlink", || {
+            let (dir, name) = self.resolve_parent(path)?;
+            self.client.unlink(dir, name)
+        })
     }
 
     fn creat(&self, path: &str) -> FsResult<()> {
-        let (dir, name) = self.resolve_parent(path)?;
-        self.client.create(dir, name, 0o644).map(|_| ())
+        self.traced("nfs.creat", || {
+            let (dir, name) = self.resolve_parent(path)?;
+            self.client.create(dir, name, 0o644).map(|_| ())
+        })
     }
 
     fn open(&self, path: &str) -> FsResult<Fd> {
-        let fh = self.resolve(path)?;
-        let of = self.client.open(fh)?;
-        Ok(Fd(of.fh.0 as u64))
+        self.traced("nfs.open", || {
+            let fh = self.resolve(path)?;
+            let of = self.client.open(fh)?;
+            Ok(Fd(of.fh.0 as u64))
+        })
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
-        self.client.close(Fh(fd.0 as u32));
-        Ok(())
+        self.traced("nfs.close", || {
+            self.client.close(Fh(fd.0 as u32));
+            Ok(())
+        })
     }
 
     fn link(&self, existing: &str, newpath: &str) -> FsResult<()> {
-        let target = self.resolve(existing)?;
-        let (dir, name) = self.resolve_parent(newpath)?;
-        self.client.link(dir, name, target)
+        self.traced("nfs.link", || {
+            let target = self.resolve(existing)?;
+            let (dir, name) = self.resolve_parent(newpath)?;
+            self.client.link(dir, name, target)
+        })
     }
 
     fn rename(&self, from: &str, to: &str) -> FsResult<()> {
-        let (sdir, sname) = self.resolve_parent(from)?;
-        let (ddir, dname) = self.resolve_parent(to)?;
-        self.client.rename(sdir, sname, ddir, dname)
+        self.traced("nfs.rename", || {
+            let (sdir, sname) = self.resolve_parent(from)?;
+            let (ddir, dname) = self.resolve_parent(to)?;
+            self.client.rename(sdir, sname, ddir, dname)
+        })
     }
 
     fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
-        let fh = self.resolve(path)?;
-        self.client
-            .setattr(
-                fh,
-                SetAttr {
-                    size: Some(size),
-                    ..SetAttr::default()
-                },
-                "trunc",
-            )
-            .map(|_| ())
+        self.traced("nfs.truncate", || {
+            let fh = self.resolve(path)?;
+            self.client
+                .setattr(
+                    fh,
+                    SetAttr {
+                        size: Some(size),
+                        ..SetAttr::default()
+                    },
+                    "trunc",
+                )
+                .map(|_| ())
+        })
     }
 
     fn chmod(&self, path: &str, perm: u16) -> FsResult<()> {
-        let fh = self.resolve(path)?;
-        self.client
-            .setattr(
-                fh,
-                SetAttr {
-                    perm: Some(perm),
-                    ..SetAttr::default()
-                },
-                "chmod",
-            )
-            .map(|_| ())
+        self.traced("nfs.chmod", || {
+            let fh = self.resolve(path)?;
+            self.client
+                .setattr(
+                    fh,
+                    SetAttr {
+                        perm: Some(perm),
+                        ..SetAttr::default()
+                    },
+                    "chmod",
+                )
+                .map(|_| ())
+        })
     }
 
     fn chown(&self, path: &str, uid: u32, gid: u32) -> FsResult<()> {
-        let fh = self.resolve(path)?;
-        self.client
-            .setattr(
-                fh,
-                SetAttr {
-                    uid: Some(uid),
-                    gid: Some(gid),
-                    ..SetAttr::default()
-                },
-                "chown",
-            )
-            .map(|_| ())
+        self.traced("nfs.chown", || {
+            let fh = self.resolve(path)?;
+            self.client
+                .setattr(
+                    fh,
+                    SetAttr {
+                        uid: Some(uid),
+                        gid: Some(gid),
+                        ..SetAttr::default()
+                    },
+                    "chown",
+                )
+                .map(|_| ())
+        })
     }
 
     fn access(&self, path: &str) -> FsResult<()> {
-        let fh = self.resolve(path)?;
-        self.client.access(fh).map(|_| ())
+        self.traced("nfs.access", || {
+            let fh = self.resolve(path)?;
+            self.client.access(fh).map(|_| ())
+        })
     }
 
     fn stat(&self, path: &str) -> FsResult<Attr> {
-        let fh = self.resolve(path)?;
-        self.client.getattr_revalidate(fh)
+        self.traced("nfs.stat", || {
+            let fh = self.resolve(path)?;
+            self.client.getattr_revalidate(fh)
+        })
     }
 
     fn utime(&self, path: &str) -> FsResult<()> {
-        let fh = self.resolve(path)?;
-        let now = 0; // SETATTR carries the server's time in practice
-        self.client
-            .setattr(
-                fh,
-                SetAttr {
-                    atime: Some(now),
-                    mtime: Some(now),
-                    ..SetAttr::default()
-                },
-                "utime",
-            )
-            .map(|_| ())
+        self.traced("nfs.utime", || {
+            let fh = self.resolve(path)?;
+            let now = 0; // SETATTR carries the server's time in practice
+            self.client
+                .setattr(
+                    fh,
+                    SetAttr {
+                        atime: Some(now),
+                        mtime: Some(now),
+                        ..SetAttr::default()
+                    },
+                    "utime",
+                )
+                .map(|_| ())
+        })
     }
 
     fn read(&self, fd: Fd, off: u64, len: usize) -> FsResult<Vec<u8>> {
-        self.client.read(Fh(fd.0 as u32), off, len)
+        self.traced("nfs.read", || self.client.read(Fh(fd.0 as u32), off, len))
     }
 
     fn write(&self, fd: Fd, off: u64, data: &[u8]) -> FsResult<usize> {
-        self.client.write(Fh(fd.0 as u32), off, data)
+        self.traced("nfs.write", || {
+            self.client.write(Fh(fd.0 as u32), off, data)
+        })
     }
 
     fn fsync(&self, fd: Fd) -> FsResult<()> {
-        self.client.commit(Fh(fd.0 as u32))
+        self.traced("nfs.fsync", || self.client.commit(Fh(fd.0 as u32)))
     }
 
     fn statfs(&self) -> FsResult<ext3::StatFs> {
-        self.client.statfs()
+        self.traced("nfs.statfs", || self.client.statfs())
     }
 }
 
@@ -325,6 +378,9 @@ pub struct LocalMount {
     cwd: Cell<ext3::Ino>,
     cpu: Rc<cpu::CpuAccount>,
     cost: cpu::CostModel,
+    /// Machine this mount's system calls run on, for trace
+    /// attribution (client 0 unless the topology says otherwise).
+    host: Cell<simkit::HostId>,
 }
 
 impl std::fmt::Debug for LocalMount {
@@ -344,12 +400,18 @@ impl LocalMount {
             cwd: Cell::new(root),
             cpu,
             cost,
+            host: Cell::new(simkit::HostId::client(0)),
         }
     }
 
     /// The underlying file system.
     pub fn fs(&self) -> &Rc<ext3::Ext3> {
         &self.fs
+    }
+
+    /// Sets the machine this mount is attributed to in traces.
+    pub fn set_trace_host(&self, host: simkit::HostId) {
+        self.host.set(host);
     }
 
     fn charge(&self) {
@@ -390,176 +452,230 @@ impl LocalMount {
         let (parent, name) = split_parent(path)?;
         Ok((self.resolve_dir(&parent, self.start(path))?, name))
     }
+
+    /// See [`NfsMount`]'s `traced`: brackets one system call with a
+    /// root span so client CPU charges and remote CDBs nest under it.
+    fn traced<T>(&self, op: &'static str, f: impl FnOnce() -> T) -> T {
+        let sim = Rc::clone(self.fs.sim());
+        let tracer = sim.tracer();
+        let ctx = tracer.open_span(Some(self.host.get()));
+        let start = sim.now();
+        let out = f();
+        tracer.close_span(ctx, "vfs", op, start, sim.now(), Vec::new());
+        out
+    }
 }
 
 impl FileSystem for LocalMount {
     fn mkdir(&self, path: &str) -> FsResult<()> {
-        self.charge();
-        let (dir, name) = self.resolve_parent(path)?;
-        self.fs.mkdir(dir, name, 0o755).map(|_| ())
+        self.traced("iscsi.mkdir", || {
+            self.charge();
+            let (dir, name) = self.resolve_parent(path)?;
+            self.fs.mkdir(dir, name, 0o755).map(|_| ())
+        })
     }
 
     fn chdir(&self, path: &str) -> FsResult<()> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        let attr = self.fs.getattr(ino)?;
-        if attr.ftype != ext3::FileType::Directory {
-            return Err(FsError::NotADirectory);
-        }
-        self.cwd.set(ino);
-        Ok(())
+        self.traced("iscsi.chdir", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            let attr = self.fs.getattr(ino)?;
+            if attr.ftype != ext3::FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            self.cwd.set(ino);
+            Ok(())
+        })
     }
 
     fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        Ok(self.fs.readdir(ino)?.into_iter().map(|e| e.name).collect())
+        self.traced("iscsi.readdir", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            Ok(self.fs.readdir(ino)?.into_iter().map(|e| e.name).collect())
+        })
     }
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
-        self.charge();
-        let (dir, name) = self.resolve_parent(path)?;
-        self.fs.rmdir(dir, name)
+        self.traced("iscsi.rmdir", || {
+            self.charge();
+            let (dir, name) = self.resolve_parent(path)?;
+            self.fs.rmdir(dir, name)
+        })
     }
 
     fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()> {
-        self.charge();
-        let (dir, name) = self.resolve_parent(linkpath)?;
-        self.fs.symlink(dir, name, target).map(|_| ())
+        self.traced("iscsi.symlink", || {
+            self.charge();
+            let (dir, name) = self.resolve_parent(linkpath)?;
+            self.fs.symlink(dir, name, target).map(|_| ())
+        })
     }
 
     fn readlink(&self, path: &str) -> FsResult<String> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        self.fs.readlink(ino)
+        self.traced("iscsi.readlink", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            self.fs.readlink(ino)
+        })
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
-        self.charge();
-        let (dir, name) = self.resolve_parent(path)?;
-        self.fs.unlink(dir, name)
+        self.traced("iscsi.unlink", || {
+            self.charge();
+            let (dir, name) = self.resolve_parent(path)?;
+            self.fs.unlink(dir, name)
+        })
     }
 
     fn creat(&self, path: &str) -> FsResult<()> {
-        self.charge();
-        let (dir, name) = self.resolve_parent(path)?;
-        self.fs.create(dir, name, 0o644).map(|_| ())
+        self.traced("iscsi.creat", || {
+            self.charge();
+            let (dir, name) = self.resolve_parent(path)?;
+            self.fs.create(dir, name, 0o644).map(|_| ())
+        })
     }
 
     fn open(&self, path: &str) -> FsResult<Fd> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        let _ = self.fs.getattr(ino)?;
-        Ok(Fd(ino as u64))
+        self.traced("iscsi.open", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            let _ = self.fs.getattr(ino)?;
+            Ok(Fd(ino as u64))
+        })
     }
 
     fn close(&self, _fd: Fd) -> FsResult<()> {
-        Ok(())
+        self.traced("iscsi.close", || Ok(()))
     }
 
     fn link(&self, existing: &str, newpath: &str) -> FsResult<()> {
-        self.charge();
-        let target = self.resolve(existing)?;
-        let (dir, name) = self.resolve_parent(newpath)?;
-        self.fs.link(dir, name, target)
+        self.traced("iscsi.link", || {
+            self.charge();
+            let target = self.resolve(existing)?;
+            let (dir, name) = self.resolve_parent(newpath)?;
+            self.fs.link(dir, name, target)
+        })
     }
 
     fn rename(&self, from: &str, to: &str) -> FsResult<()> {
-        self.charge();
-        let (sdir, sname) = self.resolve_parent(from)?;
-        let (ddir, dname) = self.resolve_parent(to)?;
-        self.fs.rename(sdir, sname, ddir, dname)
+        self.traced("iscsi.rename", || {
+            self.charge();
+            let (sdir, sname) = self.resolve_parent(from)?;
+            let (ddir, dname) = self.resolve_parent(to)?;
+            self.fs.rename(sdir, sname, ddir, dname)
+        })
     }
 
     fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        self.fs
-            .setattr(
-                ino,
-                SetAttr {
-                    size: Some(size),
-                    ..SetAttr::default()
-                },
-            )
-            .map(|_| ())
+        self.traced("iscsi.truncate", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            self.fs
+                .setattr(
+                    ino,
+                    SetAttr {
+                        size: Some(size),
+                        ..SetAttr::default()
+                    },
+                )
+                .map(|_| ())
+        })
     }
 
     fn chmod(&self, path: &str, perm: u16) -> FsResult<()> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        self.fs
-            .setattr(
-                ino,
-                SetAttr {
-                    perm: Some(perm),
-                    ..SetAttr::default()
-                },
-            )
-            .map(|_| ())
+        self.traced("iscsi.chmod", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            self.fs
+                .setattr(
+                    ino,
+                    SetAttr {
+                        perm: Some(perm),
+                        ..SetAttr::default()
+                    },
+                )
+                .map(|_| ())
+        })
     }
 
     fn chown(&self, path: &str, uid: u32, gid: u32) -> FsResult<()> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        self.fs
-            .setattr(
-                ino,
-                SetAttr {
-                    uid: Some(uid),
-                    gid: Some(gid),
-                    ..SetAttr::default()
-                },
-            )
-            .map(|_| ())
+        self.traced("iscsi.chown", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            self.fs
+                .setattr(
+                    ino,
+                    SetAttr {
+                        uid: Some(uid),
+                        gid: Some(gid),
+                        ..SetAttr::default()
+                    },
+                )
+                .map(|_| ())
+        })
     }
 
     fn access(&self, path: &str) -> FsResult<()> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        self.fs.getattr(ino).map(|_| ())
+        self.traced("iscsi.access", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            self.fs.getattr(ino).map(|_| ())
+        })
     }
 
     fn stat(&self, path: &str) -> FsResult<Attr> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        self.fs.getattr(ino)
+        self.traced("iscsi.stat", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            self.fs.getattr(ino)
+        })
     }
 
     fn utime(&self, path: &str) -> FsResult<()> {
-        self.charge();
-        let ino = self.resolve(path)?;
-        let now = self.fs.sim().now().as_nanos();
-        self.fs
-            .setattr(
-                ino,
-                SetAttr {
-                    atime: Some(now),
-                    mtime: Some(now),
-                    ..SetAttr::default()
-                },
-            )
-            .map(|_| ())
+        self.traced("iscsi.utime", || {
+            self.charge();
+            let ino = self.resolve(path)?;
+            let now = self.fs.sim().now().as_nanos();
+            self.fs
+                .setattr(
+                    ino,
+                    SetAttr {
+                        atime: Some(now),
+                        mtime: Some(now),
+                        ..SetAttr::default()
+                    },
+                )
+                .map(|_| ())
+        })
     }
 
     fn read(&self, fd: Fd, off: u64, len: usize) -> FsResult<Vec<u8>> {
-        self.charge_data();
-        self.fs.read(fd.0 as u32, off, len)
+        self.traced("iscsi.read", || {
+            self.charge_data();
+            self.fs.read(fd.0 as u32, off, len)
+        })
     }
 
     fn write(&self, fd: Fd, off: u64, data: &[u8]) -> FsResult<usize> {
-        self.charge_data();
-        self.fs.write(fd.0 as u32, off, data)
+        self.traced("iscsi.write", || {
+            self.charge_data();
+            self.fs.write(fd.0 as u32, off, data)
+        })
     }
 
     fn fsync(&self, fd: Fd) -> FsResult<()> {
-        self.charge();
-        self.fs.fsync(fd.0 as u32)
+        self.traced("iscsi.fsync", || {
+            self.charge();
+            self.fs.fsync(fd.0 as u32)
+        })
     }
 
     fn statfs(&self) -> FsResult<ext3::StatFs> {
-        self.charge();
-        self.fs.statfs()
+        self.traced("iscsi.statfs", || {
+            self.charge();
+            self.fs.statfs()
+        })
     }
 }
 

@@ -3,15 +3,20 @@
 //! operations on each protocol, and dump what crossed the wire.
 //!
 //! ```sh
-//! cargo run --release --example wire_trace            # packet capture
-//! cargo run --release --example wire_trace -- --trace # + span trace
-//! cargo run --release --example wire_trace -- --json  # + RunReport line
+//! cargo run --release --example wire_trace             # packet capture
+//! cargo run --release --example wire_trace -- --trace  # + span trace
+//! cargo run --release --example wire_trace -- --json   # + RunReport line
+//! cargo run --release --example wire_trace -- --chrome # + trace JSON
 //! ```
 //!
 //! `--trace` turns on the opt-in tracer and prints every recorded span
 //! (disk service, RAID parity updates, journal commits, per-RPC/CDB
-//! latency) in timestamp order. `--json` appends one machine-readable
-//! RunReport JSON line per protocol — see EXPERIMENTS.md for the schema.
+//! latency) in timestamp order. `--chrome` also enables the tracer and
+//! writes the causal trace as Chrome `trace_event` JSON
+//! (`wire_trace_<proto>.trace.json`, loadable in Perfetto or
+//! `chrome://tracing`: one process per host, one thread per layer).
+//! `--json` appends one machine-readable RunReport JSON line per
+//! protocol — see EXPERIMENTS.md for the schema.
 
 use ipstorage::core::{Protocol, ReportBuilder, Testbed};
 
@@ -19,11 +24,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let trace = args.iter().any(|a| a == "--trace");
     let json = args.iter().any(|a| a == "--json");
+    let chrome = args.iter().any(|a| a == "--chrome");
 
     for protocol in [Protocol::NfsV3, Protocol::Iscsi] {
         let tb = Testbed::with_protocol(protocol);
         let sniffer = tb.attach_sniffer();
-        if trace {
+        if trace || chrome {
             tb.sim().tracer().set_enabled(true);
         }
         let t0 = tb.now();
@@ -56,6 +62,15 @@ fn main() {
         if trace {
             println!("\n== {:?} span trace ==", protocol);
             print!("{}", tb.sim().tracer().dump());
+        }
+        if chrome {
+            let path = format!(
+                "wire_trace_{}.trace.json",
+                format!("{protocol:?}").to_lowercase()
+            );
+            let doc = simkit::chrome::export(tb.sim().tracer());
+            std::fs::write(&path, doc).expect("write trace json");
+            println!("  chrome trace written to {path}");
         }
         if json {
             let mut rb = ReportBuilder::new(format!("wire_trace.{protocol:?}"));

@@ -1,0 +1,112 @@
+//! Golden regression for the critical-path attribution pipeline: a
+//! small deterministic workload per protocol, traced with attribution
+//! mode on, folded through `simkit::critpath`, and rendered exactly as
+//! `tables --attribution` would print it.
+//!
+//! The fixture is `tests/golden/attribution_smoke.stdout`. To
+//! re-capture after an intentional schema or model change:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test --test attribution_golden
+//! ```
+//!
+//! Everything lives in ONE `#[test]`: attribution mode is a
+//! process-global switch, and the harness runs `#[test]` functions of
+//! a binary on parallel threads — two tests flipping the switch would
+//! race. This integration binary is its own process, so flipping it
+//! here cannot perturb any other test binary.
+
+use ipstorage::core::{
+    attribution_table, gauge_table, set_attribution_enabled, Protocol, ReportBuilder, RunReport,
+    Testbed,
+};
+
+/// The workload: metadata ops, a 64 KB write, settle (journal commit
+/// lands), cold caches (the paper's unmount/remount protocol), then a
+/// 64 KB read that must go over the wire.
+fn traced_run(protocol: Protocol) -> RunReport {
+    let tb = Testbed::with_protocol(protocol);
+    let fs = tb.fs();
+    fs.mkdir("/dir").unwrap();
+    fs.creat("/dir/file").unwrap();
+    let fd = fs.open("/dir/file").unwrap();
+    fs.write(fd, 0, &vec![0x42u8; 64 * 1024]).unwrap();
+    fs.close(fd).unwrap();
+    tb.settle();
+    tb.cold_caches();
+    let fd = fs.open("/dir/file").unwrap();
+    fs.read(fd, 0, 64 * 1024).unwrap();
+    fs.close(fd).unwrap();
+    tb.settle();
+    let mut rb = ReportBuilder::new(format!("attribution_smoke.{protocol:?}"));
+    rb.absorb(&tb);
+    rb.finish()
+}
+
+fn rpc_ns(r: &RunReport, op: &str) -> u64 {
+    r.attribution
+        .get(&format!("{op}.rpc_ns"))
+        .copied()
+        .unwrap_or(0)
+}
+
+#[test]
+fn attribution_tables_match_golden_and_protocol_contrast_holds() {
+    set_attribution_enabled(true);
+    let nfs = traced_run(Protocol::NfsV3);
+    let iscsi = traced_run(Protocol::Iscsi);
+    set_attribution_enabled(false);
+
+    // The paper's central asymmetry (§5, §6): every NFS data and
+    // meta-data operation pays an RPC; iSCSI has no RPC layer at all,
+    // so nothing can land in its rpc bucket.
+    assert!(
+        rpc_ns(&nfs, "nfs.read") > 0,
+        "NFS cold read must attribute time to the RPC layer: {:?}",
+        nfs.attribution
+    );
+    assert!(
+        rpc_ns(&nfs, "nfs.mkdir") > 0 && rpc_ns(&nfs, "nfs.creat") > 0,
+        "NFS meta-data ops must attribute time to the RPC layer"
+    );
+    let iscsi_rpc: u64 = iscsi
+        .attribution
+        .iter()
+        .filter(|(k, _)| k.ends_with(".rpc_ns"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(iscsi_rpc, 0, "iSCSI must never touch the RPC bucket");
+    // The iSCSI read's time goes to the wire and the platters instead.
+    // (CDB spans delegate their whole budget to net/cpu/disk children,
+    // so the residual `iscsi` bucket itself can legitimately be zero.)
+    let get = |k: &str| iscsi.attribution.get(k).copied().unwrap_or(0);
+    assert!(
+        get("iscsi.read.net_ns") > 0 && get("iscsi.read.disk_ns") > 0,
+        "iSCSI cold read must attribute time to net and disk: {:?}",
+        iscsi.attribution
+    );
+
+    let mut actual = String::new();
+    for (name, r) in [("NfsV3", &nfs), ("Iscsi", &iscsi)] {
+        actual.push_str(&format!(
+            "== {name} ==\n{}\n\n{}\n\n",
+            attribution_table(r).render(),
+            gauge_table(r).render()
+        ));
+    }
+
+    let path = format!(
+        "{}/tests/golden/attribution_smoke.stdout",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let golden = include_str!("golden/attribution_smoke.stdout");
+    assert_eq!(
+        actual, golden,
+        "attribution output drifted from the golden; if intentional, \
+         re-capture with REGEN_GOLDEN=1 cargo test --test attribution_golden"
+    );
+}

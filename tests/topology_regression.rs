@@ -23,6 +23,13 @@
 //! unmount lands the pool's deferred write-back, which the old
 //! mid-run accounting deferred past the snapshot point) while keeping
 //! every ratio the paper reports.
+//!
+//! Re-captured again (same commands) when the causal-tracing PR grew
+//! the report schema: `RunReport::to_json` now always emits
+//! `"attribution"` (empty unless the run traced with attribution mode
+//! on) and `"gauges"` (virtual-clock gauge samples) after
+//! `cpu_busy_ns`. Every byte before those sections — tables,
+//! counters, histograms, CPU accounting — was verified unchanged.
 
 use ipstorage::core::experiments::{macrob, micro};
 use ipstorage::core::{RunReport, Table};
