@@ -1,0 +1,172 @@
+//! Discrete-event core benchmark: measures the calendar queue's raw
+//! schedule/pop throughput (events/sec, heap depth) and the scaling
+//! experiment's cells/sec under the event core vs the legacy
+//! round-robin core, then writes both to `BENCH_events.json` (and
+//! stdout).
+//!
+//! ```text
+//! event_bench [--quick] [--out PATH]
+//! ```
+//!
+//! The byte-identity flags are hard assertions, not advisory: the two
+//! cores must produce the exact same table + report bytes (the event
+//! interleaving reproduces round-robin's; see
+//! `tests/topology_regression.rs` for the in-tree audit), and the
+//! queue drain must pop keys in strictly increasing `(time, host,
+//! seq)` order. Wall-clock numbers vary per host (see the `host`
+//! section); everything behind the flags is deterministic.
+
+use ipstorage_core::experiments::scale;
+use ipstorage_core::stepcore::{set_step_core, StepCore};
+use ipstorage_core::{RunReport, Table};
+use simkit::{EventQueue, HostId, SimTime, SplitMix64};
+use std::time::Instant;
+
+/// Reconstruct the bytes `tables --json` writes for one runner.
+fn runner_stdout(t: &Table, r: &RunReport) -> String {
+    format!("{}\n\n{}\n", t.render(), r.to_json())
+}
+
+/// Fill-then-drain: schedule `n` events at SplitMix64 times, pop them
+/// all, and check the pop order is strictly increasing. Returns
+/// (events/sec counting both the schedule and the pop, max heap
+/// depth).
+fn fill_drain(n: u64) -> (f64, u64) {
+    let mut rng = SplitMix64::new(0x0e5e_17b3);
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(n as usize);
+    let t0 = Instant::now();
+    for i in 0..n {
+        let at = SimTime::from_nanos(rng.below(1 << 40));
+        q.schedule(at, HostId((rng.next_u64() % 64) as u16), i);
+    }
+    let mut last = None;
+    while let Some((key, _)) = q.pop() {
+        if let Some(prev) = last {
+            assert!(prev < key, "pop order must strictly increase");
+        }
+        last = Some(key);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = q.stats();
+    assert_eq!(stats.fired, n, "every scheduled event must pop");
+    ((2 * n) as f64 / secs, stats.max_heap as u64)
+}
+
+/// Steady-state churn: a sliding window of `window` pending events;
+/// each round pops the earliest and schedules a replacement (the
+/// simulator's re-arm pattern), with a cancel/reschedule mixed in
+/// every 8th round. Returns (events/sec over all operations, max heap
+/// depth).
+fn churn(window: u64, rounds: u64) -> (f64, u64) {
+    let mut rng = SplitMix64::new(0xca1e_4da5);
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(window as usize);
+    let mut now = 0u64;
+    let mut ids = Vec::with_capacity(window as usize);
+    for i in 0..window {
+        ids.push(q.schedule(SimTime::from_nanos(rng.below(1 << 20)), HostId::SERVER, i));
+    }
+    let t0 = Instant::now();
+    let mut ops = window;
+    for round in 0..rounds {
+        let (key, _) = q.pop().expect("window never empties");
+        now = now.max(key.time.as_nanos());
+        let at = SimTime::from_nanos(now + 1 + rng.below(1 << 20));
+        ids.push(q.schedule(at, HostId((round % 16) as u16), round));
+        ops += 2;
+        if round % 8 == 0 {
+            let pick = ids[(rng.next_u64() as usize) % ids.len()];
+            if q.contains(pick) {
+                let at = SimTime::from_nanos(now + 1 + rng.below(1 << 20));
+                ids.push(q.reschedule(pick, at, HostId::SERVER).unwrap());
+                ops += 1;
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (ops as f64 / secs, q.stats().max_heap as u64)
+}
+
+/// One timed scale run: the full grid under `core`, returning the
+/// elapsed seconds and the exact runner bytes.
+fn timed_scale(core: StepCore, counts: &[usize], files: usize, txns: usize) -> (f64, String) {
+    set_step_core(core);
+    let t0 = Instant::now();
+    let (t, r) = scale::scale_report_with(counts, files, txns);
+    let secs = t0.elapsed().as_secs_f64();
+    set_step_core(StepCore::Events);
+    (secs, runner_stdout(&t, &r))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_events.json".into());
+
+    let micro_n: u64 = if quick { 200_000 } else { 1_000_000 };
+    let (counts, files, txns): (&[usize], usize, usize) = if quick {
+        (&[1, 2, 4], 100, 300)
+    } else {
+        (&[1, 2, 4, 8], 200, 600)
+    };
+    let cells = counts.len() * 2;
+
+    eprintln!("event_bench: calendar-queue microbench, {micro_n} events");
+    let _ = fill_drain(micro_n / 4); // warm-up
+    let (fd_rate, fd_depth) = fill_drain(micro_n);
+    let (ch_rate, ch_depth) = churn(1024, micro_n);
+
+    eprintln!(
+        "event_bench: scale grid N={counts:?} x {{NFSv3, iSCSI}}, \
+         {files} files / {txns} transactions, both cores"
+    );
+    let _ = timed_scale(StepCore::Events, &[1], 50, 100); // warm-up
+    let (secs_rr, out_rr) = timed_scale(StepCore::RoundRobin, counts, files, txns);
+    let (secs_ev, out_ev) = timed_scale(StepCore::Events, counts, files, txns);
+    assert_eq!(
+        out_rr, out_ev,
+        "event core must be byte-identical to round-robin"
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"events\",",
+            "\"host\":{{\"cores\":{cores},\"os\":\"{os}\",\"arch\":\"{arch}\"}},",
+            "\"quick\":{quick},",
+            "\"queue\":{{\"events\":{n},",
+            "\"fill_drain\":{{\"events_per_sec\":{fdr:.0},\"max_heap\":{fdd}}},",
+            "\"churn\":{{\"window\":1024,\"events_per_sec\":{chr:.0},\"max_heap\":{chd}}}}},",
+            "\"scale\":{{\"cells\":{cells},\"files\":{files},\"transactions\":{txns},",
+            "\"roundrobin\":{{\"secs\":{srr:.4},\"cells_per_sec\":{crr:.3}}},",
+            "\"events\":{{\"secs\":{sev:.4},\"cells_per_sec\":{cev:.3}}},",
+            "\"speedup\":{sp:.3}}},",
+            "\"byte_identical\":true,\"pop_order_strict\":true}}"
+        ),
+        cores = cores,
+        os = std::env::consts::OS,
+        arch = std::env::consts::ARCH,
+        quick = quick,
+        n = micro_n,
+        fdr = fd_rate,
+        fdd = fd_depth,
+        chr = ch_rate,
+        chd = ch_depth,
+        cells = cells,
+        files = files,
+        txns = txns,
+        srr = secs_rr,
+        crr = cells as f64 / secs_rr,
+        sev = secs_ev,
+        cev = cells as f64 / secs_ev,
+        sp = secs_rr / secs_ev,
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_events.json");
+    println!("{json}");
+    eprintln!("event_bench: wrote {out_path}");
+}

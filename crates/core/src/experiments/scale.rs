@@ -42,10 +42,11 @@
 
 use crate::report::{ReportBuilder, RunReport};
 use crate::snapshot::{snapshot_cell, SetupKey, SnapshotCache};
+use crate::stepcore::{step_core, StepCore};
 use crate::sweep::Sweep;
 use crate::table::{fmt_f, Table};
 use crate::{Protocol, Testbed, TopologyConfig};
-use simkit::{Histogram, SimDuration};
+use simkit::{EventQueue, Histogram, HostId, SimDuration};
 use workloads::{PostmarkConfig, PostmarkSession};
 
 /// Every how many transactions a client touches the shared file.
@@ -179,40 +180,74 @@ fn scale_run_seeded(
     let mut demand = vec![SimDuration::ZERO; clients];
     let mut latency = vec![Histogram::new(); clients];
     let mut shared_off = 0u64;
-    let mut live = clients;
-    while live > 0 {
-        live = 0;
-        for i in 0..clients {
-            if sessions[i].remaining() == 0 {
-                continue;
+
+    // One measured client step: a PostMark transaction plus, every
+    // `SHARED_PERIOD` transactions, the shared-file writer/poller
+    // pattern.
+    let mut step_session = |i: usize,
+                            sessions: &mut [PostmarkSession],
+                            demand: &mut [SimDuration],
+                            latency: &mut [Histogram]| {
+        let t0 = tb.now();
+        sessions[i].step().expect("postmark step");
+        if sessions[i].remaining() % SHARED_PERIOD == 0 {
+            let fs = tb.client_fs(i);
+            if i == 0 {
+                // The writer appends a small update.
+                let fd = fs.open("/shared/config").expect("open shared");
+                fs.write(fd, shared_off, &[0x55; 128])
+                    .expect("write shared");
+                fs.close(fd).expect("close shared");
+                shared_off += 128;
+            } else {
+                // Pollers revalidate and read the current copy.
+                fs.stat("/shared/config").expect("stat shared");
+                let fd = fs.open("/shared/config").expect("open shared");
+                fs.read(fd, 0, 4096).expect("read shared");
+                fs.close(fd).expect("close shared");
             }
-            let t0 = tb.now();
-            sessions[i].step().expect("postmark step");
-            if sessions[i].remaining() % SHARED_PERIOD == 0 {
-                let fs = tb.client_fs(i);
-                if i == 0 {
-                    // The writer appends a small update.
-                    let fd = fs.open("/shared/config").expect("open shared");
-                    fs.write(fd, shared_off, &[0x55; 128])
-                        .expect("write shared");
-                    fs.close(fd).expect("close shared");
-                    shared_off += 128;
-                } else {
-                    // Pollers revalidate and read the current copy.
-                    fs.stat("/shared/config").expect("stat shared");
-                    let fd = fs.open("/shared/config").expect("open shared");
-                    fs.read(fd, 0, 4096).expect("read shared");
-                    fs.close(fd).expect("close shared");
+        }
+        let d = tb.now().since(t0);
+        demand[i] += d;
+        latency[i].record(d.as_nanos() / 1_000);
+        tb.sim()
+            .metrics()
+            .record_duration(&format!("scale.{}.txn", tb.host_name(i)), d);
+    };
+
+    match step_core() {
+        StepCore::Events => {
+            // Per-session wakeups: each live session is re-armed at
+            // the instant its last step completed, so popping the
+            // earliest wakeup yields the least-recently-stepped live
+            // session — the same interleaving the round-robin pass
+            // produced, with finished sessions costing nothing
+            // (they simply never re-arm).
+            let mut wakeups: EventQueue<usize> = EventQueue::with_capacity(clients);
+            for (i, s) in sessions.iter().enumerate() {
+                if s.remaining() > 0 {
+                    wakeups.schedule(tb.now(), HostId::client(i as u32), i);
                 }
             }
-            let d = tb.now().since(t0);
-            demand[i] += d;
-            latency[i].record(d.as_nanos() / 1_000);
-            tb.sim()
-                .metrics()
-                .record_duration(&format!("scale.{}.txn", tb.host_name(i)), d);
-            if sessions[i].remaining() > 0 {
-                live += 1;
+            while let Some((_, i)) = wakeups.pop() {
+                step_session(i, &mut sessions, &mut demand, &mut latency);
+                if sessions[i].remaining() > 0 {
+                    wakeups.schedule(tb.now(), HostId::client(i as u32), i);
+                }
+            }
+        }
+        StepCore::RoundRobin => {
+            // Legacy pass-based loop, with a live-list instead of the
+            // original rescan of every (possibly finished) session —
+            // the fair baseline for BENCH_events.json.
+            let mut live: Vec<usize> = (0..clients)
+                .filter(|&i| sessions[i].remaining() > 0)
+                .collect();
+            while !live.is_empty() {
+                for &i in &live {
+                    step_session(i, &mut sessions, &mut demand, &mut latency);
+                }
+                live.retain(|&i| sessions[i].remaining() > 0);
             }
         }
     }

@@ -35,6 +35,7 @@ pub mod experiments;
 pub mod plot;
 pub mod report;
 pub mod snapshot;
+pub mod stepcore;
 pub mod sweep;
 pub mod table;
 mod testbed;

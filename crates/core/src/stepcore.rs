@@ -1,0 +1,77 @@
+//! Step-core selection for multi-session experiment loops.
+//!
+//! The scaling experiment interleaves N client sessions on one
+//! virtual clock. Two interleaving engines exist:
+//!
+//! * [`StepCore::Events`] (default) — per-session wakeup events in a
+//!   [`simkit::EventQueue`]: each live session is re-armed at the
+//!   virtual time its last step completed, and the runner pops the
+//!   earliest wakeup. Finished or idle sessions cost zero work per
+//!   step.
+//! * [`StepCore::RoundRobin`] — the legacy pass-based loop, kept as
+//!   the comparison baseline for `BENCH_events.json`.
+//!
+//! The two cores produce byte-identical results (the event order is
+//! the same interleaving round-robin produced; see
+//! `tests/topology_regression.rs` for the enforced audit) — switching
+//! is a wall-clock matter only, mirroring the snapshot toggle's
+//! invariant in [`crate::snapshot`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Environment variable selecting the legacy core when set to
+/// `roundrobin` (or `legacy`) — the scriptable equivalent of
+/// [`set_step_core`].
+pub const STEP_CORE_ENV: &str = "IPSTORAGE_STEP_CORE";
+
+/// Which interleaving engine drives multi-session loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepCore {
+    /// Heap-scheduled per-session wakeup events (default).
+    Events,
+    /// Legacy round-robin pass over the live sessions.
+    RoundRobin,
+}
+
+/// Process-wide override installed by [`set_step_core`].
+static LEGACY_FORCED: AtomicBool = AtomicBool::new(false);
+
+/// Selects the step core process-wide (the `event_bench` binary's
+/// before/after comparison lands here).
+pub fn set_step_core(core: StepCore) {
+    LEGACY_FORCED.store(core == StepCore::RoundRobin, Ordering::Relaxed);
+}
+
+/// The step core currently selected (default: [`StepCore::Events`],
+/// unless [`set_step_core`] forced the legacy core or
+/// [`STEP_CORE_ENV`] names it).
+pub fn step_core() -> StepCore {
+    if LEGACY_FORCED.load(Ordering::Relaxed) {
+        return StepCore::RoundRobin;
+    }
+    match std::env::var(STEP_CORE_ENV) {
+        Ok(v)
+            if v.eq_ignore_ascii_case("roundrobin")
+                || v.eq_ignore_ascii_case("round-robin")
+                || v.eq_ignore_ascii_case("legacy") =>
+        {
+            StepCore::RoundRobin
+        }
+        _ => StepCore::Events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_events_and_override_sticks() {
+        // Serialized through the process-wide flag: restore on exit.
+        assert_eq!(step_core(), StepCore::Events);
+        set_step_core(StepCore::RoundRobin);
+        assert_eq!(step_core(), StepCore::RoundRobin);
+        set_step_core(StepCore::Events);
+        assert_eq!(step_core(), StepCore::Events);
+    }
+}

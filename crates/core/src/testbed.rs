@@ -362,6 +362,7 @@ impl Testbed {
         sim.metrics().reset();
         sim.tracer().clear();
         gauges.reset(sim.now());
+        Self::arm_gauges(&sim, &gauges);
         if crate::attribution::attribution_enabled() {
             sim.tracer().set_enabled(true);
         }
@@ -512,6 +513,7 @@ impl Testbed {
         sim.metrics().reset();
         sim.tracer().clear();
         gauges.reset(sim.now());
+        Self::arm_gauges(&sim, &gauges);
         if crate::attribution::attribution_enabled() {
             sim.tracer().set_enabled(true);
         }
@@ -651,8 +653,23 @@ impl Testbed {
                 .map(|c| c.cached_dentry_count() as u64)
                 .sum()
         });
-        sim.register_daemon(Rc::downgrade(&g) as std::rc::Weak<dyn simkit::Daemon>);
         g
+    }
+
+    /// Arms the sampler's first wakeup in the event calendar. Runs
+    /// after [`GaugeSampler::reset`] so the armed instant is the first
+    /// period multiple past the settle epoch. The sampler lives on the
+    /// background sentinel host: at equal-time ties every machine-owned
+    /// timer (journal commit, write-back) fires before the sampler
+    /// reads its gauges.
+    fn arm_gauges(sim: &Rc<Sim>, g: &Rc<GaugeSampler>) {
+        if let Some(at) = g.next_wake() {
+            sim.schedule_daemon(
+                at,
+                HostId::BACKGROUND,
+                Rc::downgrade(g) as std::rc::Weak<dyn simkit::Daemon>,
+            );
+        }
     }
 
     /// The server-side ext3: fresh mkfs on a cold build, a clean mount

@@ -15,6 +15,7 @@
 //! | D3 | ambient randomness (`thread_rng`, `RandomState`, `DefaultHasher`, `OsRng`, ...) | all randomness must flow from `simkit::rng::SplitMix64` seeds |
 //! | D4 | thread spawn / channels outside `simkit::sweep` | one sanctioned home for parallelism keeps the `--jobs N == --jobs 1` proof small |
 //! | D5 | float arithmetic inside a spawned closure | float addition is not associative; cross-thread float folds must go through `ReportBuilder::merge_report`'s index-ordered fold |
+//! | D6 | heap/queue ordering on bare `SimTime` (a `BinaryHeap` whose key names `SimTime` without the `EventKey` wrapper) | equal-time entries then pop in heap-internal order, which is not part of any contract; key events with `simkit::events::EventKey`'s `(time, host, seq)` tie-break |
 //!
 //! # How it works (and what it cannot see)
 //!
@@ -63,13 +64,16 @@ pub enum Lint {
     D4,
     /// Float arithmetic inside a spawned closure.
     D5,
+    /// Heap/queue ordering on bare `SimTime` without the
+    /// `(time, host, seq)` tie-break wrapper.
+    D6,
 }
 
 impl Lint {
     /// All lints, in id order.
-    pub const ALL: [Lint; 5] = [Lint::D1, Lint::D2, Lint::D3, Lint::D4, Lint::D5];
+    pub const ALL: [Lint; 6] = [Lint::D1, Lint::D2, Lint::D3, Lint::D4, Lint::D5, Lint::D6];
 
-    /// Parses `"D1"`..`"D5"`.
+    /// Parses `"D1"`..`"D6"`.
     pub fn from_id(s: &str) -> Option<Lint> {
         match s {
             "D1" => Some(Lint::D1),
@@ -77,11 +81,12 @@ impl Lint {
             "D3" => Some(Lint::D3),
             "D4" => Some(Lint::D4),
             "D5" => Some(Lint::D5),
+            "D6" => Some(Lint::D6),
             _ => None,
         }
     }
 
-    /// The short id (`"D1"`..`"D5"`).
+    /// The short id (`"D1"`..`"D6"`).
     pub fn id(self) -> &'static str {
         match self {
             Lint::D1 => "D1",
@@ -89,6 +94,7 @@ impl Lint {
             Lint::D3 => "D3",
             Lint::D4 => "D4",
             Lint::D5 => "D5",
+            Lint::D6 => "D6",
         }
     }
 }
@@ -169,7 +175,7 @@ impl<'a> FileContext<'a> {
     pub fn lint_applies(&self, lint: Lint) -> bool {
         match lint {
             Lint::D1 => !self.in_crate("bench") && !self.in_crate("loom"),
-            Lint::D2 | Lint::D3 => true,
+            Lint::D2 | Lint::D3 | Lint::D6 => true,
             Lint::D4 => !self.in_crate("loom") && self.path != "crates/simkit/src/sweep.rs",
             Lint::D5 => !self.in_crate("loom"),
         }
@@ -178,10 +184,11 @@ impl<'a> FileContext<'a> {
     /// Whether `lint` still applies on test-only lines.
     ///
     /// Tests legitimately spawn threads (to *test* the concurrent
-    /// structures) and iterate model hash maps whose fold is
-    /// assertion-internal, so D2, D4 and D5 are off; D1 and D3 stay
-    /// on — a test reading the wall clock or ambient randomness is a
-    /// flaky test.
+    /// structures), iterate model hash maps whose fold is
+    /// assertion-internal, and build throwaway time-keyed heaps whose
+    /// pop order the assertion itself pins down, so D2, D4, D5 and D6
+    /// are off; D1 and D3 stay on — a test reading the wall clock or
+    /// ambient randomness is a flaky test.
     pub fn lint_applies_in_tests(lint: Lint) -> bool {
         matches!(lint, Lint::D1 | Lint::D3)
     }
@@ -221,6 +228,13 @@ mod tests {
         assert!(itest.whole_file_test());
         assert!(FileContext::lint_applies_in_tests(Lint::D1));
         assert!(!FileContext::lint_applies_in_tests(Lint::D4));
+
+        // D6 applies in every crate's library code — including the
+        // event module that defines the sanctioned wrapper — but not
+        // on test lines.
+        assert!(FileContext::new("crates/simkit/src/events.rs").lint_applies(Lint::D6));
+        assert!(loom.lint_applies(Lint::D6));
+        assert!(!FileContext::lint_applies_in_tests(Lint::D6));
     }
 
     #[test]

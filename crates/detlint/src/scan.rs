@@ -149,6 +149,35 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
         }
     }
 
+    // D6: a BinaryHeap ordered on bare SimTime. Like the other lints
+    // this is a token heuristic: a line (or the line plus its
+    // continuation, for declarations whose generics wrap) that names
+    // both `BinaryHeap` and `SimTime` is keying a heap on raw times
+    // unless the sanctioned `EventKey` wrapper appears in the same
+    // window. A heap key built far from its declaration is invisible
+    // (documented under-approximation); the EventQueue property tests
+    // are the backstop.
+    for (i, line) in lines.iter().enumerate() {
+        if !contains_word(line, "BinaryHeap") || !active(Lint::D6, i) {
+            continue;
+        }
+        let window = match lines.get(i + 1) {
+            Some(next) => format!("{line} {next}"),
+            None => (*line).to_string(),
+        };
+        if contains_word(&window, "SimTime") && !contains_word(&window, "EventKey") {
+            push(
+                Lint::D6,
+                i,
+                "heap ordered on bare `SimTime` — equal-time entries pop in \
+                 heap-internal order, which no run-to-run contract covers; key \
+                 events with simkit::events::EventKey's (time, host, seq) \
+                 tie-break (or use simkit::EventQueue)"
+                    .to_string(),
+            );
+        }
+    }
+
     // D5: float tokens inside a spawned closure.
     for (start, end) in spawn_spans(&stripped) {
         let span = &stripped[start..end];
@@ -620,6 +649,25 @@ fn f() {
 ";
         let got = lints_of("crates/simkit/src/sweep.rs", src);
         assert_eq!(got, vec![(Lint::D5, 3)], "{got:?}");
+    }
+
+    #[test]
+    fn d6_fires_on_simtime_keyed_heaps_only() {
+        let bad = "struct Cal { heap: BinaryHeap<Reverse<SimTime>> }\n";
+        assert_eq!(lints_of("crates/x/src/lib.rs", bad), vec![(Lint::D6, 1)]);
+        // Wrapped declarations split across lines are still seen.
+        let split = "struct Cal {\n    heap: BinaryHeap<\n        Reverse<(SimTime, u32)>>,\n}\n";
+        assert_eq!(lints_of("crates/x/src/lib.rs", split), vec![(Lint::D6, 2)]);
+        // The sanctioned EventKey wrapper passes...
+        let good = "struct Cal { heap: BinaryHeap<Reverse<(EventKey, u32, u32)>> }\n";
+        assert!(lints_of("crates/x/src/lib.rs", good).is_empty());
+        // ...as does a heap of something other than times.
+        let other = "struct Q { heap: BinaryHeap<(u64, usize)> }\n";
+        assert!(lints_of("crates/x/src/lib.rs", other).is_empty());
+        // Off on test lines: a test pinning pop order with raw times
+        // is asserting about its own toy heap.
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { let h: BinaryHeap<SimTime> = BinaryHeap::new(); let _ = h; }\n}\n";
+        assert!(lints_of("crates/x/src/lib.rs", test).is_empty());
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Fixture: D6 — heap-scheduled completions keyed on bare `SimTime`.
+//! Equal-time events then pop in heap-internal order, which nothing
+//! pins down run to run; the sanctioned idiom is the
+//! `simkit::events::EventKey` `(time, host, seq)` wrapper.
+
+use simkit::events::EventKey;
+use simkit::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+pub struct BadCalendar {
+    heap: BinaryHeap<Reverse<SimTime>>,
+}
+
+pub fn bad_inline_queue() {
+    let mut q: BinaryHeap<(SimTime, u32)> = BinaryHeap::new();
+    q.push((SimTime::from_nanos(1), 7));
+    let _ = q.pop();
+}
+
+pub struct BadSplitDeclaration {
+    completions: BinaryHeap<
+        Reverse<(SimTime, usize)>,
+    >,
+}
+
+/// The sanctioned shape: the key carries the full tie-break.
+pub struct GoodCalendar {
+    heap: BinaryHeap<Reverse<(EventKey, u32, u32)>>,
+}
+
+/// A heap that never orders on virtual time is none of D6's business.
+pub struct GoodScoreboard {
+    best: BinaryHeap<(u64, usize)>,
+}

@@ -108,6 +108,18 @@ fn d5_flags_float_accumulation_in_spawn_only() {
 }
 
 #[test]
+fn d6_flags_simtime_keyed_heaps_but_not_the_eventkey_wrapper() {
+    // The bare-`SimTime` heap field, the inline tuple-keyed queue,
+    // and the declaration whose generics wrap onto the next line —
+    // and nothing for the EventKey-keyed calendar or the heap that
+    // never orders on virtual time.
+    assert_eq!(
+        findings("d6_unordered_event_keys.rs"),
+        vec![(Lint::D6, 12), (Lint::D6, 16), (Lint::D6, 22)]
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     assert_eq!(findings("clean.rs"), vec![]);
 }
@@ -175,6 +187,7 @@ fn binary_exits_nonzero_on_fixture_violations() {
         "d3_ambient_randomness.rs",
         "d4_thread_spawn.rs",
         "d5_float_accumulation.rs",
+        "d6_unordered_event_keys.rs",
         "allow_suppressed.rs",
     ] {
         assert!(

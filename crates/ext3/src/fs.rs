@@ -194,56 +194,44 @@ impl std::fmt::Debug for Ext3 {
     }
 }
 
-struct CommitDaemon {
+/// The file system's periodic background work — the kjournald commit
+/// timer and the pdflush write-back timer — as one scheduled event.
+/// The daemon keeps exactly one wakeup in the calendar at
+/// `min(next_commit, next_flush)`, attributed to the owning machine's
+/// `trace_host`; when both timers land on the same instant the commit
+/// runs first (the order the per-daemon polling core fired them).
+/// Unmounting idles the daemon: its pending wakeup fires as a no-op
+/// and is not re-armed.
+struct JournalTimers {
     inner: Weak<Inner>,
 }
 
-impl Daemon for CommitDaemon {
-    fn next_due(&self) -> Option<SimTime> {
+impl Daemon for JournalTimers {
+    fn fire(&self, now: SimTime) -> Option<SimTime> {
         let inner = self.inner.upgrade()?;
-        let st = inner.state.try_borrow().ok()?;
-        st.mounted.then_some(st.next_commit)
-    }
-    fn fire(&self, now: SimTime) {
-        if let Some(inner) = self.inner.upgrade() {
-            let prev = inner.mode.replace(IoMode::Background);
-            {
-                let mut st = inner.state.borrow_mut();
-                commit_journal(&inner, &mut st);
-                st.next_commit = now + inner.opts.commit_interval;
+        let prev = inner.mode.replace(IoMode::Background);
+        let next = {
+            let mut st = inner.state.borrow_mut();
+            if !st.mounted {
+                None
+            } else {
+                if now >= st.next_commit {
+                    commit_journal(&inner, &mut st);
+                    st.next_commit = now + inner.opts.commit_interval;
+                }
+                if now >= st.next_flush {
+                    flush_data(&inner, &mut st, usize::MAX);
+                    st.cache.shrink_to_capacity();
+                    st.next_flush = now + inner.opts.flush_interval;
+                }
+                Some(st.next_commit.min(st.next_flush))
             }
-            inner.mode.set(prev);
-        }
+        };
+        inner.mode.set(prev);
+        next
     }
     fn name(&self) -> &str {
-        "ext3-kjournald"
-    }
-}
-
-struct FlushDaemon {
-    inner: Weak<Inner>,
-}
-
-impl Daemon for FlushDaemon {
-    fn next_due(&self) -> Option<SimTime> {
-        let inner = self.inner.upgrade()?;
-        let st = inner.state.try_borrow().ok()?;
-        st.mounted.then_some(st.next_flush)
-    }
-    fn fire(&self, now: SimTime) {
-        if let Some(inner) = self.inner.upgrade() {
-            let prev = inner.mode.replace(IoMode::Background);
-            {
-                let mut st = inner.state.borrow_mut();
-                flush_data(&inner, &mut st, usize::MAX);
-                st.cache.shrink_to_capacity();
-                st.next_flush = now + inner.opts.flush_interval;
-            }
-            inner.mode.set(prev);
-        }
-    }
-    fn name(&self) -> &str {
-        "ext3-pdflush"
+        "ext3-journal-timers"
     }
 }
 
@@ -423,17 +411,17 @@ impl Ext3 {
             bg_busy: Cell::new(SimDuration::ZERO),
             mode: Cell::new(IoMode::Foreground),
         });
-        let commit: Rc<dyn Daemon> = Rc::new(CommitDaemon {
+        let timers: Rc<dyn Daemon> = Rc::new(JournalTimers {
             inner: Rc::downgrade(&inner),
         });
-        let flush: Rc<dyn Daemon> = Rc::new(FlushDaemon {
-            inner: Rc::downgrade(&inner),
-        });
-        sim.register_daemon(Rc::downgrade(&commit));
-        sim.register_daemon(Rc::downgrade(&flush));
+        let first_wake = {
+            let st = inner.state.borrow();
+            st.next_commit.min(st.next_flush)
+        };
+        sim.schedule_daemon(first_wake, inner.opts.trace_host, Rc::downgrade(&timers));
         Ok(Ext3 {
             inner,
-            _daemons: vec![commit, flush],
+            _daemons: vec![timers],
         })
     }
 

@@ -126,23 +126,37 @@ impl GaugeSampler {
     pub fn stats(&self) -> BTreeMap<&'static str, GaugeStats> {
         self.stats.borrow().clone()
     }
-}
 
-impl Daemon for GaugeSampler {
-    fn next_due(&self) -> Option<SimTime> {
+    /// The next sampling instant, or `None` when no gauges are
+    /// registered (an idle sampler schedules nothing). The owner arms
+    /// the first wakeup with [`Sim::schedule_daemon`] at this time —
+    /// after any [`reset`](GaugeSampler::reset) — and the sampler
+    /// re-schedules itself from then on.
+    ///
+    /// [`Sim::schedule_daemon`]: crate::Sim::schedule_daemon
+    pub fn next_wake(&self) -> Option<SimTime> {
         if self.gauges.borrow().is_empty() {
             return None;
         }
         Some(SimTime::from_nanos(self.next.get()))
     }
+}
 
-    fn fire(&self, _now: SimTime) {
+impl Daemon for GaugeSampler {
+    fn fire(&self, now: SimTime) -> Option<SimTime> {
+        let next = self.next.get();
+        if now.as_nanos() < next {
+            // Stale wakeup: a reset() pushed the schedule forward
+            // after this event was armed. Re-arm without sampling.
+            return Some(SimTime::from_nanos(next));
+        }
         let gauges = self.gauges.borrow();
         let mut stats = self.stats.borrow_mut();
         for (name, f) in gauges.iter() {
             stats.entry(*name).or_default().observe(f());
         }
-        self.next.set(self.next.get() + self.period.as_nanos());
+        self.next.set(next + self.period.as_nanos());
+        Some(SimTime::from_nanos(self.next.get()))
     }
 
     fn name(&self) -> &str {
@@ -153,8 +167,17 @@ impl Daemon for GaugeSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Sim;
+    use crate::{HostId, Sim};
     use std::rc::{Rc, Weak};
+
+    /// Arms the sampler's first wakeup the way the testbed does.
+    fn arm(sim: &Sim, g: &Rc<GaugeSampler>) {
+        sim.schedule_daemon(
+            g.next_wake().expect("gauges registered"),
+            HostId::BACKGROUND,
+            Rc::downgrade(g) as Weak<dyn Daemon>,
+        );
+    }
 
     #[test]
     fn cadence_follows_virtual_time_only() {
@@ -169,7 +192,7 @@ mod tests {
                 sim2.now().as_nanos() / 1_000_000
             });
         }
-        sim.register_daemon(Rc::downgrade(&g) as Weak<dyn Daemon>);
+        arm(&sim, &g);
         sim.advance(SimDuration::from_millis(350));
         assert_eq!(
             *times.borrow(),
@@ -186,15 +209,35 @@ mod tests {
         let sim = Sim::new(1);
         let g = Rc::new(GaugeSampler::new(SimDuration::from_millis(100)));
         g.register("x", || 7);
-        sim.register_daemon(Rc::downgrade(&g) as Weak<dyn Daemon>);
+        arm(&sim, &g);
         // Construction-phase time passes mid-period...
         sim.advance(SimDuration::from_millis(250));
         g.reset(sim.now());
         // ...and the next sample still lands on an absolute multiple.
         sim.advance(SimDuration::from_millis(100));
         let s = g.stats()["x"];
-        assert_eq!(s.samples, 1, "sampled at t=300ms, skipped stale points");
+        // Samples at 100ms and 200ms happened before the reset wiped
+        // them; the one surviving sample is t=300ms.
+        assert_eq!(s.samples, 1, "sampled at t=300ms, earlier points wiped");
         assert_eq!(s.sum, 7);
+    }
+
+    #[test]
+    fn stale_wakeup_after_reset_skips_sampling() {
+        let sim = Sim::new(1);
+        let g = Rc::new(GaugeSampler::new(SimDuration::from_millis(100)));
+        g.register("x", || 7);
+        arm(&sim, &g);
+        // A reset *forward* (to a later multiple than the armed
+        // wakeup) leaves a stale event in the calendar; it must
+        // re-arm silently rather than sample early.
+        g.reset(SimTime::from_nanos(
+            SimDuration::from_millis(250).as_nanos(),
+        ));
+        sim.advance(SimDuration::from_millis(250));
+        assert_eq!(g.stats()["x"].samples, 0, "wakeups before 300ms are stale");
+        sim.advance(SimDuration::from_millis(100));
+        assert_eq!(g.stats()["x"].samples, 1, "sampled at the reset cadence");
     }
 
     #[test]
@@ -235,6 +278,8 @@ mod tests {
     #[test]
     fn idle_sampler_schedules_nothing() {
         let g = GaugeSampler::new(SimDuration::from_millis(100));
-        assert_eq!(g.next_due(), None, "no gauges, no wakeups");
+        assert_eq!(g.next_wake(), None, "no gauges, no wakeups");
+        g.register("x", || 1);
+        assert!(g.next_wake().is_some());
     }
 }

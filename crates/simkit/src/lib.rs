@@ -5,15 +5,19 @@
 //! provides:
 //!
 //! * a virtual clock measured in nanoseconds ([`SimTime`], [`SimDuration`]),
-//! * *daemons* — background activities such as the ext3 journal commit
-//!   timer or the NFS client write-back thread that must fire while the
-//!   virtual clock advances through a foreground operation,
+//! * a discrete-event calendar ([`events::EventQueue`]) of *daemons* —
+//!   background activities such as the ext3 journal commit timer or
+//!   the gauge sampler that must fire while the virtual clock advances
+//!   through a foreground operation,
 //! * a seeded, deterministic random number generator ([`SplitMix64`]),
 //! * named [`Counters`] used for message/byte accounting.
 //!
 //! The simulation is deliberately single threaded: determinism is what
 //! lets the experiment harness regenerate the paper's tables exactly on
-//! every run.
+//! every run. Advancing the clock drains the event calendar in
+//! `(time, host, seq)` order — see [`events`] for the total-order
+//! contract — rather than polling every registered component per step,
+//! so idle components cost nothing.
 //!
 //! # Example
 //!
@@ -29,6 +33,7 @@ pub mod chrome;
 mod clock;
 mod counters;
 pub mod critpath;
+pub mod events;
 mod gauge;
 mod histogram;
 mod rng;
@@ -37,6 +42,7 @@ mod trace;
 
 pub use clock::{SimDuration, SimTime};
 pub use counters::{CounterHandle, CounterSnapshot, Counters};
+pub use events::{EventId, EventKey, EventQueue, EventQueueStats};
 pub use gauge::{GaugeSampler, GaugeStats};
 pub use histogram::{Histogram, MetricHandle, Metrics};
 pub use rng::SplitMix64;
@@ -47,19 +53,19 @@ use std::rc::{Rc, Weak};
 
 /// A background activity that fires at scheduled points in virtual time.
 ///
-/// Daemons are polled whenever the clock advances: if a daemon's
-/// [`next_due`](Daemon::next_due) time falls within the interval being
-/// advanced over, the clock is moved to that instant and
-/// [`fire`](Daemon::fire) is invoked before the advance continues.
+/// Daemons are *scheduled*, not polled: a component arms its first
+/// wakeup with [`Sim::schedule_daemon`], and each
+/// [`fire`](Daemon::fire) returns the next wake time (the simulation
+/// re-schedules it on the same host automatically) or `None` to go
+/// idle. An idle daemon costs nothing until something schedules it
+/// again.
 ///
 /// Implementations typically wrap their mutable state in a `RefCell`;
 /// `fire` must not re-enter [`Sim::advance`].
 pub trait Daemon {
-    /// The next virtual time at which this daemon wants to run, or
-    /// `None` if it is currently idle.
-    fn next_due(&self) -> Option<SimTime>;
-    /// Run the daemon's work at virtual time `now`.
-    fn fire(&self, now: SimTime);
+    /// Run the daemon's work at virtual time `now` and return the next
+    /// virtual time it wants to run, or `None` to go idle.
+    fn fire(&self, now: SimTime) -> Option<SimTime>;
     /// Short name used in diagnostics.
     fn name(&self) -> &str {
         "daemon"
@@ -70,7 +76,8 @@ pub trait Daemon {
 /// an overview.
 pub struct Sim {
     now: Cell<u64>,
-    daemons: RefCell<Vec<Weak<dyn Daemon>>>,
+    /// Pending daemon wakeups, drained in `(time, host, seq)` order.
+    events: RefCell<EventQueue<Weak<dyn Daemon>>>,
     rng: RefCell<SplitMix64>,
     counters: Counters,
     metrics: Metrics,
@@ -83,7 +90,7 @@ impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now())
-            .field("daemons", &self.daemons.borrow().len())
+            .field("pending_events", &self.events.borrow().len())
             .finish()
     }
 }
@@ -97,10 +104,10 @@ impl Sim {
         tracer.set_seed(seed);
         Rc::new(Sim {
             now: Cell::new(0),
-            // A full testbed registers a handful of daemons (journal
-            // commit, write-back, cache reaper, ...); pre-size so
-            // registration never reallocates mid-run.
-            daemons: RefCell::new(Vec::with_capacity(16)),
+            // A full testbed keeps a handful of timers in flight
+            // (journal commit, write-back, gauge sampling, ...);
+            // pre-size so arming them never reallocates mid-run.
+            events: RefCell::new(EventQueue::with_capacity(16)),
             rng: RefCell::new(SplitMix64::new(seed)),
             counters: Counters::new(),
             metrics: Metrics::new(),
@@ -143,14 +150,38 @@ impl Sim {
         self.rng.borrow_mut().below(bound)
     }
 
-    /// Registers a daemon. The simulation holds only a weak reference,
-    /// so dropping the component unregisters it automatically.
-    pub fn register_daemon(&self, d: Weak<dyn Daemon>) {
-        self.daemons.borrow_mut().push(d);
+    /// Schedules a daemon wakeup at virtual time `at`, attributed to
+    /// `host` for equal-time ordering (see [`events::EventKey`]). The
+    /// simulation holds only a weak reference, so dropping the
+    /// component cancels its pending wakeups automatically. When the
+    /// event fires, the value [`Daemon::fire`] returns re-schedules
+    /// the daemon on the same host; returning `None` idles it.
+    pub fn schedule_daemon(&self, at: SimTime, host: HostId, d: Weak<dyn Daemon>) -> EventId {
+        self.events.borrow_mut().schedule(at, host, d)
     }
 
-    /// Advances virtual time by `dt`, firing any daemons that come due
-    /// in the interval, in timestamp order.
+    /// Cancels a pending wakeup scheduled with
+    /// [`schedule_daemon`](Sim::schedule_daemon). Returns whether the
+    /// handle still named a live event.
+    pub fn cancel_event(&self, id: EventId) -> bool {
+        self.events.borrow_mut().cancel(id).is_some()
+    }
+
+    /// Number of pending daemon wakeups (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Lifetime activity counters of the event calendar (the
+    /// `event_bench` binary reports these).
+    pub fn event_stats(&self) -> EventQueueStats {
+        self.events.borrow().stats()
+    }
+
+    /// Advances virtual time by `dt`, draining the event calendar:
+    /// every wakeup due in the interval fires in `(time, host, seq)`
+    /// order, and a daemon that returns a next wake time is
+    /// re-scheduled before the drain continues.
     ///
     /// # Panics
     ///
@@ -161,7 +192,21 @@ impl Sim {
             "Sim::advance called re-entrantly from a daemon"
         );
         let target = self.now.get() + dt.as_nanos();
-        while let Some((t, daemon)) = self.earliest_due(target) {
+        loop {
+            // The borrow must not be held across `fire`: daemons may
+            // schedule further events.
+            let popped = self
+                .events
+                .borrow_mut()
+                .pop_due(SimTime::from_nanos(target));
+            let Some((key, weak)) = popped else { break };
+            let Some(daemon) = weak.upgrade() else {
+                continue; // component dropped; its wakeup dies with it
+            };
+            // An event scheduled in the past (e.g. armed before a
+            // snapshot epoch shift) fires "now": the clock never runs
+            // backwards.
+            let t = key.time.as_nanos().max(self.now.get());
             self.now.set(t);
             self.advancing.set(true);
             // Daemon work is causally unrelated to whichever request is
@@ -169,9 +214,13 @@ impl Sim {
             // so daemon-recorded spans become roots of their own traces
             // instead of nesting under the foreground operation.
             self.tracer.shelve_stack();
-            daemon.fire(SimTime::from_nanos(t));
+            let next = daemon.fire(SimTime::from_nanos(t));
             self.tracer.unshelve_stack();
             self.advancing.set(false);
+            if let Some(at) = next {
+                let at = at.max(SimTime::from_nanos(t));
+                self.events.borrow_mut().schedule(at, key.host, weak);
+            }
         }
         self.now.set(target);
     }
@@ -183,25 +232,6 @@ impl Sim {
             self.advance(SimDuration::from_nanos(t.as_nanos() - now));
         }
     }
-
-    /// Finds the earliest daemon due at or before `target`. Cleans up
-    /// dead weak references along the way.
-    fn earliest_due(&self, target: u64) -> Option<(u64, Rc<dyn Daemon>)> {
-        let mut best: Option<(u64, Rc<dyn Daemon>)> = None;
-        let mut daemons = self.daemons.borrow_mut();
-        daemons.retain(|w| w.strong_count() > 0);
-        for w in daemons.iter() {
-            if let Some(d) = w.upgrade() {
-                if let Some(t) = d.next_due() {
-                    let t = t.as_nanos().max(self.now.get());
-                    if t <= target && best.as_ref().is_none_or(|(bt, _)| t < *bt) {
-                        best = Some((t, d));
-                    }
-                }
-            }
-        }
-        best
-    }
 }
 
 #[cfg(test)]
@@ -211,17 +241,13 @@ mod tests {
 
     struct Ticker {
         period: SimDuration,
-        next: Cell<u64>,
         fired: RefCell<Vec<u64>>,
     }
 
     impl Daemon for Ticker {
-        fn next_due(&self) -> Option<SimTime> {
-            Some(SimTime::from_nanos(self.next.get()))
-        }
-        fn fire(&self, now: SimTime) {
+        fn fire(&self, now: SimTime) -> Option<SimTime> {
             self.fired.borrow_mut().push(now.as_nanos());
-            self.next.set(self.next.get() + self.period.as_nanos());
+            Some(now + self.period)
         }
     }
 
@@ -240,10 +266,13 @@ mod tests {
         let sim = Sim::new(1);
         let t = Rc::new(Ticker {
             period: SimDuration::from_secs(5),
-            next: Cell::new(SimDuration::from_secs(5).as_nanos()),
             fired: RefCell::new(Vec::new()),
         });
-        sim.register_daemon(Rc::downgrade(&t) as Weak<dyn Daemon>);
+        sim.schedule_daemon(
+            SimTime::ZERO + SimDuration::from_secs(5),
+            HostId::SERVER,
+            Rc::downgrade(&t) as Weak<dyn Daemon>,
+        );
         sim.advance(SimDuration::from_secs(12));
         assert_eq!(
             *t.fired.borrow(),
@@ -260,19 +289,56 @@ mod tests {
         let sim = Sim::new(1);
         let a = Rc::new(Ticker {
             period: SimDuration::from_secs(3),
-            next: Cell::new(SimDuration::from_secs(3).as_nanos()),
             fired: RefCell::new(Vec::new()),
         });
         let b = Rc::new(Ticker {
             period: SimDuration::from_secs(2),
-            next: Cell::new(SimDuration::from_secs(2).as_nanos()),
             fired: RefCell::new(Vec::new()),
         });
-        sim.register_daemon(Rc::downgrade(&a) as Weak<dyn Daemon>);
-        sim.register_daemon(Rc::downgrade(&b) as Weak<dyn Daemon>);
+        sim.schedule_daemon(
+            SimTime::ZERO + SimDuration::from_secs(3),
+            HostId::SERVER,
+            Rc::downgrade(&a) as Weak<dyn Daemon>,
+        );
+        sim.schedule_daemon(
+            SimTime::ZERO + SimDuration::from_secs(2),
+            HostId::SERVER,
+            Rc::downgrade(&b) as Weak<dyn Daemon>,
+        );
         sim.advance(SimDuration::from_secs(6));
         assert_eq!(a.fired.borrow().len(), 2); // 3s, 6s
         assert_eq!(b.fired.borrow().len(), 3); // 2s, 4s, 6s
+    }
+
+    #[test]
+    fn equal_time_wakeups_fire_in_host_order() {
+        let sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        struct Tag {
+            order: Rc<RefCell<Vec<u16>>>,
+            tag: u16,
+        }
+        impl Daemon for Tag {
+            fn fire(&self, _now: SimTime) -> Option<SimTime> {
+                self.order.borrow_mut().push(self.tag);
+                None
+            }
+        }
+        let at = SimTime::ZERO + SimDuration::from_secs(1);
+        // Scheduled high-host first: pop order must follow hosts, not
+        // insertion.
+        let mk = |tag| {
+            Rc::new(Tag {
+                order: Rc::clone(&order),
+                tag,
+            })
+        };
+        let (d9, d0, d3) = (mk(9), mk(0), mk(3));
+        sim.schedule_daemon(at, HostId(9), Rc::downgrade(&d9) as Weak<dyn Daemon>);
+        sim.schedule_daemon(at, HostId(0), Rc::downgrade(&d0) as Weak<dyn Daemon>);
+        sim.schedule_daemon(at, HostId(3), Rc::downgrade(&d3) as Weak<dyn Daemon>);
+        sim.advance(SimDuration::from_secs(2));
+        assert_eq!(*order.borrow(), vec![0, 3, 9]);
     }
 
     #[test]
@@ -280,13 +346,35 @@ mod tests {
         let sim = Sim::new(1);
         let t = Rc::new(Ticker {
             period: SimDuration::from_secs(1),
-            next: Cell::new(0),
             fired: RefCell::new(Vec::new()),
         });
-        sim.register_daemon(Rc::downgrade(&t) as Weak<dyn Daemon>);
+        sim.schedule_daemon(
+            SimTime::ZERO,
+            HostId::SERVER,
+            Rc::downgrade(&t) as Weak<dyn Daemon>,
+        );
         drop(t);
         // Must not panic or loop: the weak ref is dead.
         sim.advance(SimDuration::from_secs(10));
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn canceled_wakeup_never_fires() {
+        let sim = Sim::new(1);
+        let t = Rc::new(Ticker {
+            period: SimDuration::from_secs(1),
+            fired: RefCell::new(Vec::new()),
+        });
+        let id = sim.schedule_daemon(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            HostId::SERVER,
+            Rc::downgrade(&t) as Weak<dyn Daemon>,
+        );
+        assert!(sim.cancel_event(id));
+        assert!(!sim.cancel_event(id), "second cancel is stale");
+        sim.advance(SimDuration::from_secs(5));
+        assert!(t.fired.borrow().is_empty());
     }
 
     #[test]

@@ -61,6 +61,11 @@ impl HostId {
     /// The (single) server machine.
     pub const SERVER: HostId = HostId(0);
 
+    /// Sentinel for host-independent background activity (the gauge
+    /// sampler). Sorts after every real host, so at equal-time event
+    /// ties machine-owned work fires first.
+    pub const BACKGROUND: HostId = HostId(u16::MAX);
+
     /// Client host `c<i>`.
     pub fn client(i: u32) -> HostId {
         HostId(1 + i as u16)

@@ -1,0 +1,140 @@
+//! Property tests for the discrete-event calendar: the total-order
+//! contract (`(time, host, seq)`), cancel/reschedule stability, and
+//! arena handle hygiene.
+
+use proptest::prelude::*;
+use simkit::{EventId, EventKey, EventQueue, HostId, SimTime};
+use std::collections::BTreeMap;
+
+fn t(ns: u64) -> SimTime {
+    SimTime::from_nanos(ns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equal-time events pop in `(host, seq)` order: hosts ascending,
+    /// and within one host, enqueue order.
+    #[test]
+    fn equal_time_events_pop_in_host_then_seq_order(
+        hosts in prop::collection::vec(0u16..8, 1..40),
+    ) {
+        let mut q = EventQueue::new();
+        let at = t(1_000);
+        for (n, &h) in hosts.iter().enumerate() {
+            q.schedule(at, HostId(h), n);
+        }
+        let mut popped: Vec<(EventKey, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), hosts.len());
+        // Expected: stable sort of enqueue order by host.
+        let mut expected: Vec<usize> = (0..hosts.len()).collect();
+        expected.sort_by_key(|&n| hosts[n]);
+        let got: Vec<usize> = popped.iter().map(|&(_, n)| n).collect();
+        prop_assert_eq!(got, expected);
+        // And the keys themselves are strictly increasing.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    /// Any interleaving of schedule / cancel / reschedule leaves a
+    /// queue that pops exactly the surviving events, in strictly
+    /// increasing key order, matching an ordered-map model.
+    #[test]
+    fn cancel_and_reschedule_preserve_the_total_order(
+        ops in prop::collection::vec((0u8..4, 0u64..5_000, 0u16..5, 0usize..64), 1..120),
+    ) {
+        let mut q = EventQueue::new();
+        let mut handles: Vec<EventId> = Vec::new();
+        let mut model: BTreeMap<EventKey, usize> = BTreeMap::new();
+        let mut tag = 0usize;
+        for (op, time, host, pick) in ops {
+            match op {
+                // Schedule a fresh event.
+                0 | 1 => {
+                    let id = q.schedule(t(time), HostId(host), tag);
+                    model.insert(q.key_of(id).unwrap(), tag);
+                    handles.push(id);
+                    tag += 1;
+                }
+                // Cancel some previously returned handle (possibly
+                // already dead — must be a clean no-op then).
+                2 => {
+                    if let Some(&id) = handles.get(pick % handles.len().max(1)) {
+                        if let Some(key) = q.key_of(id) {
+                            let gone = q.cancel(id).expect("live handle cancels");
+                            prop_assert_eq!(model.remove(&key), Some(gone));
+                        } else {
+                            prop_assert_eq!(q.cancel(id), None);
+                        }
+                    }
+                }
+                // Reschedule: the event re-enters the order under a
+                // fresh seq at the new instant.
+                _ => {
+                    if let Some(&id) = handles.get(pick % handles.len().max(1)) {
+                        if let Some(old_key) = q.key_of(id) {
+                            let new = q.reschedule(id, t(time), HostId(host)).unwrap();
+                            let v = model.remove(&old_key).unwrap();
+                            model.insert(q.key_of(new).unwrap(), v);
+                            handles.push(new);
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+        let mut last: Option<EventKey> = None;
+        for (expect_key, expect_tag) in model {
+            let (key, tagv) = q.pop().expect("model says more events remain");
+            prop_assert_eq!(key, expect_key);
+            prop_assert_eq!(tagv, expect_tag);
+            if let Some(prev) = last {
+                prop_assert!(prev < key, "pop order strictly increases");
+            }
+            last = Some(key);
+        }
+        prop_assert!(q.pop().is_none());
+        prop_assert!(q.is_empty());
+    }
+
+    /// The arena's free list never hands out a handle that aliases a
+    /// live event: every id returned by `schedule` is distinct from
+    /// every id that is live at that moment, and dead handles stay
+    /// dead forever after their slot is recycled.
+    #[test]
+    fn free_list_never_yields_a_live_event_id(
+        ops in prop::collection::vec((0u8..2, 0u64..1_000, 0usize..64), 1..120),
+    ) {
+        let mut q = EventQueue::new();
+        let mut live: Vec<EventId> = Vec::new();
+        let mut dead: Vec<EventId> = Vec::new();
+        for (op, time, pick) in ops {
+            if op == 0 || live.is_empty() {
+                let id = q.schedule(t(time), HostId::SERVER, ());
+                prop_assert!(
+                    !live.contains(&id),
+                    "schedule returned a handle aliasing a live event"
+                );
+                live.push(id);
+            } else {
+                let id = live.swap_remove(pick % live.len());
+                prop_assert!(q.cancel(id).is_some());
+                dead.push(id);
+            }
+            // Invariants after every op: live handles resolve, dead
+            // handles never do (even once their slot is reused).
+            for id in &live {
+                prop_assert!(q.contains(*id));
+            }
+            for id in &dead {
+                prop_assert!(!q.contains(*id));
+                prop_assert!(q.key_of(*id).is_none());
+            }
+        }
+        prop_assert_eq!(q.len(), live.len());
+    }
+}

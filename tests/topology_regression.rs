@@ -31,7 +31,8 @@
 //! `cpu_busy_ns`. Every byte before those sections — tables,
 //! counters, histograms, CPU accounting — was verified unchanged.
 
-use ipstorage::core::experiments::{macrob, micro};
+use ipstorage::core::experiments::{macrob, micro, scale};
+use ipstorage::core::stepcore::{set_step_core, StepCore};
 use ipstorage::core::{RunReport, Table};
 
 /// Reconstruct the bytes `tables --json` writes for one runner: the
@@ -48,6 +49,26 @@ fn table2_matches_pre_refactor_golden() {
         runner_stdout(&t, &r),
         golden,
         "single-client table2 output drifted from the pre-refactor golden"
+    );
+}
+
+/// Golden re-capture audit for the discrete-event core: the legacy
+/// round-robin stepping loop and the heap-scheduled per-session
+/// wakeup loop must interleave client sessions identically, so the
+/// whole scale report — every per-op counter total, histogram, and
+/// rendered cell — is byte-for-byte the same under both cores on a
+/// fixed seed. This is what licenses keeping the goldens uncaptured
+/// across the event-core switch.
+#[test]
+fn stepping_and_event_cores_agree_byte_for_byte() {
+    let (te, re) = scale::scale_report_with(&[1, 3], 100, 200);
+    set_step_core(StepCore::RoundRobin);
+    let (ts, rs) = scale::scale_report_with(&[1, 3], 100, 200);
+    set_step_core(StepCore::Events);
+    assert_eq!(
+        runner_stdout(&te, &re),
+        runner_stdout(&ts, &rs),
+        "event-core scale report drifted from the round-robin stepping core"
     );
 }
 
