@@ -161,6 +161,18 @@ fn main() {
         println!("{}\n", t.render());
         emit(&r);
     }
+    // Opt-in like ablations: the default run stays byte-identical to
+    // the pipe-only goldens even with the TCP model compiled in.
+    if want("tcp") && !selected.is_empty() {
+        let (rtts, mb): (&[u64], u64) = if quick {
+            (&[10, 90], 4)
+        } else {
+            (&[10, 30, 50, 70, 90], data::FILE_MB)
+        };
+        let (d, r) = data::figure6_tcp_data_report(rtts, mb, 1);
+        println!("{}\n", data::figure6_tcp_table(&d, rtts, mb).render());
+        emit(&r);
+    }
     if want("ablations") && !selected.is_empty() {
         for (t, r) in ipstorage_core::experiments::ablation::all_reports() {
             println!("{}\n", t.render());

@@ -388,3 +388,190 @@ pub fn figure6_plots(data: &[LatencyPoint]) -> (crate::Plot, crate::Plot) {
     }
     (reads, writes)
 }
+
+/// One Figure-6-under-TCP sample: completion time plus the
+/// retransmission evidence the flow model produces on its own.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpLatencyPoint {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Configured round-trip time (ms).
+    pub rtt_ms: u64,
+    /// Sequential-write completion time.
+    pub time: SimDuration,
+    /// RPC-layer duplicate requests (`proto.nfs.retrans`) — the §4.6
+    /// premature-retransmission cliff, emerging here from modeled
+    /// queueing delay rather than an injected jitter parameter.
+    pub rpc_retransmits: u64,
+    /// TCP segments the modeled flows retransmitted after tail drops
+    /// or timeouts (`net.tcp.retx_segs`).
+    pub tcp_retx_segs: u64,
+}
+
+/// **Figure 6 under the modeled TCP transport**: sequential-write
+/// completion vs RTT with [`net::TransportModel::Tcp`] selected, for
+/// NFS v3 and iSCSI. Writes are the interesting direction: the async
+/// write-back pipeline issues bursts back-to-back, so at wide-area
+/// RTTs the bottleneck queue overflows, flows stall in RTO, and the
+/// RPC layer re-sends requests whose replies are merely late — the
+/// paper's §4.6 behaviour, reproduced without any loss parameter.
+pub fn figure6_tcp_data(rtts_ms: &[u64], mb: u64, connections: u32) -> Vec<TcpLatencyPoint> {
+    figure6_tcp_data_into(rtts_ms, mb, connections, None)
+}
+
+/// [`figure6_tcp_data`] plus its machine-readable run report.
+pub fn figure6_tcp_data_report(
+    rtts_ms: &[u64],
+    mb: u64,
+    connections: u32,
+) -> (Vec<TcpLatencyPoint>, RunReport) {
+    let mut rb = ReportBuilder::new("figure6_tcp");
+    let data = figure6_tcp_data_into(rtts_ms, mb, connections, Some(&mut rb));
+    (data, rb.finish())
+}
+
+fn figure6_tcp_data_into(
+    rtts_ms: &[u64],
+    mb: u64,
+    connections: u32,
+    mut rb: Option<&mut ReportBuilder>,
+) -> Vec<TcpLatencyPoint> {
+    let mut cells: Vec<(u64, Protocol)> = Vec::new();
+    for &rtt in rtts_ms {
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            cells.push((rtt, proto));
+        }
+    }
+    // Setup is shared with the pipe-model Figure 6: the key tags the
+    // *default* config, and both the WAN RTT and the transport model
+    // are measure-phase knobs applied when the cell forks.
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    let results = sweep.run(cells.len(), |cell| {
+        let (rtt, proto) = cells[cell.index];
+        let cfg = TestbedConfig::new(proto);
+        let key = SetupKey::for_config(&cfg, "data:blank");
+        let tb = snapshot_cell_with(
+            snaps,
+            key,
+            cell.seed,
+            |c| {
+                c.link = net::LinkParams::wan(SimDuration::from_millis(rtt))
+                    .with_transport(net::TransportModel::Tcp { connections });
+            },
+            |setup_seed| Testbed::with_protocol_seeded(proto, setup_seed),
+        );
+        let c = tb.sim().counters();
+        let rpc0 = c.get("proto.nfs.retrans");
+        let tcp0 = c.get("net.tcp.retx_segs");
+        let r = write_file(&tb, "/w", mb, Pattern::Sequential);
+        let rpc_retransmits = c.get("proto.nfs.retrans") - rpc0;
+        let tcp_retx_segs = c.get("net.tcp.retx_segs") - tcp0;
+        let mut frag = ReportBuilder::new("");
+        frag.absorb(&tb);
+        (r.time, rpc_retransmits, tcp_retx_segs, frag.finish())
+    });
+    let mut out = Vec::new();
+    for (&(rtt, proto), (time, rpc_retransmits, tcp_retx_segs, frag)) in cells.iter().zip(results) {
+        if let Some(rb) = rb.as_deref_mut() {
+            rb.merge_report(&frag);
+        }
+        out.push(TcpLatencyPoint {
+            protocol: proto,
+            rtt_ms: rtt,
+            time,
+            rpc_retransmits,
+            tcp_retx_segs,
+        });
+    }
+    out
+}
+
+/// Renders already-collected Figure-6-under-TCP data as a table.
+pub fn figure6_tcp_table(data: &[TcpLatencyPoint], rtts_ms: &[u64], mb: u64) -> Table {
+    let mut t = Table::new(
+        format!("Figure 6 under TCP: {mb} MB sequential write vs RTT (modeled flows)"),
+        &[
+            "RTT(ms)",
+            "NFS write",
+            "NFS rpc retrans",
+            "NFS tcp retx",
+            "iSCSI write",
+            "iSCSI tcp retx",
+        ],
+    );
+    for &rtt in rtts_ms {
+        let find = |proto| {
+            data.iter()
+                .find(|p| p.protocol == proto && p.rtt_ms == rtt)
+                .copied()
+        };
+        let nfs = find(Protocol::NfsV3);
+        let scsi = find(Protocol::Iscsi);
+        t.row(&[
+            rtt.to_string(),
+            nfs.map(|p| fmt_secs(p.time)).unwrap_or_default(),
+            nfs.map(|p| p.rpc_retransmits.to_string())
+                .unwrap_or_default(),
+            nfs.map(|p| p.tcp_retx_segs.to_string()).unwrap_or_default(),
+            scsi.map(|p| fmt_secs(p.time)).unwrap_or_default(),
+            scsi.map(|p| p.tcp_retx_segs.to_string())
+                .unwrap_or_default(),
+        ]);
+    }
+    t
+}
+
+/// **Figure 6 under TCP** at the paper's sweep, single connection.
+pub fn figure6_tcp() -> Table {
+    let rtts = [10, 30, 50, 70, 90];
+    let data = figure6_tcp_data(&rtts, FILE_MB, 1);
+    figure6_tcp_table(&data, &rtts, FILE_MB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_sweep_retransmits_emerge_at_wide_area_rtt() {
+        // No loss parameter, no injected jitter: at 90 ms the write
+        // bursts overflow the modeled bottleneck queue on their own.
+        let data = figure6_tcp_data(&[90], 8, 1);
+        let nfs = data
+            .iter()
+            .find(|p| p.protocol == Protocol::NfsV3)
+            .expect("nfs cell");
+        assert!(
+            nfs.tcp_retx_segs > 0,
+            "queue overflow must force TCP retransmits at 90 ms"
+        );
+        assert!(
+            nfs.rpc_retransmits > 0,
+            "late replies must trip the RPC timer (§4.6 cliff)"
+        );
+        let scsi = data
+            .iter()
+            .find(|p| p.protocol == Protocol::Iscsi)
+            .expect("iscsi cell");
+        assert!(scsi.time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn pipe_and_tcp_figure6_share_setup_snapshots() {
+        // Both sweeps key setup off the default config, so the blank
+        // write testbed is captured once; the transport is purely a
+        // fork-time knob (this also pins the key-stability contract:
+        // a Pipe-transport LinkParams must render the pre-TCP Debug).
+        let cfg = TestbedConfig::new(Protocol::NfsV3);
+        let key = SetupKey::for_config(&cfg, "data:blank");
+        let mut tcp_cfg = cfg;
+        tcp_cfg.link = net::LinkParams::wan(SimDuration::from_millis(50))
+            .with_transport(net::TransportModel::Tcp { connections: 4 });
+        let tcp_key = SetupKey::for_config(&tcp_cfg, "data:blank");
+        assert_ne!(
+            key, tcp_key,
+            "a TCP-transport config is a different setup identity"
+        );
+    }
+}

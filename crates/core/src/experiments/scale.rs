@@ -41,7 +41,7 @@
 //! flattens — the curve `BENCH_scale.json` records.
 
 use crate::report::{ReportBuilder, RunReport};
-use crate::snapshot::{snapshot_cell, SetupKey, SnapshotCache};
+use crate::snapshot::{snapshot_cell_with, SetupKey, SnapshotCache};
 use crate::stepcore::{step_core, StepCore};
 use crate::sweep::Sweep;
 use crate::table::{fmt_f, Table};
@@ -92,6 +92,10 @@ pub struct ScaleRun {
     /// Cross-client consistency traffic: server GETATTRs (NFS; always
     /// zero for iSCSI, whose LUNs are private).
     pub getattrs: u64,
+    /// TCP segments retransmitted over the transaction phase — always
+    /// zero under the pipe transport, nonzero once the modeled flows
+    /// contend hard enough to overflow the bottleneck queue.
+    pub tcp_retx_segs: u64,
 }
 
 /// Runs one cell: `clients` PostMark sessions interleaved round-robin.
@@ -109,6 +113,33 @@ pub fn scale_run(
         None,
         None,
         &SnapshotCache::new(),
+        None,
+    )
+}
+
+/// [`scale_run`] with the server link overridden at fork time — the
+/// congestion variant. A constrained link under
+/// [`net::TransportModel::Tcp`] makes the N clients' flows contend
+/// for one modeled bottleneck queue, so throughput saturates from
+/// queueing and retransmission rather than the closed-form bandwidth
+/// split. Setup is shared with the uncongested runs: the link is a
+/// measure-phase knob, not part of the snapshot key.
+pub fn scale_run_congested(
+    protocol: Protocol,
+    clients: usize,
+    files: usize,
+    transactions: usize,
+    link: net::LinkParams,
+) -> ScaleRun {
+    scale_run_seeded(
+        protocol,
+        clients,
+        files,
+        transactions,
+        None,
+        None,
+        &SnapshotCache::new(),
+        Some(link),
     )
 }
 
@@ -121,6 +152,7 @@ fn scale_run_seeded(
     seed: Option<u64>,
     rb: Option<&mut ReportBuilder>,
     cache: &SnapshotCache,
+    link: Option<net::LinkParams>,
 ) -> ScaleRun {
     let topo = TopologyConfig::new(protocol).with_clients(clients);
     let seed = seed.unwrap_or(topo.base.seed);
@@ -128,7 +160,12 @@ fn scale_run_seeded(
     // file, identical for every transaction count — all scales fork
     // the same captured topology.
     let key = SetupKey::new(&topo, &format!("scale:files{files}"));
-    let tb = snapshot_cell(cache, key, seed, |setup_seed| {
+    let tweak = move |c: &mut crate::TestbedConfig| {
+        if let Some(l) = link {
+            c.link = l;
+        }
+    };
+    let tb = snapshot_cell_with(cache, key, seed, tweak, |setup_seed| {
         let mut topo = TopologyConfig::new(protocol).with_clients(clients);
         topo.base.seed = setup_seed;
         let tb = Testbed::build_topology(topo);
@@ -265,6 +302,7 @@ fn scale_run_seeded(
     let server_busy = tb.server_cpu().total_busy() - busy0;
     let msgs = counters.delta_since(&snap, protocol.txn_counter());
     let getattrs = counters.delta_since(&snap, "nfs.server.proc.getattr");
+    let tcp_retx_segs = counters.delta_since(&snap, "net.tcp.retx_segs");
     if let Some(rb) = rb {
         rb.absorb(&tb);
     }
@@ -293,6 +331,7 @@ fn scale_run_seeded(
         msgs_per_client: msgs / clients as u64,
         p95_us: latency.iter().map(|h| h.quantile(0.95)).max().unwrap_or(0),
         getattrs,
+        tcp_retx_segs,
     }
 }
 
@@ -352,6 +391,7 @@ pub fn scale_report_jobs(
             Some(cell.seed),
             Some(&mut frag),
             snaps,
+            None,
         );
         (r, frag.finish())
     });
@@ -399,7 +439,49 @@ pub fn scale_curve(client_counts: &[usize], files: usize, transactions: usize) -
     let snaps = sweep.snapshots();
     sweep.run_with_costs(cells.len(), &costs, |cell| {
         let (n, proto) = cells[cell.index];
-        scale_run_seeded(proto, n, files, transactions, Some(cell.seed), None, snaps)
+        scale_run_seeded(
+            proto,
+            n,
+            files,
+            transactions,
+            Some(cell.seed),
+            None,
+            snaps,
+            None,
+        )
+    })
+}
+
+/// [`scale_curve`] under a congested link: every cell forks the same
+/// setup snapshots as the uncongested curve, then measures with the
+/// overridden link (the `tcp_bench` binary's MC/S comparison).
+pub fn scale_curve_congested(
+    client_counts: &[usize],
+    files: usize,
+    transactions: usize,
+    link: net::LinkParams,
+) -> Vec<ScaleRun> {
+    let mut cells: Vec<(usize, Protocol)> = Vec::new();
+    for &n in client_counts {
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            cells.push((n, proto));
+        }
+    }
+    let costs: Vec<u64> = cells.iter().map(|&(n, _)| n as u64).collect();
+    let sweep = Sweep::new();
+    let snaps = sweep.snapshots();
+    sweep.run_with_costs(cells.len(), &costs, |cell| {
+        let (n, proto) = cells[cell.index];
+        scale_run_seeded(
+            proto,
+            n,
+            files,
+            transactions,
+            Some(cell.seed),
+            None,
+            snaps,
+            Some(link),
+        )
     })
 }
 
@@ -436,6 +518,28 @@ mod tests {
     }
 
     #[test]
+    fn congested_scale_runs_and_mcs_changes_iscsi_throughput() {
+        let link = |conns| {
+            net::LinkParams::wan(SimDuration::from_millis(20))
+                .with_transport(net::TransportModel::Tcp { connections: conns })
+        };
+        let plain = scale_run(Protocol::Iscsi, 2, 50, 100);
+        let one = scale_run_congested(Protocol::Iscsi, 2, 50, 100, link(1));
+        let four = scale_run_congested(Protocol::Iscsi, 2, 50, 100, link(4));
+        assert_eq!(plain.tcp_retx_segs, 0, "the pipe model never drops");
+        assert!(one.ops_per_sec > 0.0 && four.ops_per_sec > 0.0);
+        assert!(
+            one.tcp_retx_segs > 0,
+            "contending flows must overflow the bottleneck queue"
+        );
+        assert_ne!(
+            one.tcp_retx_segs, four.tcp_retx_segs,
+            "MC/S allegiance must change the congestion response"
+        );
+        assert!(one.completion > plain.completion, "congestion costs time");
+    }
+
+    #[test]
     fn report_carries_per_host_latency_histograms() {
         let mut rb = ReportBuilder::new("t");
         scale_run_seeded(
@@ -446,6 +550,7 @@ mod tests {
             None,
             Some(&mut rb),
             &SnapshotCache::new(),
+            None,
         );
         let rep = rb.finish();
         assert!(rep.histograms.contains_key("scale.c0.txn"));

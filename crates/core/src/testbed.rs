@@ -305,11 +305,11 @@ impl Testbed {
             Some(version) => {
                 let fs = Self::server_fs(&sim, raid, remount);
                 let server = Rc::new(NfsServer::new(fs, server_cpu.clone(), config.cost));
+                let cfg = Self::nfs_config(&config, version, 0);
                 let rpcc = RpcClient::new(
-                    network.channel("nfs", version.transport()),
+                    network.channel_flows("nfs", version.transport(), Some(cfg.nconnect)),
                     RpcConfig::default(),
                 );
-                let cfg = Self::nfs_config(&config, version, 0);
                 let client = Rc::new(NfsClient::new(
                     sim.clone(),
                     rpcc,
@@ -335,7 +335,11 @@ impl Testbed {
                 let target = Rc::new(Target::new(charged));
                 let initiator =
                     Initiator::new(network.channel("iscsi", net::Transport::Tcp), target);
-                let disk = Rc::new(initiator.login(SessionParams::default()).expect("login"));
+                let disk = Rc::new(
+                    initiator
+                        .login(Self::session_params(&config))
+                        .expect("login"),
+                );
                 let fs = Rc::new(Self::client_fs_init(
                     &sim,
                     disk,
@@ -425,11 +429,15 @@ impl Testbed {
                         let name = format!("c{i}");
                         let cpu = Rc::new(CpuAccount::new());
                         cpu.instrument(sim.clone(), HostId::client(i as u32));
+                        let cfg = Self::nfs_config(&config, version, i as u32);
                         let rpcc = RpcClient::new(
-                            fabric.host(&name).channel("nfs", version.transport()),
+                            fabric.host(&name).channel_flows(
+                                "nfs",
+                                version.transport(),
+                                Some(cfg.nconnect),
+                            ),
                             RpcConfig::default(),
                         );
-                        let cfg = Self::nfs_config(&config, version, i as u32);
                         let client = Rc::new(NfsClient::new(
                             sim.clone(),
                             rpcc,
@@ -485,7 +493,7 @@ impl Testbed {
                         );
                         let disk = Rc::new(
                             initiator
-                                .login_lun(SessionParams::default(), i as u32)
+                                .login_lun(Self::session_params(&config), i as u32)
                                 .expect("login"),
                         );
                         let fs = Rc::new(Self::client_fs_init(
@@ -774,7 +782,21 @@ impl Testbed {
             cfg.timeouts.metadata = t;
         }
         cfg.client_id = client_id;
+        // Under the modeled TCP transport the mount opens one flow per
+        // link-level connection (nconnect); the pipe model reports 1,
+        // leaving the paper-era single-connection mount untouched.
+        cfg.nconnect = config.link.transport.connections();
         cfg
+    }
+
+    /// iSCSI session parameters for the configured link: under the TCP
+    /// transport model MC/S opens one connection per modeled flow, so
+    /// the session's connection count follows the link's.
+    fn session_params(config: &TestbedConfig) -> SessionParams {
+        SessionParams {
+            connections: config.link.transport.connections(),
+            ..SessionParams::default()
+        }
     }
 
     /// Client-side ext3 options with the config's overrides applied.

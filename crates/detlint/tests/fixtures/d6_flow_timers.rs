@@ -1,0 +1,27 @@
+//! Fixture: D6 in the congestion model's shape — per-flow retransmit
+//! timers heaped on bare `SimTime`. Two flows arming an RTO at the
+//! same deadline would then fire in heap-internal order, which nothing
+//! pins down run to run; `net::tcp` keys every segment completion and
+//! timer through `simkit::events::EventKey` `(time, host, seq)`
+//! exactly to break that tie.
+
+use simkit::events::EventKey;
+use simkit::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+pub struct BadFlowTimers {
+    rto_deadlines: BinaryHeap<Reverse<(SimTime, u32)>>,
+}
+
+pub fn bad_arm_rto() {
+    let mut timers: BinaryHeap<Reverse<SimTime>> = BinaryHeap::new();
+    timers.push(Reverse(SimTime::from_nanos(1)));
+    let _ = timers.pop();
+}
+
+/// The sanctioned shape, as the TCP model schedules completions: the
+/// key carries the full `(time, host, seq)` tie-break.
+pub struct GoodFlowTimers {
+    deadlines: BinaryHeap<Reverse<(EventKey, u32)>>,
+}

@@ -120,6 +120,18 @@ fn d6_flags_simtime_keyed_heaps_but_not_the_eventkey_wrapper() {
 }
 
 #[test]
+fn d6_flags_flow_timer_heaps_but_not_eventkey_deadlines() {
+    // The congestion model's temptation case: per-flow RTO deadlines
+    // heaped on bare `SimTime` (the struct field and the inline heap
+    // in `bad_arm_rto`) — and nothing for the EventKey-keyed shape
+    // `net::tcp` actually uses.
+    assert_eq!(
+        findings("d6_flow_timers.rs"),
+        vec![(Lint::D6, 14), (Lint::D6, 18)]
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     assert_eq!(findings("clean.rs"), vec![]);
 }
@@ -188,6 +200,7 @@ fn binary_exits_nonzero_on_fixture_violations() {
         "d4_thread_spawn.rs",
         "d5_float_accumulation.rs",
         "d6_unordered_event_keys.rs",
+        "d6_flow_timers.rs",
         "allow_suppressed.rs",
     ] {
         assert!(

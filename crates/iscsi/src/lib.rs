@@ -459,12 +459,27 @@ impl RemoteDisk {
         if remaining > 0 && self.params.initial_r2t {
             wire += send_accounted(&self.chan, BHS_LEN as u64); // R2T
         }
+        let mut out_burst = 0u64;
         while remaining > 0 {
             let chunk = remaining.min(seg);
-            // Multiple connections drain data-out PDUs in parallel.
-            wire += p.serialize(BHS_LEN as u64 + chunk as u64) / conns;
+            if self.chan.tcp_modeled() {
+                // MC/S under the flow model: the PDU stream is striped
+                // across the session's connections below (one burst
+                // through every flow's congestion window), so only the
+                // bytes are gathered here.
+                out_burst += BHS_LEN as u64 + chunk as u64;
+            } else {
+                // Pipe model: multiple connections drain data-out PDUs
+                // in parallel.
+                wire += p.serialize(BHS_LEN as u64 + chunk as u64) / conns;
+            }
             self.account_bytes(BHS_LEN as u64 + chunk as u64);
             remaining -= chunk;
+        }
+        if out_burst > 0 {
+            if let Some(d) = self.chan.tcp_burst(out_burst, net::Direction::Up) {
+                wire += d;
+            }
         }
 
         // Target executes the command.
@@ -504,8 +519,28 @@ impl RemoteDisk {
         };
         let mut data_len = data_in_total;
         if data_len == 0 {
-            wire += p.one_way(BHS_LEN as u64); // status-only response
+            // Status-only response.
+            wire += match self.chan.tcp_burst(BHS_LEN as u64, net::Direction::Down) {
+                Some(d) => d,
+                None => p.one_way(BHS_LEN as u64),
+            };
             self.account_bytes(BHS_LEN as u64);
+        } else if self.chan.tcp_modeled() {
+            // The whole data-in sequence is one striped burst across
+            // the session's connections: each flow carries every
+            // conns-th segment through its own window, all contending
+            // for the shared bottleneck queue.
+            let mut in_burst = 0u64;
+            while data_len > 0 {
+                let chunk = data_len.min(seg);
+                let bytes = BHS_LEN as u64 + chunk as u64;
+                in_burst += bytes;
+                self.account_bytes(bytes);
+                data_len -= chunk;
+            }
+            if let Some(d) = self.chan.tcp_burst(in_burst, net::Direction::Down) {
+                wire += d;
+            }
         } else {
             let mut first = true;
             while data_len > 0 {
@@ -975,6 +1010,32 @@ mod session_tests {
         let one = run(1);
         let four = run(4);
         assert!(four < one, "MC/S must cut data-phase time: {four} !< {one}");
+    }
+
+    #[test]
+    fn mcs_changes_timing_under_tcp_model() {
+        // Under the modeled transport a 1 MiB read at 60 ms RTT spans
+        // many congestion windows; striping the data-in PDUs across
+        // four connections must land on different flow state than one.
+        let run = |conns| {
+            let sim = Sim::new(21);
+            let link = LinkParams::wan(simkit::SimDuration::from_millis(60))
+                .with_transport(net::TransportModel::Tcp { connections: conns });
+            let netw = Network::new(sim.clone(), link);
+            let target = Rc::new(Target::new(Rc::new(MemDisk::new("lun0", 8192))));
+            let init = Initiator::new(netw.channel("iscsi", Transport::Tcp), target);
+            let d = init
+                .login(SessionParams {
+                    connections: conns,
+                    ..SessionParams::default()
+                })
+                .unwrap();
+            let mut buf = vec![0u8; 256 * BLOCK_SIZE];
+            d.read(0, 256, &mut buf).unwrap().time
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_ne!(one, four, "MC/S must change modeled transfer timing");
     }
 
     #[test]

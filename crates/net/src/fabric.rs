@@ -37,6 +37,7 @@
 //! assert_eq!(sim.counters().get("net.nfs.msgs"), 4); // layered total
 //! ```
 
+use crate::tcp::TcpLink;
 use crate::{LinkParams, Network, Sniffer};
 use simkit::{Sim, SimDuration};
 use std::cell::{Cell, RefCell};
@@ -78,6 +79,10 @@ pub struct Fabric {
     sim: Rc<Sim>,
     base: Cell<LinkParams>,
     share: Rc<LinkShare>,
+    /// One bottleneck queue pair for the whole fabric: under the TCP
+    /// model every host's flows contend for the same server port
+    /// queues, which is where cross-client congestion comes from.
+    tcp_link: Rc<TcpLink>,
     hosts: RefCell<Vec<(String, Rc<Network>)>>,
 }
 
@@ -94,8 +99,15 @@ impl Fabric {
             sim,
             base: Cell::new(params),
             share: LinkShare::new(),
+            tcp_link: TcpLink::new(),
             hosts: RefCell::new(Vec::new()),
         })
+    }
+
+    /// The server-side TCP bottleneck shared by every endpoint (idle
+    /// unless the TCP transport model is selected).
+    pub fn tcp_link(&self) -> &Rc<TcpLink> {
+        &self.tcp_link
     }
 
     /// The shared simulation context.
@@ -131,6 +143,7 @@ impl Fabric {
             self.base.get(),
             name.to_string(),
             Rc::clone(&self.share),
+            Rc::clone(&self.tcp_link),
         );
         self.hosts
             .borrow_mut()

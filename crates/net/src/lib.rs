@@ -31,12 +31,15 @@
 
 pub mod fabric;
 pub mod sniffer;
+pub mod tcp;
 
 pub use fabric::{Fabric, LinkShare};
-pub use sniffer::{PacketRecord, Sniffer};
+pub use sniffer::{PacketRecord, SegKind, Sniffer};
+pub use tcp::{Direction, TcpEndpoint, TcpLink, Transfer, TransportModel};
 
 use simkit::{Sim, SimDuration};
 use std::cell::{Cell, RefCell};
+use std::fmt;
 use std::rc::Rc;
 
 /// Transport used by a channel. The distinction matters for the RPC
@@ -63,7 +66,7 @@ impl Transport {
 }
 
 /// Physical parameters of the simulated link.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct LinkParams {
     /// Round-trip time (propagation only, both directions).
     pub rtt: SimDuration,
@@ -72,6 +75,29 @@ pub struct LinkParams {
     /// Probability in `[0, 1)` that a message is lost (UDP only; TCP
     /// masks loss as latency). Zero on the paper's isolated LAN.
     pub loss: f64,
+    /// How transfer timing is modeled: the default closed-form pipe,
+    /// or event-scheduled TCP flows with congestion ([`tcp`]).
+    pub transport: TransportModel,
+}
+
+/// Hand-rolled so the rendering is byte-identical to the pre-TCP
+/// derived output whenever the default pipe model is selected. The
+/// snapshot cache's `SetupKey` embeds `{:?}` of the testbed config —
+/// which contains this struct — and seeds every setup RNG from a hash
+/// of that string, so a new field appearing unconditionally would
+/// silently reseed (and break) every golden. The `transport` field is
+/// printed only when it deviates from the default.
+impl fmt::Debug for LinkParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("LinkParams");
+        s.field("rtt", &self.rtt)
+            .field("bandwidth_bps", &self.bandwidth_bps)
+            .field("loss", &self.loss);
+        if self.transport != TransportModel::Pipe {
+            s.field("transport", &self.transport);
+        }
+        s.finish()
+    }
 }
 
 impl LinkParams {
@@ -82,6 +108,7 @@ impl LinkParams {
             rtt: SimDuration::from_micros(200),
             bandwidth_bps: 1_000_000_000,
             loss: 0.0,
+            transport: TransportModel::Pipe,
         }
     }
 
@@ -92,7 +119,15 @@ impl LinkParams {
             rtt,
             bandwidth_bps: 1_000_000_000,
             loss: 0.0,
+            transport: TransportModel::Pipe,
         }
+    }
+
+    /// The same link under a different transport model (the opt-in
+    /// switch for [`TransportModel::Tcp`]).
+    pub fn with_transport(mut self, transport: TransportModel) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Checks the link invariants. `loss` must be a probability in
@@ -139,6 +174,15 @@ pub struct Network {
     /// Server-side link shared with the fabric's other endpoints;
     /// effective bandwidth is the base divided by the active count.
     share: Option<Rc<LinkShare>>,
+    /// Transport model every channel on this link uses (fixed at
+    /// construction; the NISTNet knobs above do not change it).
+    transport: TransportModel,
+    /// Bottleneck queue pair for the TCP model. On a fabric endpoint
+    /// this is the *fabric's* shared link, so all hosts contend for
+    /// the same server port queue; a point-to-point network owns its
+    /// own. Always present (two idle cells) so channels can be opened
+    /// before any transport decision matters.
+    tcp_link: Rc<TcpLink>,
     /// Optional passive tap (the paper's Ethereal).
     sniffer: RefCell<Option<Rc<Sniffer>>>,
 }
@@ -158,6 +202,8 @@ impl Network {
             loss: Cell::new(params.loss),
             host: None,
             share: None,
+            transport: params.transport,
+            tcp_link: TcpLink::new(),
             sniffer: RefCell::new(None),
         })
     }
@@ -171,6 +217,7 @@ impl Network {
         params: LinkParams,
         host: String,
         share: Rc<LinkShare>,
+        tcp_link: Rc<TcpLink>,
     ) -> Rc<Self> {
         params.validate();
         Rc::new(Network {
@@ -180,6 +227,8 @@ impl Network {
             loss: Cell::new(params.loss),
             host: Some(host),
             share: Some(share),
+            transport: params.transport,
+            tcp_link,
             sniffer: RefCell::new(None),
         })
     }
@@ -198,7 +247,19 @@ impl Network {
             rtt: self.rtt.get(),
             bandwidth_bps: self.bandwidth_bps.get() / contenders as u64,
             loss: self.loss.get(),
+            transport: self.transport,
         }
+    }
+
+    /// The transport model channels on this link use.
+    pub fn transport_model(&self) -> TransportModel {
+        self.transport
+    }
+
+    /// The TCP bottleneck queue pair (shared fabric-wide on fabric
+    /// endpoints). Idle unless the TCP model is selected.
+    pub fn tcp_link(&self) -> &Rc<TcpLink> {
+        &self.tcp_link
     }
 
     /// Reconfigures the round-trip time (the NISTNet knob).
@@ -230,6 +291,21 @@ impl Network {
     /// Opens an accounting channel. The label appears in counter names
     /// (`net.<label>.msgs`, `net.<label>.bytes`).
     pub fn channel(self: &Rc<Self>, label: impl Into<String>, transport: Transport) -> Channel {
+        self.channel_flows(label, transport, None)
+    }
+
+    /// Like [`Network::channel`], but with an explicit flow count for
+    /// the TCP model: `flows` overrides the link-level connection
+    /// count (the NFS `nconnect` mount option, which picks a flow
+    /// count per mount rather than per link). `None` inherits the
+    /// link's count; the override is ignored entirely under
+    /// [`TransportModel::Pipe`].
+    pub fn channel_flows(
+        self: &Rc<Self>,
+        label: impl Into<String>,
+        transport: Transport,
+        flows: Option<u32>,
+    ) -> Channel {
         let label = label.into();
         let c = self.sim.counters();
         // Counter names are formatted once here; the per-message path
@@ -248,6 +324,16 @@ impl Network {
                 c.handle(&format!("net.{h}.{label}.bytes")),
             )
         });
+        // Under the TCP model, stream-transport channels get their own
+        // flow set over the shared bottleneck (UDP channels keep the
+        // closed form: the flow machinery models TCP's window, which a
+        // datagram transport does not have).
+        let tcp = match (transport, self.transport) {
+            (Transport::Tcp, TransportModel::Tcp { connections }) => Some(Rc::new(
+                TcpEndpoint::new(Rc::clone(&self.tcp_link), flows.unwrap_or(connections)),
+            )),
+            _ => None,
+        };
         Channel {
             net: Rc::clone(self),
             label,
@@ -257,6 +343,7 @@ impl Network {
             total_msgs,
             total_bytes,
             host,
+            tcp,
         }
     }
 }
@@ -273,6 +360,9 @@ pub struct Channel {
     total_bytes: simkit::CounterHandle,
     /// `(msgs, bytes)` under `net.<host>.<label>.*` on fabric endpoints.
     host: Option<(simkit::CounterHandle, simkit::CounterHandle)>,
+    /// Congestion-modeled flows when the link selects
+    /// [`TransportModel::Tcp`] and this channel is stream transport.
+    tcp: Option<Rc<TcpEndpoint>>,
 }
 
 /// Outcome of an unreliable send.
@@ -327,11 +417,79 @@ impl Channel {
         }
     }
 
+    /// Whether this channel's timing is modeled by TCP flows instead
+    /// of the closed-form pipe.
+    pub fn tcp_modeled(&self) -> bool {
+        self.tcp.is_some()
+    }
+
+    /// The channel's flow set, when TCP-modeled.
+    pub fn tcp_endpoint(&self) -> Option<&Rc<TcpEndpoint>> {
+        self.tcp.as_ref()
+    }
+
+    /// Folds one modeled transfer's loss-recovery traffic into the
+    /// books: retransmitted wire bytes join the byte counters (they
+    /// crossed the link), and the sniffer tags the segments with
+    /// their [`SegKind`] so a capture can separate goodput from
+    /// recovery.
+    fn tcp_account(&self, t: &tcp::Transfer) {
+        if t.retrans_segments > 0 {
+            self.account_extra_bytes(t.retrans_bytes);
+            let c = self.net.sim.counters();
+            c.add("net.tcp.retx_segs", t.retrans_segments);
+            c.add(&format!("net.{}.retx_segs", self.label), t.retrans_segments);
+        }
+        if t.dup_acks > 0 {
+            self.net.sim.counters().add("net.tcp.dup_acks", t.dup_acks);
+        }
+        if let Some(s) = self.net.sniffer.borrow().as_ref() {
+            let now = self.net.sim.now();
+            for _ in 0..t.retrans_segments {
+                s.observe_kind(now, &self.label, tcp::MSS, SegKind::Retransmit);
+            }
+            for _ in 0..t.dup_acks {
+                s.observe_kind(now, &self.label, 0, SegKind::DupAck);
+            }
+        }
+    }
+
+    /// Models one leg on a specific flow and books its recovery
+    /// traffic.
+    fn tcp_leg(
+        &self,
+        ep: &TcpEndpoint,
+        at: simkit::SimTime,
+        payload: u64,
+        dir: Direction,
+        flow: usize,
+    ) -> SimDuration {
+        let t = ep.transfer_on(&self.net.params(), at, payload, dir, flow);
+        self.tcp_account(&t);
+        t.duration
+    }
+
+    /// Models `bytes` striped across every connection of the channel
+    /// (iSCSI MC/S data phases). Returns `None` on pipe-modeled
+    /// channels, whose callers keep the closed form.
+    pub fn tcp_burst(&self, bytes: u64, dir: Direction) -> Option<SimDuration> {
+        let ep = self.tcp.as_ref()?;
+        let t = ep.transfer_striped(&self.net.params(), self.net.sim.now(), bytes, dir);
+        self.tcp_account(&t);
+        Some(t.duration)
+    }
+
     /// Sends one message of `payload` bytes; returns its fate. TCP
-    /// never reports `Lost` (loss shows up as retransmission latency
-    /// below the transport, which we fold into serialization).
+    /// never reports `Lost` (under the pipe model loss below the
+    /// transport folds into serialization; under the flow model it is
+    /// retransmitted for real and shows up as latency).
     pub fn send(&self, payload: u64) -> Delivery {
         self.account(payload);
+        if let Some(ep) = &self.tcp {
+            let flow = ep.next_flow();
+            let d = self.tcp_leg(ep, self.net.sim.now(), payload, Direction::Up, flow);
+            return Delivery::Delivered(d);
+        }
         let p = self.net.params();
         if self.transport == Transport::Udp && p.loss > 0.0 {
             let draw = self.net.sim.rng_u64() as f64 / u64::MAX as f64;
@@ -344,10 +502,20 @@ impl Channel {
 
     /// A request-response exchange: two messages, both delivered
     /// (callers needing loss semantics use [`send`](Channel::send)
-    /// twice). Returns the total elapsed time.
+    /// twice). Returns the total elapsed time. Under the TCP model
+    /// both legs ride the same connection (per-connection allegiance);
+    /// successive exchanges rotate round-robin across the channel's
+    /// connections, which is exactly nconnect's dispatch rule.
     pub fn round_trip(&self, request: u64, response: u64) -> SimDuration {
         self.account(request);
         self.account(response);
+        if let Some(ep) = &self.tcp {
+            let flow = ep.next_flow();
+            let now = self.net.sim.now();
+            let d1 = self.tcp_leg(ep, now, request, Direction::Up, flow);
+            let d2 = self.tcp_leg(ep, now + d1, response, Direction::Down, flow);
+            return d1 + d2;
+        }
         let p = self.net.params();
         p.one_way(request + self.transport.header_bytes())
             + p.one_way(response + self.transport.header_bytes())
@@ -355,7 +523,10 @@ impl Channel {
 
     /// Time to stream `bytes` in `nmsgs` back-to-back messages after
     /// an initial half-RTT (used for multi-segment data transfers
-    /// where only the first segment pays propagation).
+    /// where only the first segment pays propagation). Under the TCP
+    /// model the message framing still drives the byte accounting, but
+    /// the timing comes from striping the payload across the channel's
+    /// connections.
     pub fn stream(&self, bytes: u64, nmsgs: u64) -> SimDuration {
         let p = self.net.params();
         // Even segments, with the division remainder carried by the
@@ -369,6 +540,11 @@ impl Channel {
                 0
             };
             self.account(base + tail);
+        }
+        if nmsgs > 0 {
+            if let Some(d) = self.tcp_burst(bytes, Direction::Up) {
+                return d;
+            }
         }
         p.rtt / 2 + p.serialize(bytes + nmsgs * self.transport.header_bytes())
     }

@@ -13,6 +13,21 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Classification of a captured segment. The TCP flow model tags its
+/// loss-recovery traffic so a capture can separate goodput from
+/// retransmissions — the distinction the paper reads off its Ethereal
+/// traces in §4.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SegKind {
+    /// Ordinary first-transmission data (every pipe-model message).
+    #[default]
+    Payload,
+    /// A segment transmitted more than once by a TCP flow.
+    Retransmit,
+    /// A duplicate cumulative ACK (the fast-retransmit trigger).
+    DupAck,
+}
+
 /// One captured message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PacketRecord {
@@ -22,6 +37,8 @@ pub struct PacketRecord {
     pub channel: String,
     /// Payload bytes (headers excluded).
     pub payload: u64,
+    /// What kind of segment this was.
+    pub kind: SegKind,
 }
 
 /// Default capture bound: enough for any micro-benchmark, small
@@ -63,13 +80,17 @@ impl Default for Sniffer {
 /// Per-channel capture summary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChannelSummary {
-    /// Messages captured.
+    /// Messages captured (all kinds).
     pub messages: u64,
-    /// Payload bytes captured.
+    /// Payload bytes captured (all kinds).
     pub bytes: u64,
     /// Messages seen but not recorded because the capture buffer was
     /// full.
     pub dropped: u64,
+    /// Captured records tagged [`SegKind::Retransmit`].
+    pub retransmits: u64,
+    /// Captured records tagged [`SegKind::DupAck`].
+    pub dup_acks: u64,
 }
 
 impl Sniffer {
@@ -103,11 +124,22 @@ impl Sniffer {
         self.capacity.load(Ordering::Relaxed)
     }
 
-    /// Records one message (called by the network layer). The
+    /// Records one ordinary message (called by the network layer). The
     /// record-or-drop decision happens under the capture lock, so the
     /// buffer can never exceed its bound and every message lands in
     /// exactly one of the two tallies even under concurrent observers.
     pub fn observe(&self, at: SimTime, channel: &str, payload: u64) {
+        self.observe_kind(at, channel, payload, SegKind::Payload);
+    }
+
+    /// Records one message with an explicit [`SegKind`] (the TCP flow
+    /// model tags retransmissions and duplicate ACKs). Subject to the
+    /// same capacity bound and drop accounting as [`observe`]
+    /// (tagged segments a full buffer misses are counted dropped like
+    /// any other).
+    ///
+    /// [`observe`]: Sniffer::observe
+    pub fn observe_kind(&self, at: SimTime, channel: &str, payload: u64, kind: SegKind) {
         if !self.enabled.load(Ordering::Relaxed) {
             return;
         }
@@ -125,6 +157,7 @@ impl Sniffer {
             at,
             channel: channel.to_owned(),
             payload,
+            kind,
         });
     }
 
@@ -169,6 +202,11 @@ impl Sniffer {
             let e = out.entry(r.channel.clone()).or_default();
             e.messages += 1;
             e.bytes += r.payload;
+            match r.kind {
+                SegKind::Payload => {}
+                SegKind::Retransmit => e.retransmits += 1,
+                SegKind::DupAck => e.dup_acks += 1,
+            }
         }
         for (chan, &n) in self.dropped.lock().unwrap().iter() {
             out.entry(chan.clone()).or_default().dropped = n;
@@ -250,6 +288,47 @@ mod tests {
         assert_eq!(sum["iscsi"].dropped, 1);
         // The retained records are the earliest ones (newest-lost).
         assert_eq!(s.window(SimTime::ZERO, SimTime::from_nanos(3)).len(), 3);
+    }
+
+    #[test]
+    fn tagged_segments_summarize_by_kind() {
+        let s = Sniffer::new();
+        s.observe(SimTime::from_nanos(1), "nfs", 1000);
+        s.observe_kind(SimTime::from_nanos(2), "nfs", 1460, SegKind::Retransmit);
+        s.observe_kind(SimTime::from_nanos(3), "nfs", 1460, SegKind::Retransmit);
+        s.observe_kind(SimTime::from_nanos(4), "nfs", 0, SegKind::DupAck);
+        let sum = s.summary();
+        assert_eq!(sum["nfs"].messages, 4, "all kinds count as messages");
+        assert_eq!(sum["nfs"].bytes, 1000 + 2 * 1460);
+        assert_eq!(sum["nfs"].retransmits, 2);
+        assert_eq!(sum["nfs"].dup_acks, 1);
+        // Untagged observes default to Payload.
+        let w = s.window(SimTime::ZERO, SimTime::from_nanos(2));
+        assert_eq!(w[0].kind, SegKind::Payload);
+    }
+
+    #[test]
+    fn capacity_bound_applies_to_tagged_kinds_too() {
+        // Regression: the new kinds must obey the same record-or-drop
+        // contract as plain payloads — a full buffer counts them
+        // dropped instead of growing without bound.
+        let s = Sniffer::with_capacity(2);
+        s.observe_kind(SimTime::from_nanos(1), "tcp", 1460, SegKind::Retransmit);
+        s.observe_kind(SimTime::from_nanos(2), "tcp", 0, SegKind::DupAck);
+        s.observe_kind(SimTime::from_nanos(3), "tcp", 1460, SegKind::Retransmit);
+        s.observe_kind(SimTime::from_nanos(4), "other", 0, SegKind::DupAck);
+        assert_eq!(s.len(), 2, "buffer bounded at capacity");
+        assert_eq!(s.dropped(), 2);
+        let sum = s.summary();
+        assert_eq!(sum["tcp"].messages, 2);
+        assert_eq!(sum["tcp"].retransmits, 1);
+        assert_eq!(sum["tcp"].dup_acks, 1);
+        assert_eq!(sum["tcp"].dropped, 1, "third tcp record was dropped");
+        // The all-dropped channel still surfaces, kinds at zero.
+        assert_eq!(sum["other"].messages, 0);
+        assert_eq!(sum["other"].dropped, 1);
+        assert_eq!(sum["other"].retransmits, 0);
+        assert_eq!(sum["other"].dup_acks, 0);
     }
 
     #[test]

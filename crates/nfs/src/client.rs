@@ -59,6 +59,11 @@ pub struct NfsConfig {
     /// multi-host topologies. 0 (the only client) in the paper's
     /// single-client testbed.
     pub client_id: u32,
+    /// TCP connections the mount opens (the Linux `nconnect` mount
+    /// option). Only observable under the modeled TCP transport, where
+    /// the RPC channel round-robins across this many flows; the
+    /// paper-era single-connection mount is `1`.
+    pub nconnect: u32,
 }
 
 impl NfsConfig {
@@ -75,7 +80,15 @@ impl NfsConfig {
             enhancements: Enhancements::default(),
             delegation_batch: 32,
             client_id: 0,
+            nconnect: 1,
         }
+    }
+
+    /// The same configuration mounted with `nconnect` TCP connections.
+    pub fn with_nconnect(mut self, nconnect: u32) -> NfsConfig {
+        assert!(nconnect >= 1, "a mount needs at least one connection");
+        self.nconnect = nconnect;
+        self
     }
 }
 
@@ -197,6 +210,11 @@ impl NfsClient {
     /// The machine this client runs on, for trace attribution.
     pub fn trace_host(&self) -> simkit::HostId {
         simkit::HostId::client(self.cfg.client_id)
+    }
+
+    /// TCP connections this mount opened (`nconnect`).
+    pub fn nconnect(&self) -> u32 {
+        self.cfg.nconnect
     }
 
     /// Pages currently held in the client page cache (gauge probe).

@@ -44,6 +44,28 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+/// Bounds on the retransmission loop, lifted out of the engine so the
+/// figure-6 sweep can vary them (the Linux client's `retrans` mount
+/// option and its capped exponential backoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcTimeoutConfig {
+    /// Maximum duplicate requests per call before the client gives up
+    /// waiting out further RTO intervals.
+    pub max_retransmits: u32,
+    /// Cap on the exponential-backoff shift: the k-th retransmission
+    /// waits `rto * 2^min(k, max_backoff_shift)`.
+    pub max_backoff_shift: u32,
+}
+
+impl Default for RpcTimeoutConfig {
+    fn default() -> Self {
+        RpcTimeoutConfig {
+            max_retransmits: 8,
+            max_backoff_shift: 6,
+        }
+    }
+}
+
 /// Retransmission-timer parameters of the RPC client.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RpcConfig {
@@ -57,9 +79,13 @@ pub struct RpcConfig {
     pub rto_factor: f64,
     /// Relative magnitude of per-call service-time jitter (models
     /// server scheduling and queueing noise that grows with RTT).
+    /// Only used under the pipe transport model; with TCP flows the
+    /// variance comes from modeled queueing and loss recovery.
     pub jitter_frac: f64,
     /// Smoothing gain of the RTT estimator.
     pub srtt_gain: f64,
+    /// Retransmission-loop bounds.
+    pub timeout: RpcTimeoutConfig,
 }
 
 impl Default for RpcConfig {
@@ -70,6 +96,7 @@ impl Default for RpcConfig {
             rto_factor: 1.5,
             jitter_frac: 0.5,
             srtt_gain: 0.125,
+            timeout: RpcTimeoutConfig::default(),
         }
     }
 }
@@ -203,13 +230,22 @@ impl RpcClient {
         self.total_calls.set(self.total_calls.get() + 1);
 
         let wire = self.chan.round_trip(req_bytes, resp_bytes);
-        // Queueing/scheduling noise scales with the base RTT: wide-area
-        // paths see more cross-traffic-induced variance. Exponential
-        // jitter via inverse-CDF on the deterministic sim RNG.
-        let u = (sim.rng_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        let jitter_scale =
-            self.chan.network().params().rtt.as_nanos() as f64 * self.config.jitter_frac;
-        let jitter = SimDuration::from_nanos((-(1.0 - u).ln() * jitter_scale) as u64);
+        // Reply-time estimate. Under the pipe model the wire time is a
+        // closed form, so cross-traffic variance is injected as
+        // parameterized exponential jitter (inverse-CDF on the
+        // deterministic sim RNG). Under the TCP flow model the round
+        // trip above *is* the modeled delivery time — queueing delay,
+        // slow-start rounds, and loss-recovery stalls included — so no
+        // jitter is drawn and premature retransmissions emerge from
+        // the model alone.
+        let jitter = if self.chan.tcp_modeled() {
+            SimDuration::ZERO
+        } else {
+            let u = (sim.rng_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let jitter_scale =
+                self.chan.network().params().rtt.as_nanos() as f64 * self.config.jitter_frac;
+            SimDuration::from_nanos((-(1.0 - u).ln() * jitter_scale) as u64)
+        };
         let reply_at = wire + server_time + jitter;
 
         // Premature retransmissions: every RTO interval that elapses
@@ -218,7 +254,7 @@ impl RpcClient {
         let mut retransmits = 0u32;
         let mut deadline = rto;
         let mut latency = reply_at;
-        while deadline < reply_at && retransmits < 8 {
+        while deadline < reply_at && retransmits < self.config.timeout.max_retransmits {
             retransmits += 1;
             // The duplicate is a full transaction on the wire.
             self.txns.incr();
@@ -226,7 +262,7 @@ impl RpcClient {
             let _ = self.chan.round_trip(req_bytes, resp_bytes);
             // The client ends up waiting for the duplicate's reply too.
             latency += self.chan.network().params().rtt / 2;
-            deadline += rto * 2u64.pow(retransmits.min(6));
+            deadline += rto * 2u64.pow(retransmits.min(self.config.timeout.max_backoff_shift));
         }
         self.total_retransmits
             .set(self.total_retransmits.get() + retransmits as u64);
@@ -387,6 +423,96 @@ mod tests {
         assert!(
             spans[0].end.since(spans[0].start) < out.latency,
             "wire time is a strict part of the call"
+        );
+    }
+
+    #[test]
+    fn timeout_config_caps_retransmissions() {
+        // max_retransmits = 0 silences the engine entirely, whatever
+        // the RTT; the default cap of 8 is what the old hardcoded loop
+        // enforced.
+        let sim = Sim::new(42);
+        let netw = Network::new(sim.clone(), LinkParams::wan(SimDuration::from_millis(90)));
+        let cfg = RpcConfig {
+            timeout: RpcTimeoutConfig {
+                max_retransmits: 0,
+                ..RpcTimeoutConfig::default()
+            },
+            ..RpcConfig::default()
+        };
+        let c = RpcClient::new(netw.channel("nfs", Transport::Tcp), cfg);
+        for _ in 0..500 {
+            let out = c.call("read", 128, 8192, SimDuration::from_micros(100));
+            assert_eq!(out.retransmits, 0);
+        }
+        assert_eq!(sim.counters().get("proto.nfs.retrans"), 0);
+    }
+
+    #[test]
+    fn smaller_backoff_shift_retransmits_more() {
+        // A reply 1 s late against a 100 ms RTO: flat backoff (shift
+        // 0) keeps firing every RTO, while the default doubling covers
+        // the same wait in a few intervals.
+        let count = |shift| {
+            let sim = Sim::new(42);
+            let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
+            let cfg = RpcConfig {
+                timeout: RpcTimeoutConfig {
+                    max_retransmits: 64,
+                    max_backoff_shift: shift,
+                },
+                ..RpcConfig::default()
+            };
+            let c = RpcClient::new(netw.channel("nfs", Transport::Tcp), cfg);
+            c.call("read", 128, 8192, SimDuration::from_secs(1))
+                .retransmits
+        };
+        assert!(count(0) > count(6), "flat backoff fires more duplicates");
+    }
+
+    #[test]
+    fn tcp_model_lan_calls_do_not_retransmit() {
+        // Uncongested LAN under the flow model: modeled delivery is a
+        // handful of microseconds, far under the 100 ms RTO floor.
+        let sim = Sim::new(42);
+        let netw = Network::new(
+            sim.clone(),
+            LinkParams::gigabit_lan().with_transport(net::TransportModel::Tcp { connections: 1 }),
+        );
+        let c = RpcClient::new(netw.channel("nfs", Transport::Tcp), RpcConfig::default());
+        for _ in 0..200 {
+            let out = c.call("read", 128, 8192, SimDuration::from_micros(100));
+            assert_eq!(out.retransmits, 0);
+            sim.advance(out.latency);
+        }
+        assert_eq!(sim.counters().get("proto.nfs.retrans"), 0);
+    }
+
+    #[test]
+    fn tcp_model_congestion_makes_retransmits_emerge() {
+        // Back-to-back calls at one instant (the async write-back
+        // pattern: the clock does not advance between issues) pile the
+        // bottleneck queue up past its capacity; tail drops force the
+        // flows into RTO stalls, the modeled replies arrive long after
+        // the RPC deadline, and duplicates appear — with zero
+        // parameterized jitter anywhere in the path.
+        let sim = Sim::new(42);
+        let netw = Network::new(
+            sim.clone(),
+            LinkParams::wan(SimDuration::from_millis(90))
+                .with_transport(net::TransportModel::Tcp { connections: 1 }),
+        );
+        let c = RpcClient::new(netw.channel("nfs", Transport::Tcp), RpcConfig::default());
+        let mut total = 0u64;
+        for _ in 0..100 {
+            total += c
+                .call("write", 8192, 128, SimDuration::from_micros(100))
+                .retransmits as u64;
+        }
+        assert!(total > 0, "modeled queueing/loss must trip the RPC RTO");
+        assert!(
+            sim.counters().get("net.tcp.retx_segs") > 0,
+            "the stalls come from real segment loss, not injection"
         );
     }
 
