@@ -16,7 +16,7 @@
 //!                           # tables to each runner's output
 //! ```
 
-use ipstorage_core::experiments::{data, enhance, macrob, micro, scale};
+use ipstorage_core::experiments::{data, enhance, frontier, macrob, micro, scale};
 use ipstorage_core::RunReport;
 
 fn main() {
@@ -171,6 +171,17 @@ fn main() {
         };
         let (d, r) = data::figure6_tcp_data_report(rtts, mb, 1);
         println!("{}\n", data::figure6_tcp_table(&d, rtts, mb).render());
+        emit(&r);
+    }
+    // Opt-in: the sharded iso-throughput frontier (N clients over M
+    // server shards at a fixed aggregate transaction budget).
+    if want("frontier") && !selected.is_empty() {
+        let (t, r) = if quick {
+            frontier::frontier_report_with(&[(4, 1), (4, 2), (8, 2), (8, 4)], 100, 2_000)
+        } else {
+            frontier::frontier_report()
+        };
+        println!("{}\n", t.render());
         emit(&r);
     }
     if want("ablations") && !selected.is_empty() {

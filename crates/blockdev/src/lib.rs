@@ -31,12 +31,14 @@ mod diskmodel;
 mod memdisk;
 mod partition;
 mod raid5;
+mod stripe;
 mod writecache;
 
 pub use diskmodel::{DiskModel, DiskParams};
 pub use memdisk::{DiskImage, MemDisk};
 pub use partition::Partition;
 pub use raid5::{Raid5, Raid5Geometry};
+pub use stripe::Stripe;
 pub use writecache::WriteCache;
 
 use simkit::SimDuration;

@@ -1,0 +1,466 @@
+//! The iso-throughput frontier: sharded topologies at fixed aggregate
+//! offered load.
+//!
+//! The scaling experiment ([`super::scale`]) drives N clients into one
+//! server until the shared link or server CPU saturates. This runner
+//! asks the follow-on capacity-planning question: holding the
+//! *aggregate* offered load fixed (a total transaction budget split
+//! evenly across N clients), how does completion time move as the
+//! same load is spread over M server shards? Each (N, M) cell builds
+//! a [`TopologyConfig`] with `servers: M` under
+//! [`ShardPolicy::Static`](crate::ShardPolicy::Static): M independent
+//! server machines — private RAID array, CPU account, file system or
+//! iSCSI target each — behind a two-level fabric (a private edge link
+//! per server, all under a shared core switch).
+//!
+//! # Per-shard snapshot reuse
+//!
+//! Under static sharding, an (N, M) topology is M replicas of one
+//! k-client shard (k = N/M). The runner exploits that: the setup
+//! snapshot is captured once for the *single-shard* k-client topology
+//! and [`Snapshot::fork_sharded`] replicates its images M times — so
+//! a whole frontier sweep builds one setup per distinct shard size k
+//! and forks everything else. The cells (4, 1), (8, 2), (16, 4) all
+//! fork the same k = 4 capture. Cold cost is O(distinct k), not
+//! O(cells), which is what makes thousand-client grids tractable.
+//!
+//! Because every shard resumes from the same images with the same
+//! client-local seeds, shards evolve identically under the overlap
+//! model — global client `i` is local `i / M` on shard `i % M` and
+//! replays that local client's stream. The completion bound below is
+//! therefore the single-shard bound evaluated at k clients, with the
+//! server-busy term taken as the max over shards.
+//!
+//! # The completion bound
+//!
+//! As in [`super::scale`]: per-client demand `T_i` already embeds the
+//! fair share of the client's edge link (M edges now, each split
+//! among its k attached clients, capped by the core), so
+//!
+//! ```text
+//! T(N, M) = max( max_i T_i , max_j server_j CPU busy )
+//! aggregate ops/s = total transactions / T(N, M)
+//! ```
+//!
+//! Spreading a fixed load over more shards shortens the per-shard
+//! demand and divides the server CPU term by M — until the core
+//! switch (when capped) or the per-client protocol overheads floor
+//! the curve.
+
+use crate::report::{ReportBuilder, RunReport};
+use crate::snapshot::{SetupKey, Snapshot, SnapshotCache};
+use crate::stepcore::{step_core, StepCore};
+use crate::sweep::Sweep;
+use crate::table::{fmt_f, Table};
+use crate::{calibration, Protocol, Testbed, TopologyConfig};
+use simkit::{EventQueue, Histogram, HostId, SimDuration};
+use workloads::PostmarkSession;
+
+use super::scale::client_pm;
+
+/// Every how many transactions a shard's writer/pollers touch the
+/// shared file (same pattern as [`super::scale`], one writer per
+/// shard).
+const SHARED_PERIOD: usize = 50;
+
+/// One (protocol, clients, servers) cell of the frontier.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierRun {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Total client hosts N.
+    pub clients: usize,
+    /// Server shards M.
+    pub servers: usize,
+    /// Transactions completed across all clients (the fixed budget).
+    pub transactions: u64,
+    /// Overlap-model completion time `T(N, M)`.
+    pub completion: SimDuration,
+    /// Slowest single client's demand.
+    pub slowest_client: SimDuration,
+    /// Busiest shard's server CPU time over the transaction phase.
+    pub server_busy: SimDuration,
+    /// Aggregate throughput, transactions per second.
+    pub ops_per_sec: f64,
+    /// Busiest shard's CPU utilization at `T(N, M)`, percent.
+    pub server_cpu_pct: f64,
+    /// Protocol messages per client over the transaction phase.
+    pub msgs_per_client: u64,
+}
+
+/// The shard-sized topology a cell's snapshot is captured for: k
+/// clients on one server. iSCSI LUNs are `volume / k`, so the volume
+/// is grown when a large shard would push a LUN below the ext3
+/// minimum (the growth is part of the snapshot key).
+fn shard_topology(protocol: Protocol, shard_clients: usize) -> TopologyConfig {
+    let mut topo = TopologyConfig::new(protocol).with_clients(shard_clients);
+    topo.base.volume_blocks = calibration::VOLUME_BLOCKS.max(shard_clients as u64 * 4096);
+    topo
+}
+
+/// Runs one frontier cell. `transactions` is the *aggregate* budget:
+/// each client runs `max(1, transactions / clients)` of it.
+///
+/// # Panics
+///
+/// Panics if `clients` is not a positive multiple of `servers` (static
+/// shard replication needs equal shards).
+pub fn frontier_run(
+    protocol: Protocol,
+    clients: usize,
+    servers: usize,
+    files: usize,
+    transactions: usize,
+) -> FrontierRun {
+    frontier_run_cached(
+        protocol,
+        clients,
+        servers,
+        files,
+        transactions,
+        &SnapshotCache::new(),
+    )
+}
+
+/// [`frontier_run`] against a caller-owned snapshot cache, so a
+/// sequence of cells can share per-shard setups (benchmarks use this
+/// to separate cold-build from fork-and-run cost).
+pub fn frontier_run_cached(
+    protocol: Protocol,
+    clients: usize,
+    servers: usize,
+    files: usize,
+    transactions: usize,
+    cache: &SnapshotCache,
+) -> FrontierRun {
+    frontier_run_seeded(
+        protocol,
+        clients,
+        servers,
+        files,
+        transactions,
+        None,
+        None,
+        cache,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn frontier_run_seeded(
+    protocol: Protocol,
+    clients: usize,
+    servers: usize,
+    files: usize,
+    transactions: usize,
+    seed: Option<u64>,
+    rb: Option<&mut ReportBuilder>,
+    cache: &SnapshotCache,
+) -> FrontierRun {
+    assert!(servers >= 1, "need at least one server shard");
+    assert!(
+        clients >= servers && clients.is_multiple_of(servers),
+        "static sharding needs clients ({clients}) to be a multiple of servers ({servers})"
+    );
+    let k = clients / servers;
+    let shard = shard_topology(protocol, k);
+    let seed = seed.unwrap_or(shard.base.seed);
+    let per_client = (transactions / clients).max(1);
+
+    // The snapshot is the single k-client shard; every (k·M, M) cell
+    // forks M replicas of it. Setup mirrors scale: per-client pool
+    // plus the shared file, transaction count zeroed (not keyed).
+    let key = SetupKey::new(&shard, &format!("frontier:files{files}"));
+    let snap = cache.get_or_build(&key, |setup_seed| {
+        let mut topo = shard.clone();
+        topo.base.seed = setup_seed;
+        let tb = Testbed::build_topology(topo);
+        tb.set_active_clients(k as u32);
+        for l in 0..k {
+            let mut s = PostmarkSession::new(
+                tb.client_fs(l),
+                &format!("/postmark{l}"),
+                client_pm(files, 0, setup_seed, l),
+            );
+            s.setup().expect("postmark setup");
+            let fs = tb.client_fs(l);
+            match fs.mkdir("/shared") {
+                Ok(()) | Err(ext3::FsError::Exists) => {}
+                Err(e) => panic!("mkdir /shared: {e:?}"),
+            }
+            match fs.creat("/shared/config") {
+                Ok(()) | Err(ext3::FsError::Exists) => {}
+                Err(e) => panic!("creat /shared/config: {e:?}"),
+            }
+        }
+        Snapshot::capture(tb, key.clone())
+    });
+    let tb = snap.fork_sharded(seed, servers, None);
+    tb.set_active_clients(clients as u32);
+    let master = tb.setup_info().expect("forked testbed").setup_seed;
+
+    // Global client i is local i / M on shard i % M: it resumes the
+    // pool the captured shard prepared for that local client, under
+    // that local client's seed.
+    let mut sessions: Vec<PostmarkSession> = (0..clients)
+        .map(|i| {
+            let l = i / servers;
+            let mut s = PostmarkSession::new(
+                tb.client_fs(i),
+                &format!("/postmark{l}"),
+                client_pm(files, per_client, master, l),
+            );
+            s.resume_setup();
+            s
+        })
+        .collect();
+    tb.settle();
+
+    let counters = tb.sim().counters();
+    let snap_ctr = counters.snapshot();
+    let busy0: Vec<SimDuration> = (0..servers)
+        .map(|j| tb.server_cpu_at(j).total_busy())
+        .collect();
+    let mut demand = vec![SimDuration::ZERO; clients];
+    let mut latency = vec![Histogram::new(); clients];
+    // One shared-file offset per shard: each shard's local client 0
+    // (globals 0..M-1) is its writer.
+    let mut shared_off = vec![0u64; servers];
+
+    let mut step_session =
+        |i: usize, sessions: &mut [PostmarkSession], demand: &mut [SimDuration]| {
+            let t0 = tb.now();
+            sessions[i].step().expect("postmark step");
+            if sessions[i].remaining() % SHARED_PERIOD == 0 {
+                let fs = tb.client_fs(i);
+                if i < servers {
+                    let off = &mut shared_off[i];
+                    let fd = fs.open("/shared/config").expect("open shared");
+                    fs.write(fd, *off, &[0x55; 128]).expect("write shared");
+                    fs.close(fd).expect("close shared");
+                    *off += 128;
+                } else {
+                    fs.stat("/shared/config").expect("stat shared");
+                    let fd = fs.open("/shared/config").expect("open shared");
+                    fs.read(fd, 0, 4096).expect("read shared");
+                    fs.close(fd).expect("close shared");
+                }
+            }
+            let d = tb.now().since(t0);
+            demand[i] += d;
+            latency[i].record(d.as_nanos() / 1_000);
+        };
+
+    match step_core() {
+        StepCore::Events => {
+            let mut wakeups: EventQueue<usize> = EventQueue::with_capacity(clients);
+            for (i, s) in sessions.iter().enumerate() {
+                if s.remaining() > 0 {
+                    wakeups.schedule(tb.now(), HostId::client(i as u32), i);
+                }
+            }
+            while let Some((_, i)) = wakeups.pop() {
+                step_session(i, &mut sessions, &mut demand);
+                if sessions[i].remaining() > 0 {
+                    wakeups.schedule(tb.now(), HostId::client(i as u32), i);
+                }
+            }
+        }
+        StepCore::RoundRobin => {
+            let mut live: Vec<usize> = (0..clients)
+                .filter(|&i| sessions[i].remaining() > 0)
+                .collect();
+            while !live.is_empty() {
+                for &i in &live {
+                    step_session(i, &mut sessions, &mut demand);
+                }
+                live.retain(|&i| sessions[i].remaining() > 0);
+            }
+        }
+    }
+    for (i, s) in sessions.iter_mut().enumerate() {
+        let t0 = tb.now();
+        s.teardown().expect("postmark teardown");
+        demand[i] += tb.now().since(t0);
+    }
+    drop(sessions);
+    tb.settle();
+    let server_busy = (0..servers)
+        .map(|j| tb.server_cpu_at(j).total_busy() - busy0[j])
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let msgs = counters.delta_since(&snap_ctr, protocol.txn_counter());
+    if let Some(rb) = rb {
+        rb.absorb(&tb);
+    }
+
+    let slowest_client = demand.iter().copied().max().unwrap_or(SimDuration::ZERO);
+    let completion = slowest_client.max(server_busy);
+    let total_txns = (clients * per_client) as u64;
+    let secs = completion.as_secs_f64();
+    FrontierRun {
+        protocol,
+        clients,
+        servers,
+        transactions: total_txns,
+        completion,
+        slowest_client,
+        server_busy,
+        ops_per_sec: if secs > 0.0 {
+            total_txns as f64 / secs
+        } else {
+            0.0
+        },
+        server_cpu_pct: if secs > 0.0 {
+            100.0 * server_busy.as_secs_f64() / secs
+        } else {
+            0.0
+        },
+        msgs_per_client: msgs / clients as u64,
+    }
+}
+
+/// The frontier over `(clients, servers)` cells, both protocols, as a
+/// rendered table plus the machine-readable report.
+pub fn frontier_report_with(
+    grid: &[(usize, usize)],
+    files: usize,
+    transactions: usize,
+) -> (Table, RunReport) {
+    frontier_report_jobs(grid, files, transactions, Sweep::new().jobs())
+}
+
+/// [`frontier_report_with`] with an explicit sweep worker count; the
+/// output is byte-identical for every `jobs` value.
+pub fn frontier_report_jobs(
+    grid: &[(usize, usize)],
+    files: usize,
+    transactions: usize,
+    jobs: usize,
+) -> (Table, RunReport) {
+    let mut rb = ReportBuilder::new("frontier");
+    let mut t = Table::new(
+        format!("Frontier: {transactions} transactions spread over N clients x M shards"),
+        &[
+            "clients",
+            "servers",
+            "NFSv3 ops/s",
+            "iSCSI ops/s",
+            "NFSv3 srvCPU%",
+            "iSCSI srvCPU%",
+            "NFSv3 msgs/cl",
+            "iSCSI msgs/cl",
+        ],
+    );
+    let mut cells: Vec<(usize, usize, Protocol)> = Vec::new();
+    for &(n, m) in grid {
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            cells.push((n, m, proto));
+        }
+    }
+    let costs: Vec<u64> = cells.iter().map(|&(n, _, _)| n as u64).collect();
+    let sweep = Sweep::with_jobs(jobs);
+    let snaps = sweep.snapshots();
+    let results = sweep.run_with_costs(cells.len(), &costs, |cell| {
+        let (n, m, proto) = cells[cell.index];
+        let mut frag = ReportBuilder::new("");
+        let r = frontier_run_seeded(
+            proto,
+            n,
+            m,
+            files,
+            transactions,
+            Some(cell.seed),
+            Some(&mut frag),
+            snaps,
+        );
+        (r, frag.finish())
+    });
+    let mut runs = Vec::with_capacity(cells.len());
+    for (r, frag) in results {
+        rb.merge_report(&frag);
+        runs.push(r);
+    }
+    for (i, &(n, m)) in grid.iter().enumerate() {
+        let nf = runs[2 * i];
+        let is = runs[2 * i + 1];
+        t.row(&[
+            n.to_string(),
+            m.to_string(),
+            fmt_f(nf.ops_per_sec),
+            fmt_f(is.ops_per_sec),
+            fmt_f(nf.server_cpu_pct),
+            fmt_f(is.server_cpu_pct),
+            nf.msgs_per_client.to_string(),
+            is.msgs_per_client.to_string(),
+        ]);
+    }
+    (t, rb.finish())
+}
+
+/// The default frontier grid: the same N spread over 1, 2, and 4
+/// shards where N divides evenly.
+pub fn frontier_report() -> (Table, RunReport) {
+    frontier_report_with(
+        &[
+            (4, 1),
+            (4, 2),
+            (4, 4),
+            (8, 1),
+            (8, 2),
+            (8, 4),
+            (16, 1),
+            (16, 2),
+            (16, 4),
+        ],
+        200,
+        16_000,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_cell_runs_both_protocols_sharded() {
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            let r = frontier_run(proto, 4, 2, 40, 400);
+            assert_eq!(r.clients, 4);
+            assert_eq!(r.servers, 2);
+            assert_eq!(r.transactions, 400);
+            assert!(r.ops_per_sec > 0.0, "{proto:?} made progress");
+            assert!(r.msgs_per_client > 0);
+            assert_eq!(r.completion, r.slowest_client.max(r.server_busy));
+        }
+    }
+
+    #[test]
+    fn equal_shard_sizes_share_one_snapshot() {
+        let cache = SnapshotCache::new();
+        // (4, 2) and (6, 3) both need a k = 2 shard: one build.
+        frontier_run_seeded(Protocol::NfsV3, 4, 2, 30, 200, None, None, &cache);
+        frontier_run_seeded(Protocol::NfsV3, 6, 3, 30, 200, None, None, &cache);
+        assert_eq!(
+            cache.builds(),
+            1,
+            "per-shard snapshot is reused across cells"
+        );
+        // A different shard size is a different setup.
+        frontier_run_seeded(Protocol::NfsV3, 4, 1, 30, 200, None, None, &cache);
+        assert_eq!(cache.builds(), 2);
+    }
+
+    #[test]
+    fn sharding_divides_the_server_cpu_term() {
+        let cache = SnapshotCache::new();
+        let one = frontier_run_seeded(Protocol::NfsV3, 8, 1, 40, 800, None, None, &cache);
+        let four = frontier_run_seeded(Protocol::NfsV3, 8, 4, 40, 800, None, None, &cache);
+        assert!(
+            four.server_busy < one.server_busy,
+            "busiest shard does a fraction of the single server's work: {:?} vs {:?}",
+            four.server_busy,
+            one.server_busy
+        );
+        assert!(four.completion <= one.completion);
+    }
+}

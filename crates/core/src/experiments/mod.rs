@@ -7,6 +7,7 @@
 pub mod ablation;
 pub mod data;
 pub mod enhance;
+pub mod frontier;
 pub mod macrob;
 pub mod micro;
 pub mod scale;

@@ -56,7 +56,12 @@ const SHARED_PERIOD: usize = 50;
 /// (the snapshot's setup seed) so each client draws an independent
 /// stream, yet the whole topology's pool is a pure function of the
 /// setup key.
-fn client_pm(files: usize, transactions: usize, master: u64, i: usize) -> PostmarkConfig {
+pub(crate) fn client_pm(
+    files: usize,
+    transactions: usize,
+    master: u64,
+    i: usize,
+) -> PostmarkConfig {
     PostmarkConfig {
         file_count: files,
         transactions,
@@ -217,6 +222,15 @@ fn scale_run_seeded(
     let mut demand = vec![SimDuration::ZERO; clients];
     let mut latency = vec![Histogram::new(); clients];
     let mut shared_off = 0u64;
+    // Per-client latency series, interned once — the per-transaction
+    // path must not format a key per step.
+    let txn_metric: Vec<simkit::MetricHandle> = (0..clients)
+        .map(|i| {
+            tb.sim()
+                .metrics()
+                .handle(&format!("scale.{}.txn", tb.host_name(i)))
+        })
+        .collect();
 
     // One measured client step: a PostMark transaction plus, every
     // `SHARED_PERIOD` transactions, the shared-file writer/poller
@@ -247,9 +261,7 @@ fn scale_run_seeded(
         let d = tb.now().since(t0);
         demand[i] += d;
         latency[i].record(d.as_nanos() / 1_000);
-        tb.sim()
-            .metrics()
-            .record_duration(&format!("scale.{}.txn", tb.host_name(i)), d);
+        txn_metric[i].record_duration(d);
     };
 
     match step_core() {

@@ -10,6 +10,7 @@
 //! seed produce byte-identical lines that can be diffed directly.
 
 use crate::Testbed;
+use simkit::intern::SymbolTable;
 use simkit::{GaugeStats, Histogram};
 use std::collections::BTreeMap;
 
@@ -158,6 +159,12 @@ impl RunReport {
 #[derive(Debug, Default)]
 pub struct ReportBuilder {
     report: RunReport,
+    /// Counter names interned once per builder; absorbing or merging
+    /// folds values into dense slots (no per-row string allocation on
+    /// the hot path) and [`finish`](Self::finish) materializes the
+    /// sorted name map exactly as the direct fold produced it.
+    counter_ids: SymbolTable,
+    counter_slots: Vec<u64>,
 }
 
 impl ReportBuilder {
@@ -168,7 +175,18 @@ impl ReportBuilder {
                 name: name.into(),
                 ..RunReport::default()
             },
+            counter_ids: SymbolTable::new(),
+            counter_slots: Vec::new(),
         }
+    }
+
+    /// Adds `v` to the builder's slot for counter `name`.
+    fn fold_counter(&mut self, name: &str, v: u64) {
+        let id = self.counter_ids.intern(name);
+        if self.counter_slots.len() <= id.index() {
+            self.counter_slots.resize(id.index() + 1, 0);
+        }
+        self.counter_slots[id.index()] += v;
     }
 
     /// Folds one testbed's counters, latency histograms, and CPU
@@ -178,14 +196,22 @@ impl ReportBuilder {
     /// `server.<tag>`, exactly as it always has. A multi-client
     /// topology keeps the `server.<tag>` keys (there is still one
     /// server) and splits the client side per host:
-    /// `client.c<i>.<tag>`.
+    /// `client.c<i>.<tag>`. A *sharded* topology (multiple servers)
+    /// splits the server side per shard instead: `server.s<j>.<tag>`.
     pub fn absorb(&mut self, tb: &Testbed) {
+        let mut fold = std::mem::take(&mut self.counter_slots);
+        let ids = &self.counter_ids;
+        tb.sim().counters().for_each(|name, v| {
+            let id = ids.intern(name);
+            if fold.len() <= id.index() {
+                fold.resize(id.index() + 1, 0);
+            }
+            fold[id.index()] += v;
+        });
+        self.counter_slots = fold;
         let r = &mut self.report;
         r.runs += 1;
         r.sim_time_ns += tb.now().as_nanos();
-        for (name, v) in tb.sim().counters().to_vec() {
-            *r.counters.entry(name).or_insert(0) += v;
-        }
         for (name, h) in tb.sim().metrics().snapshot() {
             r.histograms.entry(name).or_default().merge(&h);
         }
@@ -195,7 +221,7 @@ impl ReportBuilder {
             *r.attribution.entry(key).or_insert(0) += v;
         }
         for (name, g) in tb.gauges().stats() {
-            r.gauges.entry(name.to_string()).or_default().merge(&g);
+            r.gauges.entry(name).or_default().merge(&g);
         }
         if tb.client_count() > 1 {
             for i in 0..tb.client_count() {
@@ -206,8 +232,18 @@ impl ReportBuilder {
                         .or_insert(0) += busy.as_nanos();
                 }
             }
-            for (tag, busy) in tb.server_cpu().busy_by_tag() {
-                *r.cpu_busy_ns.entry(format!("server.{tag}")).or_insert(0) += busy.as_nanos();
+            if tb.server_count() > 1 {
+                for j in 0..tb.server_count() {
+                    for (tag, busy) in tb.server_cpu_at(j).busy_by_tag() {
+                        *r.cpu_busy_ns
+                            .entry(format!("server.s{j}.{tag}"))
+                            .or_insert(0) += busy.as_nanos();
+                    }
+                }
+            } else {
+                for (tag, busy) in tb.server_cpu().busy_by_tag() {
+                    *r.cpu_busy_ns.entry(format!("server.{tag}")).or_insert(0) += busy.as_nanos();
+                }
             }
         } else {
             for (machine, cpu) in [("client", tb.client_cpu()), ("server", tb.server_cpu())] {
@@ -227,13 +263,20 @@ impl ReportBuilder {
     /// cannot change any reported value, which is what lets the sweep
     /// driver fold fragments in cell-index order and produce output
     /// byte-identical to a sequential run.
+    ///
+    /// Counters fold by interned id: each distinct name is interned
+    /// (and its `String` allocated) once per builder, and every later
+    /// fragment adds into a dense slot — merging J fragments of C
+    /// counters costs O(J·C) hash lookups but only O(C) allocations,
+    /// where the old name-keyed fold cloned every key of every
+    /// fragment.
     pub fn merge_report(&mut self, frag: &RunReport) {
+        for (name, v) in &frag.counters {
+            self.fold_counter(name, *v);
+        }
         let r = &mut self.report;
         r.runs += frag.runs;
         r.sim_time_ns += frag.sim_time_ns;
-        for (name, v) in &frag.counters {
-            *r.counters.entry(name.clone()).or_insert(0) += v;
-        }
         for (name, h) in &frag.histograms {
             r.histograms.entry(name.clone()).or_default().merge(h);
         }
@@ -264,9 +307,15 @@ impl ReportBuilder {
         }
     }
 
-    /// The finished report.
+    /// The finished report, with the id-folded counters materialized
+    /// into the sorted name map.
     pub fn finish(self) -> RunReport {
-        self.report
+        let mut report = self.report;
+        let slots = &self.counter_slots;
+        self.counter_ids.for_each(|id, name| {
+            *report.counters.entry(name.to_string()).or_insert(0) += slots[id.index()];
+        });
+        report
     }
 }
 

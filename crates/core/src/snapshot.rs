@@ -28,7 +28,7 @@
 //! across cells, so reports, counters, and histograms are byte-
 //! identical either way. CI diffs both modes on every push.
 
-use crate::testbed::{Testbed, TestbedConfig, TopologyConfig};
+use crate::testbed::{ShardPolicy, Testbed, TestbedConfig, TopologyConfig};
 use blockdev::DiskImage;
 use simkit::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -72,25 +72,33 @@ pub struct SetupKey(String);
 
 impl SetupKey {
     /// Key for a (possibly multi-client) topology plus a workload tag.
+    ///
+    /// Shard parameters are appended only when they differ from the
+    /// defaults (one server, static assignment, uncapped core), so
+    /// every pre-sharding key renders byte-identically.
     pub fn new(topo: &TopologyConfig, workload: &str) -> SetupKey {
         let mut base = topo.base.clone();
         // Seed-normalize: the setup RNG stream derives from the key.
         base.seed = 0;
-        SetupKey(format!(
+        let mut key = format!(
             "clients={};cfg={:?};workload={}",
             topo.clients, base, workload
-        ))
+        );
+        if topo.servers > 1 || topo.policy != ShardPolicy::Static {
+            key.push_str(&format!(
+                ";servers={};policy={:?}",
+                topo.servers, topo.policy
+            ));
+        }
+        if let Some(bps) = topo.core_bandwidth_bps {
+            key.push_str(&format!(";core={bps}"));
+        }
+        SetupKey(key)
     }
 
     /// Key for a single-client configuration plus a workload tag.
     pub fn for_config(config: &TestbedConfig, workload: &str) -> SetupKey {
-        SetupKey::new(
-            &TopologyConfig {
-                base: config.clone(),
-                clients: 1,
-            },
-            workload,
-        )
+        SetupKey::new(&TopologyConfig::from_base(config.clone()), workload)
     }
 
     /// The full key string (cache identity; collision-free because it
@@ -146,8 +154,7 @@ impl SetupInfo {
 /// a private testbed per cell.
 pub struct Snapshot {
     key: SetupKey,
-    config: TestbedConfig,
-    clients: usize,
+    topo: TopologyConfig,
     images: Vec<Arc<DiskImage>>,
     epoch: SimTime,
     info: SetupInfo,
@@ -168,8 +175,7 @@ impl Snapshot {
         let parts = tb.capture_parts();
         Snapshot {
             key,
-            config: parts.config,
-            clients: parts.clients,
+            topo: parts.topo,
             images: parts.images,
             epoch: parts.epoch,
             info: SetupInfo {
@@ -199,16 +205,52 @@ impl Snapshot {
     /// Setup-relevant fields (protocol, volume size) must not be
     /// changed here; the forked mount would not match the images.
     pub fn fork_with(&self, seed: u64, tweak: impl FnOnce(&mut TestbedConfig)) -> Testbed {
-        let mut config = self.config.clone();
-        config.seed = seed;
-        tweak(&mut config);
-        Testbed::resume(
-            config,
-            self.clients,
-            &self.images,
-            self.epoch,
-            self.info.clone(),
-        )
+        let mut topo = self.topo.clone();
+        topo.base.seed = seed;
+        tweak(&mut topo.base);
+        Testbed::resume(topo, &self.images, self.epoch, self.info.clone())
+    }
+
+    /// Forks this *single-server* snapshot into an M-server sharded
+    /// topology: every shard resumes from copy-on-write forks of the
+    /// same captured images, so one k-client setup serves a k×M-client
+    /// sharded cell. Under [`ShardPolicy::Static`] client `i` lands on
+    /// shard `i % M` with local identity `i / M` — exactly the client
+    /// the captured shard prepared state for.
+    ///
+    /// `core_bandwidth_bps` optionally caps the core switch (`None`:
+    /// non-binding, M × the edge rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this snapshot was captured from a sharded or
+    /// non-static topology.
+    pub fn fork_sharded(
+        &self,
+        seed: u64,
+        servers: usize,
+        core_bandwidth_bps: Option<u64>,
+    ) -> Testbed {
+        assert!(servers >= 1, "need at least one server");
+        assert_eq!(
+            self.topo.servers, 1,
+            "shard replication needs a single-shard snapshot"
+        );
+        assert_eq!(
+            self.topo.policy,
+            ShardPolicy::Static,
+            "shard replication is defined for static assignment only"
+        );
+        let mut topo = self.topo.clone();
+        topo.base.seed = seed;
+        topo.servers = servers;
+        topo.clients = self.topo.clients * servers;
+        topo.core_bandwidth_bps = core_bandwidth_bps;
+        let mut images = Vec::with_capacity(servers * self.images.len());
+        for _ in 0..servers {
+            images.extend(self.images.iter().cloned());
+        }
+        Testbed::resume(topo, &images, self.epoch, self.info.clone())
     }
 
     /// The key this snapshot was built for.
@@ -228,7 +270,12 @@ impl Snapshot {
 
     /// Client hosts in the captured topology.
     pub fn clients(&self) -> usize {
-        self.clients
+        self.topo.clients
+    }
+
+    /// Server shards in the captured topology.
+    pub fn servers(&self) -> usize {
+        self.topo.servers
     }
 
     /// Total blocks with captured content across the RAID members —
@@ -242,7 +289,7 @@ impl std::fmt::Debug for Snapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Snapshot")
             .field("key", &self.key.as_str())
-            .field("clients", &self.clients)
+            .field("clients", &self.topo.clients)
             .field("epoch", &self.epoch)
             .field("touched_blocks", &self.touched_blocks())
             .finish()
@@ -395,6 +442,22 @@ mod tests {
     }
 
     #[test]
+    fn shard_defaults_leave_keys_byte_identical() {
+        let flat = TopologyConfig::new(Protocol::NfsV3).with_clients(4);
+        let explicit = flat.clone().with_servers(1);
+        assert_eq!(
+            SetupKey::new(&flat, "w"),
+            SetupKey::new(&explicit, "w"),
+            "default shard parameters must not change existing keys"
+        );
+        assert!(!SetupKey::new(&flat, "w").as_str().contains("servers="));
+        let sharded = flat.clone().with_servers(4);
+        assert_ne!(SetupKey::new(&flat, "w"), SetupKey::new(&sharded, "w"));
+        let capped = sharded.clone().with_core_bandwidth(500_000_000);
+        assert_ne!(SetupKey::new(&sharded, "w"), SetupKey::new(&capped, "w"));
+    }
+
+    #[test]
     fn setup_seed_is_a_pure_function_of_the_key() {
         let cfg = TestbedConfig::new(Protocol::Iscsi);
         let k1 = SetupKey::for_config(&cfg, "pm");
@@ -463,6 +526,78 @@ mod tests {
             "sibling fork must not see the other's writes"
         );
         assert!(b.fs().open("/f").is_ok());
+    }
+
+    #[test]
+    fn sharded_fork_replicates_a_single_shard_setup() {
+        for proto in [Protocol::NfsV3, Protocol::Iscsi] {
+            let mut topo = TopologyConfig::new(proto).with_clients(2);
+            let key = SetupKey::new(&topo, "shardrt");
+            topo.base.seed = key.setup_seed();
+            let tb = Testbed::build_topology(topo);
+            for l in 0..2 {
+                tb.client_fs(l).mkdir(&format!("/d{l}")).unwrap();
+                tb.client_fs(l).creat(&format!("/d{l}/f")).unwrap();
+            }
+            let snap = Snapshot::capture(tb, key);
+            assert_eq!(snap.servers(), 1);
+
+            let fork = snap.fork_sharded(7, 3, None);
+            assert_eq!(fork.client_count(), 6);
+            assert_eq!(fork.server_count(), 3);
+            for i in 0..6 {
+                // Static: global client i is local i/M on shard i%M,
+                // so it sees the state captured for that local client.
+                let l = i / 3;
+                assert!(
+                    fork.client_fs(i).open(&format!("/d{l}/f")).is_ok(),
+                    "{proto:?} client {i} missing its shard state"
+                );
+                assert_eq!(fork.client_port(i), (i % 3) as u32);
+            }
+            // Shards are independent copies: a write on one shard is
+            // invisible to its neighbors.
+            fork.client_fs(0).creat("/d0/only-shard0").unwrap();
+            if proto == Protocol::NfsV3 {
+                assert!(
+                    fork.client_fs(1).open("/d0/only-shard0").is_err(),
+                    "shard 1 must not see shard 0's writes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_policies_build_cold_and_round_trip() {
+        for policy in [ShardPolicy::HashByFile, ShardPolicy::StripedLuns] {
+            let proto = if policy == ShardPolicy::HashByFile {
+                Protocol::NfsV3
+            } else {
+                Protocol::Iscsi
+            };
+            let topo = TopologyConfig::new(proto)
+                .with_clients(4)
+                .with_servers(2)
+                .with_policy(policy);
+            let tb = Testbed::build_topology(topo);
+            assert_eq!(tb.server_count(), 2);
+            for i in 0..4 {
+                let fs = tb.client_fs(i);
+                fs.mkdir(&format!("/w{i}")).unwrap();
+                fs.creat(&format!("/w{i}/f")).unwrap();
+                let fd = fs.open(&format!("/w{i}/f")).unwrap();
+                fs.write(fd, 0, &[i as u8 + 1; 8192]).unwrap();
+                let back = fs.read(fd, 0, 8192).unwrap();
+                assert!(back.iter().all(|&b| b == i as u8 + 1), "{policy:?}");
+            }
+            tb.settle();
+            if policy == ShardPolicy::StripedLuns {
+                // Striping spreads every client's blocks over both
+                // server arrays.
+                assert!(tb.server_cpu_at(0).total_busy() > simkit::SimDuration::ZERO);
+                assert!(tb.server_cpu_at(1).total_busy() > simkit::SimDuration::ZERO);
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::calibration;
 use crate::snapshot::SetupInfo;
 use blockdev::{
     BlockDevice, BlockNo, DiskImage, DiskModel, IoCost, MemDisk, Partition, Raid5, Raid5Geometry,
+    Stripe,
 };
 use cpu::{CostModel, CpuAccount};
 use ext3::Ext3;
@@ -167,6 +168,43 @@ impl TestbedConfig {
     }
 }
 
+/// How clients of a sharded topology are assigned to server shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardPolicy {
+    /// Static mount sharding: client `i` mounts server `i % M` (its
+    /// local identity on that shard is `i / M`). The only policy a
+    /// per-shard snapshot can be replicated under.
+    Static,
+    /// Hash sharding: client `i` mounts server `fnv1a(host name) % M`.
+    /// Cold-build only (shard populations are unequal, so no snapshot
+    /// replication).
+    HashByFile,
+    /// iSCSI only: each client's LUN is a RAID-0 [`Stripe`] over one
+    /// slice per server volume, so every request spreads its disk and
+    /// target-CPU load across all M shards; the session itself rides
+    /// the client's primary port. Cold-build only.
+    StripedLuns,
+}
+
+impl ShardPolicy {
+    /// Shard index for client `i` (named `name`) among `servers`.
+    fn assign(self, i: usize, name: &str, servers: usize) -> u32 {
+        match self {
+            // Striped clients still need a primary port for their
+            // session; round-robin keeps the edges balanced.
+            ShardPolicy::Static | ShardPolicy::StripedLuns => (i % servers) as u32,
+            ShardPolicy::HashByFile => {
+                let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+                for &b in name.as_bytes() {
+                    hash ^= u64::from(b);
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                (hash % servers as u64) as u32
+            }
+        }
+    }
+}
+
 /// A multi-client topology: the shared single-pair configuration plus
 /// how many client hosts to instantiate.
 ///
@@ -176,12 +214,26 @@ impl TestbedConfig {
 /// shared server-link bandwidth) and each gets its own CPU account and
 /// mount — N `NfsClient`s against one `NfsServer`, or N iSCSI sessions
 /// against one `Target` with a private LUN partition per session.
+///
+/// With `servers: M > 1` the topology is *sharded*: M independent
+/// server machines (each with its own RAID array, CPU account, and
+/// file system or iSCSI target) sit behind a two-level fabric — a
+/// private edge link per server, all capped by a shared core switch —
+/// and clients are distributed across them per [`ShardPolicy`].
 #[derive(Debug, Clone)]
 pub struct TopologyConfig {
     /// The per-pair configuration shared by every client.
     pub base: TestbedConfig,
     /// Number of client hosts.
     pub clients: usize,
+    /// Number of server shards (default 1: the paper's single server).
+    pub servers: usize,
+    /// Client→shard assignment (default [`ShardPolicy::Static`]).
+    pub policy: ShardPolicy,
+    /// Core-switch bandwidth capping the sum of the server edges.
+    /// `None` (default) sizes the core at `servers ×` the edge rate —
+    /// non-binding, so a sharded topology scales until edges saturate.
+    pub core_bandwidth_bps: Option<u64>,
 }
 
 impl TopologyConfig {
@@ -190,6 +242,20 @@ impl TopologyConfig {
         TopologyConfig {
             base: TestbedConfig::new(protocol),
             clients: 1,
+            servers: 1,
+            policy: ShardPolicy::Static,
+            core_bandwidth_bps: None,
+        }
+    }
+
+    /// Wraps an existing per-pair configuration (single client/server).
+    pub fn from_base(base: TestbedConfig) -> TopologyConfig {
+        TopologyConfig {
+            base,
+            clients: 1,
+            servers: 1,
+            policy: ShardPolicy::Static,
+            core_bandwidth_bps: None,
         }
     }
 
@@ -197,6 +263,27 @@ impl TopologyConfig {
     #[must_use]
     pub fn with_clients(mut self, clients: usize) -> TopologyConfig {
         self.clients = clients;
+        self
+    }
+
+    /// Sets the server-shard count.
+    #[must_use]
+    pub fn with_servers(mut self, servers: usize) -> TopologyConfig {
+        self.servers = servers;
+        self
+    }
+
+    /// Sets the client→shard assignment policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ShardPolicy) -> TopologyConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Caps the core switch at `bps` (see `core_bandwidth_bps`).
+    #[must_use]
+    pub fn with_core_bandwidth(mut self, bps: u64) -> TopologyConfig {
+        self.core_bandwidth_bps = Some(bps);
         self
     }
 }
@@ -219,9 +306,19 @@ pub struct Testbed {
     fabric: Option<Rc<Fabric>>,
     config: TestbedConfig,
     clients: Vec<ClientHost>,
-    server_cpu: Rc<CpuAccount>,
-    /// Backing stores of the RAID members, kept so a snapshot capture
-    /// can export them as shared images.
+    /// One CPU account per server shard (exactly one in the paper's
+    /// single-server topologies).
+    server_cpus: Vec<Rc<CpuAccount>>,
+    /// Shard assignment of this topology (Static in unsharded builds).
+    policy: ShardPolicy,
+    /// Core-switch override the topology was built with.
+    core_bandwidth_bps: Option<u64>,
+    /// Fabric port (= server shard) each client is attached to; empty
+    /// in the single-client build.
+    client_ports: Vec<u32>,
+    /// Backing stores of the RAID members (shard-major: server 0's
+    /// members first), kept so a snapshot capture can export them as
+    /// shared images.
     members: Vec<Rc<MemDisk>>,
     /// Virtual-clock gauge sampler (link/disk utilization, cache
     /// occupancy); registered as a daemon, reset after construction.
@@ -239,8 +336,8 @@ struct Resume {
 
 /// What a snapshot capture extracts from a quiesced testbed.
 pub(crate) struct CapturedParts {
-    pub config: TestbedConfig,
-    pub clients: usize,
+    pub topo: TopologyConfig,
+    /// Shard-major member images (server 0's RAID members first).
     pub images: Vec<Arc<DiskImage>>,
     pub epoch: SimTime,
     pub counters: Vec<(String, u64)>,
@@ -376,7 +473,10 @@ impl Testbed {
             fabric: None,
             config,
             clients,
-            server_cpu,
+            server_cpus: vec![server_cpu],
+            policy: ShardPolicy::Static,
+            core_bandwidth_bps: None,
+            client_ports: Vec::new(),
             members,
             gauges,
             setup: resume.map(|r| r.info),
@@ -399,6 +499,10 @@ impl Testbed {
 
     fn construct_topology(topo: TopologyConfig, resume: Option<Resume>) -> Testbed {
         assert!(topo.clients >= 1, "a topology needs at least one client");
+        assert!(topo.servers >= 1, "a topology needs at least one server");
+        if topo.servers > 1 {
+            return Testbed::construct_sharded(topo, resume);
+        }
         if topo.clients == 1 {
             return Testbed::construct_single(topo.base, resume);
         }
@@ -531,7 +635,240 @@ impl Testbed {
             fabric: Some(fabric),
             config,
             clients,
-            server_cpu,
+            server_cpus: vec![server_cpu],
+            policy: ShardPolicy::Static,
+            core_bandwidth_bps: None,
+            client_ports: vec![0; n],
+            members,
+            gauges,
+            setup: resume.map(|r| r.info),
+        }
+    }
+
+    /// The sharded construction path: M server machines, each with its
+    /// own RAID array, CPU account ([`HostId::server`]), and protocol
+    /// endpoint, behind a two-level fabric (a private edge per server
+    /// capped by a shared core switch). Clients are distributed per
+    /// the topology's [`ShardPolicy`].
+    fn construct_sharded(topo: TopologyConfig, resume: Option<Resume>) -> Testbed {
+        let config = topo.base;
+        let n = topo.clients;
+        let m = topo.servers;
+        assert!(n >= m, "need at least one client per server shard");
+        let sim = Sim::new(config.seed);
+        if let Some(r) = &resume {
+            sim.advance_to(r.epoch);
+            assert_eq!(
+                r.images.len(),
+                m * calibration::RAID_MEMBERS,
+                "resume images must cover every shard"
+            );
+        }
+        let core_bps = topo
+            .core_bandwidth_bps
+            .unwrap_or_else(|| config.link.bandwidth_bps.saturating_mul(m as u64));
+        let fabric = Fabric::with_core(sim.clone(), config.link, core_bps);
+        for _ in 0..m {
+            fabric.add_port();
+        }
+
+        let remount = resume.is_some();
+        let mut server_cpus: Vec<Rc<CpuAccount>> = Vec::with_capacity(m);
+        let mut members: Vec<Rc<MemDisk>> = Vec::new();
+        let mut raids: Vec<Rc<dyn BlockDevice>> = Vec::with_capacity(m);
+        let mut disk_groups: Vec<Vec<Rc<DiskModel<Rc<MemDisk>>>>> = Vec::with_capacity(m);
+        for j in 0..m {
+            let cpu = Rc::new(CpuAccount::new());
+            cpu.instrument(sim.clone(), HostId::server(j as u32));
+            let rm = calibration::RAID_MEMBERS;
+            let shard_images = resume.as_ref().map(|r| &r.images[j * rm..(j + 1) * rm]);
+            let (raid, stores, disks) = Self::build_raid(&sim, &config, shard_images);
+            server_cpus.push(cpu);
+            members.extend(stores);
+            raids.push(raid);
+            disk_groups.push(disks);
+        }
+
+        // Shard assignment, plus each client's local index on its
+        // shard (its LUN slot / file-pool identity there).
+        let ports: Vec<u32> = (0..n)
+            .map(|i| topo.policy.assign(i, &format!("c{i}"), m))
+            .collect();
+        let mut shard_clients = vec![0u64; m];
+        let locals: Vec<u64> = ports
+            .iter()
+            .map(|&j| {
+                let l = shard_clients[j as usize];
+                shard_clients[j as usize] += 1;
+                l
+            })
+            .collect();
+        assert!(
+            shard_clients.iter().all(|&k| k > 0),
+            "policy {:?} left a server shard with no clients",
+            topo.policy
+        );
+
+        let clients: Vec<ClientHost> = match config.protocol.nfs_version() {
+            Some(version) => {
+                // One independent file system and NFS server per
+                // shard; cache consistency flows only within a shard,
+                // exactly as on statically partitioned mounts.
+                let servers: Vec<Rc<NfsServer>> = raids
+                    .iter()
+                    .zip(&server_cpus)
+                    .map(|(raid, cpu)| {
+                        let fs = Self::server_fs(&sim, Rc::clone(raid), remount);
+                        Rc::new(NfsServer::new(fs, Rc::clone(cpu), config.cost))
+                    })
+                    .collect();
+                (0..n)
+                    .map(|i| {
+                        let name = format!("c{i}");
+                        let port = ports[i];
+                        let cpu = Rc::new(CpuAccount::new());
+                        cpu.instrument(sim.clone(), HostId::client(i as u32));
+                        let cfg = Self::nfs_config(&config, version, i as u32);
+                        let rpcc = RpcClient::new(
+                            fabric.host_on(&name, port as usize).channel_flows(
+                                "nfs",
+                                version.transport(),
+                                Some(cfg.nconnect),
+                            ),
+                            RpcConfig::default(),
+                        );
+                        let client = Rc::new(NfsClient::new(
+                            sim.clone(),
+                            rpcc,
+                            Rc::clone(&servers[port as usize]),
+                            cfg,
+                            cpu.clone(),
+                            config.cost,
+                        ));
+                        client.mount();
+                        ClientHost {
+                            name,
+                            cpu,
+                            kind: MountKind::Nfs {
+                                mount: NfsMount::new(client),
+                            },
+                        }
+                    })
+                    .collect()
+            }
+            None => {
+                let charged: Vec<Rc<dyn BlockDevice>> = raids
+                    .iter()
+                    .zip(&server_cpus)
+                    .map(|(raid, cpu)| {
+                        Rc::new(CpuChargedDevice {
+                            inner: Rc::clone(raid),
+                            sim: sim.clone(),
+                            cpu: Rc::clone(cpu),
+                            cost: config.cost,
+                        }) as Rc<dyn BlockDevice>
+                    })
+                    .collect();
+                // Per-shard targets: server j's volume is split among
+                // the clients assigned to it, mirroring the layout a
+                // single-shard capture produces (so a replicated fork
+                // mounts the same partitions it captured).
+                let mut targets: Vec<Option<Rc<Target>>> = vec![None; m];
+                let mut luns: Vec<Rc<dyn BlockDevice>> = Vec::with_capacity(n);
+                for i in 0..n {
+                    let j = ports[i] as usize;
+                    let lun: Rc<dyn BlockDevice> = match topo.policy {
+                        ShardPolicy::StripedLuns => {
+                            // One slice per server volume, striped: disk
+                            // and target-CPU load spread across shards.
+                            let slice = config.volume_blocks / n as u64;
+                            let parts: Vec<Rc<dyn BlockDevice>> = (0..m)
+                                .map(|s| {
+                                    Rc::new(Partition::new(
+                                        format!("c{i}.s{s}"),
+                                        Rc::clone(&charged[s]),
+                                        i as u64 * slice,
+                                        slice,
+                                    )) as Rc<dyn BlockDevice>
+                                })
+                                .collect();
+                            Rc::new(Stripe::new(&format!("stripe{i}"), parts))
+                        }
+                        _ => {
+                            let lun_blocks = config.volume_blocks / shard_clients[j];
+                            Rc::new(Partition::new(
+                                format!("lun{}", locals[i]),
+                                Rc::clone(&charged[j]),
+                                locals[i] * lun_blocks,
+                                lun_blocks,
+                            ))
+                        }
+                    };
+                    match &targets[j] {
+                        None => targets[j] = Some(Rc::new(Target::new(Rc::clone(&lun)))),
+                        Some(t) => {
+                            t.add_lun(Rc::clone(&lun));
+                        }
+                    }
+                    luns.push(lun);
+                }
+                (0..n)
+                    .map(|i| {
+                        let name = format!("c{i}");
+                        let port = ports[i];
+                        let cpu = Rc::new(CpuAccount::new());
+                        cpu.instrument(sim.clone(), HostId::client(i as u32));
+                        let target = targets[port as usize].as_ref().expect("target");
+                        let initiator = Initiator::new(
+                            fabric
+                                .host_on(&name, port as usize)
+                                .channel("iscsi", net::Transport::Tcp),
+                            Rc::clone(target),
+                        );
+                        let disk = Rc::new(
+                            initiator
+                                .login_lun(Self::session_params(&config), locals[i] as u32)
+                                .expect("login"),
+                        );
+                        let fs = Rc::new(Self::client_fs_init(
+                            &sim,
+                            disk,
+                            &config,
+                            remount,
+                            HostId::client(i as u32),
+                        ));
+                        let mount = LocalMount::new(fs, cpu.clone(), config.cost);
+                        mount.set_trace_host(HostId::client(i as u32));
+                        ClientHost {
+                            name,
+                            cpu,
+                            kind: MountKind::Iscsi { mount },
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        let network = fabric.endpoint(fabric.endpoint_id("c0"));
+        let gauges = Self::register_gauges_sharded(&sim, &config.link, m, disk_groups, &clients);
+        sim.counters().reset();
+        sim.metrics().reset();
+        sim.tracer().clear();
+        gauges.reset(sim.now());
+        Self::arm_gauges(&sim, &gauges);
+        if crate::attribution::attribution_enabled() {
+            sim.tracer().set_enabled(true);
+        }
+        Testbed {
+            sim,
+            network,
+            fabric: Some(fabric),
+            config,
+            clients,
+            server_cpus,
+            policy: topo.policy,
+            core_bandwidth_bps: topo.core_bandwidth_bps,
+            client_ports: ports,
             members,
             gauges,
             setup: resume.map(|r| r.info),
@@ -664,6 +1001,86 @@ impl Testbed {
         g
     }
 
+    /// Gauges for a sharded topology: link utilization against the
+    /// *aggregate* edge capacity (M edges), one `disk.s<j>.busy_pct`
+    /// per server shard (M is small — the per-host zero-row rule in
+    /// [`simkit::gauge`] keeps unsampled rows out of reports), plus the
+    /// aggregate `disk.busy_pct` and cache gauges of the flat topology.
+    fn register_gauges_sharded(
+        sim: &Rc<Sim>,
+        link: &LinkParams,
+        servers: usize,
+        disk_groups: Vec<Vec<Rc<DiskModel<Rc<MemDisk>>>>>,
+        clients: &[ClientHost],
+    ) -> Rc<GaugeSampler> {
+        let period = SimDuration::from_millis(100);
+        let g = Rc::new(GaugeSampler::new(period));
+        {
+            let sim2 = Rc::clone(sim);
+            let last = Cell::new(sim2.counters().get("net.total.bytes"));
+            let cap_bits = link
+                .bandwidth_bps
+                .saturating_mul(servers as u64)
+                .saturating_mul(period.as_nanos())
+                / 1_000_000_000;
+            g.register("link.util_pct", move || {
+                let total = sim2.counters().get("net.total.bytes");
+                let delta = total.saturating_sub(last.get());
+                last.set(total);
+                if cap_bits == 0 {
+                    return 0;
+                }
+                delta.saturating_mul(8).saturating_mul(100) / cap_bits
+            });
+        }
+        let period_ns = period.as_nanos();
+        for (j, disks) in disk_groups.iter().enumerate() {
+            let disks = disks.clone();
+            let last = Cell::new(disks.iter().map(|d| d.stats().busy.as_nanos()).sum::<u64>());
+            g.register(format!("disk.s{j}.busy_pct"), move || {
+                let busy: u64 = disks.iter().map(|d| d.stats().busy.as_nanos()).sum();
+                let delta = busy.saturating_sub(last.get());
+                last.set(busy);
+                delta.saturating_mul(100) / period_ns
+            });
+        }
+        {
+            let all: Vec<Rc<DiskModel<Rc<MemDisk>>>> = disk_groups.into_iter().flatten().collect();
+            let last = Cell::new(all.iter().map(|d| d.stats().busy.as_nanos()).sum::<u64>());
+            g.register("disk.busy_pct", move || {
+                let busy: u64 = all.iter().map(|d| d.stats().busy.as_nanos()).sum();
+                let delta = busy.saturating_sub(last.get());
+                last.set(busy);
+                delta.saturating_mul(100) / period_ns
+            });
+        }
+        let mut nfs_clients: Vec<Rc<NfsClient>> = Vec::new();
+        let mut client_fss: Vec<Rc<Ext3>> = Vec::new();
+        for host in clients {
+            match &host.kind {
+                MountKind::Nfs { mount } => nfs_clients.push(Rc::clone(mount.client())),
+                MountKind::Iscsi { mount } => client_fss.push(Rc::clone(mount.fs())),
+            }
+        }
+        {
+            let nfs = nfs_clients.clone();
+            g.register("cache.pagecache_blocks", move || {
+                nfs.iter().map(|c| c.cached_pages() as u64).sum::<u64>()
+                    + client_fss
+                        .iter()
+                        .map(|f| f.cached_blocks() as u64)
+                        .sum::<u64>()
+            });
+        }
+        g.register("cache.dentries", move || {
+            nfs_clients
+                .iter()
+                .map(|c| c.cached_dentry_count() as u64)
+                .sum()
+        });
+        g
+    }
+
     /// Arms the sampler's first wakeup in the event calendar. Runs
     /// after [`GaugeSampler::reset`] so the armed instant is the first
     /// period multiple past the settle epoch. The sampler lives on the
@@ -714,17 +1131,13 @@ impl Testbed {
     /// and copy-on-write forks of the captured member images instead
     /// of blank disks.
     pub(crate) fn resume(
-        config: TestbedConfig,
-        clients: usize,
+        topo: TopologyConfig,
         images: &[Arc<DiskImage>],
         epoch: SimTime,
         info: SetupInfo,
     ) -> Testbed {
         Self::construct_topology(
-            TopologyConfig {
-                base: config,
-                clients,
-            },
+            topo,
             Some(Resume {
                 images: images.to_vec(),
                 epoch,
@@ -742,14 +1155,25 @@ impl Testbed {
         self.settle();
         self.cold_caches();
         match &self.clients[0].kind {
-            MountKind::Nfs { mount } => {
-                // One server file system, however many clients.
-                mount
-                    .client()
-                    .server()
-                    .fs()
-                    .unmount()
-                    .expect("server unmount");
+            MountKind::Nfs { .. } => {
+                // One server file system per shard, however many
+                // clients; unmount each exactly once.
+                let mut done = vec![false; self.server_cpus.len()];
+                for (i, host) in self.clients.iter().enumerate() {
+                    let j = self.client_ports.get(i).copied().unwrap_or(0) as usize;
+                    if done[j] {
+                        continue;
+                    }
+                    if let MountKind::Nfs { mount } = &host.kind {
+                        mount
+                            .client()
+                            .server()
+                            .fs()
+                            .unmount()
+                            .expect("server unmount");
+                        done[j] = true;
+                    }
+                }
             }
             MountKind::Iscsi { .. } => {
                 for host in &self.clients {
@@ -762,9 +1186,16 @@ impl Testbed {
         let epoch = self.sim.now();
         let counters = self.sim.counters().to_vec();
         let images = self.members.iter().map(|m| Arc::new(m.image())).collect();
+        let clients = self.clients.len();
+        let servers = self.server_cpus.len();
         CapturedParts {
-            config: self.config,
-            clients: self.clients.len(),
+            topo: TopologyConfig {
+                base: self.config,
+                clients,
+                servers,
+                policy: self.policy,
+                core_bandwidth_bps: self.core_bandwidth_bps,
+            },
             images,
             epoch,
             counters,
@@ -873,11 +1304,24 @@ impl Testbed {
         &self.gauges
     }
 
-    /// Marks `n` clients as actively contending for the server link
-    /// (no-op on the dedicated single-client link).
+    /// Marks `n` clients as actively contending for the server link(s)
+    /// (no-op on the dedicated single-client link). In a sharded
+    /// topology the contenders split across the edges the way the
+    /// shard policy spread the first `n` clients.
     pub fn set_active_clients(&self, n: u32) {
         if let Some(f) = &self.fabric {
-            f.set_active(n);
+            let m = self.server_cpus.len();
+            if m <= 1 {
+                f.set_active(n);
+            } else {
+                let mut per_port = vec![0u32; m];
+                for i in 0..(n as usize).min(self.client_ports.len()) {
+                    per_port[self.client_ports[i] as usize] += 1;
+                }
+                for (j, &k) in per_port.iter().enumerate() {
+                    f.set_port_active(j, k);
+                }
+            }
         }
     }
 
@@ -916,9 +1360,28 @@ impl Testbed {
         &self.clients[i].cpu
     }
 
-    /// Server CPU account (Table 9).
+    /// Server CPU account (Table 9); shard 0's in a sharded topology.
     pub fn server_cpu(&self) -> &Rc<CpuAccount> {
-        &self.server_cpu
+        &self.server_cpus[0]
+    }
+
+    /// Number of server shards (1 in the paper's topologies).
+    pub fn server_count(&self) -> usize {
+        self.server_cpus.len()
+    }
+
+    /// Server shard `j`'s CPU account.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn server_cpu_at(&self, j: usize) -> &Rc<CpuAccount> {
+        &self.server_cpus[j]
+    }
+
+    /// Fabric port (= server shard) client `i` is attached to.
+    pub fn client_port(&self, i: usize) -> u32 {
+        self.client_ports.get(i).copied().unwrap_or(0)
     }
 
     /// Total protocol transactions so far (the paper's "messages").

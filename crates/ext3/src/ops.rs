@@ -110,7 +110,7 @@ impl crate::Ext3 {
             inner.sim.counters().incr("ext3.op.mkdir");
             dir::check_name(name)?;
             must_not_exist(inner, st, dir, name)?;
-            let mut parent = live_inode(inner, st, dir)?;
+            let parent = live_inode(inner, st, dir)?;
             if parent.links >= LINK_MAX {
                 return Err(FsError::TooManyLinks);
             }
@@ -128,6 +128,11 @@ impl crate::Ext3 {
             inode.block[0] = blk as u32;
             write_inode(inner, st, ino, &inode)?;
             add_entry(inner, st, dir, name, ino, FileType::Directory)?;
+            // Reload the parent: add_entry may have grown the directory
+            // by a block, and writing back the copy loaded above would
+            // clobber the new block pointer and size (lost every 204th
+            // entry before large-directory topologies exposed it).
+            let mut parent = live_inode(inner, st, dir)?;
             parent.links += 1;
             parent.mtime = inner.now_ns();
             write_inode(inner, st, dir, &parent)?;

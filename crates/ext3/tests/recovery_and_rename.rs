@@ -116,3 +116,34 @@ fn truncate_across_indirect_boundary_frees_pointer_blocks() {
     );
     assert!(fs.fsck().unwrap().ok());
 }
+
+#[test]
+fn directory_grows_past_one_block_without_losing_entries() {
+    // Regression: mkdir wrote back a parent inode copy loaded before
+    // add_entry, clobbering the block pointer added when the directory
+    // grew — every 204th subdirectory (4KB dirent block capacity for
+    // short names) vanished. Thousand-entry directories are the normal
+    // case for sharded topologies, so create enough entries to cross
+    // several block boundaries and verify all survive sync + remount.
+    let sim = Sim::new(3);
+    let disk = Rc::new(MemDisk::new("d0", 300_000));
+    let fs = Ext3::mkfs(sim.clone(), disk.clone(), Options::default()).unwrap();
+    let n = 700u32; // > 3 blocks of "pmNNN"-sized dirents
+    for i in 0..n {
+        fs.mkdir(fs.root(), &format!("pm{i}"), 0o755).unwrap();
+    }
+    for i in 0..n {
+        fs.lookup(fs.root(), &format!("pm{i}"))
+            .unwrap_or_else(|e| panic!("pre-sync lookup pm{i}: {e:?}"));
+    }
+    sim.advance(SimDuration::from_secs(6));
+    fs.sync().unwrap();
+    assert!(fs.fsck().unwrap().ok());
+    drop(fs);
+    let fs2 = Ext3::mount(sim, disk, Options::default()).unwrap();
+    for i in 0..n {
+        fs2.lookup(fs2.root(), &format!("pm{i}"))
+            .unwrap_or_else(|e| panic!("post-remount lookup pm{i}: {e:?}"));
+    }
+    assert_eq!(fs2.readdir(fs2.root()).unwrap().len() as u32, n + 2);
+}

@@ -2,10 +2,26 @@
 //!
 //! The paper's testbed is one client and one server on a dedicated
 //! link, which [`super::Network`] models directly. A [`Fabric`]
-//! generalizes that to N named client hosts fanning into one server:
-//! every host gets its own [`Network`] endpoint (so per-host RTT and
-//! message accounting stay separate), while all endpoints contend for
-//! the *server-side* link bandwidth through a shared [`LinkShare`].
+//! generalizes that in two steps:
+//!
+//! * **One server, N clients** ([`Fabric::new`]): every named host gets
+//!   its own [`Network`] endpoint (per-host RTT and message accounting
+//!   stay separate), while all endpoints contend for the server-side
+//!   link bandwidth through a shared [`LinkShare`].
+//! * **M servers behind a core switch** ([`Fabric::with_core`]): each
+//!   server has its own edge link (a [`Port`]: a [`LinkShare`] plus a
+//!   private TCP bottleneck queue pair), and every edge link feeds a
+//!   shared *core* [`LinkShare`]. An endpoint's effective bandwidth is
+//!   the minimum of its edge share and the core share — the two-level
+//!   fair-share tree of a thousand-client sharded topology:
+//!
+//! ```text
+//!   c0 … c249 ──┐                      ┌── c250 … c499
+//!               ├─ edge s0 ─┐  ┌─ edge s1 ─┤
+//!                           core switch
+//!               ├─ edge s2 ─┘  └─ edge s3 ─┤
+//!   c500 … c749 ┘                      └── c750 … c999
+//! ```
 //!
 //! Counter layering: a channel opened on host `c1` with label `nfs`
 //! bumps `net.c1.nfs.msgs` / `net.c1.nfs.bytes` *in addition to* the
@@ -13,11 +29,18 @@
 //! (`net.total.*`). Existing reports that only read the old names keep
 //! working; multi-client experiments can attribute traffic per host.
 //!
-//! Contention model: the server NIC serializes at `bandwidth_bps`
-//! overall, so with `k` hosts marked active each endpoint's effective
-//! bandwidth is `bandwidth_bps / k` — the fair-share steady state of
-//! TCP flows over one bottleneck. `set_active(1)` (the default)
-//! reproduces the dedicated-link timing exactly.
+//! Contention model: a server NIC serializes at its edge `bandwidth_bps`
+//! overall, so with `k` hosts marked active on the port each endpoint's
+//! effective bandwidth is `bandwidth_bps / k` — the fair-share steady
+//! state of TCP flows over one bottleneck. The core divides its
+//! bandwidth across the fabric's ports the same way. Shares are
+//! *cached*: they are recomputed on active-set deltas
+//! ([`LinkShare::set_active`], port creation), never per message, so a
+//! thousand-client hot path reads two `Cell`s instead of redoing the
+//! division. `set_active(1)` (the default) reproduces the
+//! dedicated-link timing exactly, and a single-port fabric has no core
+//! (`parent: None`) so its arithmetic is bit-for-bit the historical
+//! `base / active`.
 //!
 //! # Example
 //!
@@ -41,28 +64,41 @@ use crate::tcp::TcpLink;
 use crate::{LinkParams, Network, Sniffer};
 use simkit::{Sim, SimDuration};
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-/// The number of hosts actively contending for the server-side link.
-/// Shared by every endpoint of one [`Fabric`].
+/// One level of the link-share tree: hosts actively contending for a
+/// link of `base_bps`, with the resulting fair share cached. An
+/// optional parent (the core switch link) caps the effective rate from
+/// above. Shared by every endpoint of one [`Fabric`] port.
 #[derive(Debug)]
 pub struct LinkShare {
     active: Cell<u32>,
+    base_bps: Cell<u64>,
+    /// `base_bps / active`, maintained by [`set_active`]
+    /// (`LinkShare::set_active`) so the per-message path never divides.
+    share_bps: Cell<u64>,
+    /// The next link level up (core switch), if any.
+    parent: Option<Rc<LinkShare>>,
 }
 
 impl LinkShare {
-    fn new() -> Rc<Self> {
+    fn new(base_bps: u64, parent: Option<Rc<LinkShare>>) -> Rc<Self> {
         Rc::new(LinkShare {
             active: Cell::new(1),
+            base_bps: Cell::new(base_bps),
+            share_bps: Cell::new(base_bps),
+            parent,
         })
     }
 
-    /// Hosts currently contending for the shared link.
+    /// Hosts currently contending for this link.
     pub fn active(&self) -> u32 {
         self.active.get()
     }
 
-    /// Sets the contender count.
+    /// Sets the contender count and recomputes the cached fair share —
+    /// the only place the division happens.
     ///
     /// # Panics
     ///
@@ -70,44 +106,143 @@ impl LinkShare {
     pub fn set_active(&self, n: u32) {
         assert!(n >= 1, "a shared link needs at least one active host");
         self.active.set(n);
+        self.share_bps.set(self.base_bps.get() / n as u64);
+    }
+
+    /// This level's bandwidth before sharing.
+    pub fn base_bps(&self) -> u64 {
+        self.base_bps.get()
+    }
+
+    /// The effective per-host rate: this level's cached fair share,
+    /// capped by every level above. Two `Cell` reads on the common
+    /// two-level tree.
+    pub fn effective_bps(&self) -> u64 {
+        let own = self.share_bps.get();
+        match &self.parent {
+            Some(p) => own.min(p.effective_bps()),
+            None => own,
+        }
+    }
+
+    fn set_base_bps(&self, bps: u64) {
+        self.base_bps.set(bps);
+        self.share_bps.set(bps / self.active.get() as u64);
     }
 }
 
-/// A topology of named host endpoints sharing one server link.
+/// A stable, copyable handle to one fabric endpoint — the cheap
+/// alternative to re-resolving a host name per access. Only valid for
+/// the [`Fabric`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EndpointId(u32);
+
+impl EndpointId {
+    /// The endpoint's dense index (creation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One server-side attachment point: the edge [`LinkShare`] its hosts
+/// contend on, and the TCP bottleneck queue pair its flows share.
+#[derive(Debug)]
+struct Port {
+    share: Rc<LinkShare>,
+    tcp_link: Rc<TcpLink>,
+}
+
+/// A topology of named host endpoints attached to one or more server
+/// ports, optionally behind a shared core link. See the
+/// [module docs](self).
 #[derive(Debug)]
 pub struct Fabric {
     sim: Rc<Sim>,
     base: Cell<LinkParams>,
-    share: Rc<LinkShare>,
-    /// One bottleneck queue pair for the whole fabric: under the TCP
-    /// model every host's flows contend for the same server port
-    /// queues, which is where cross-client congestion comes from.
-    tcp_link: Rc<TcpLink>,
-    hosts: RefCell<Vec<(String, Rc<Network>)>>,
+    /// The shared core-switch link, present on [`Fabric::with_core`]
+    /// fabrics; its active count tracks the port count.
+    core: Option<Rc<LinkShare>>,
+    ports: RefCell<Vec<Port>>,
+    /// `(name, port, endpoint)` in creation order.
+    hosts: RefCell<Vec<(String, u32, Rc<Network>)>>,
+    /// Name → index into `hosts`. Lookup only, never iterated (detlint
+    /// D2: ordered walks go through the insertion-ordered `hosts` Vec).
+    host_index: RefCell<HashMap<String, u32>>,
 }
 
 impl Fabric {
-    /// Creates a fabric whose server link has the given base
-    /// parameters.
+    /// Creates a single-port fabric whose server link has the given
+    /// base parameters — the historical N-clients-one-server shape,
+    /// byte-identical to what it always produced.
     ///
     /// # Panics
     ///
     /// Panics if `params.loss` is outside `[0, 1)`.
     pub fn new(sim: Rc<Sim>, params: LinkParams) -> Rc<Self> {
+        let f = Fabric::with_core_inner(sim, params, None);
+        f.add_port();
+        f
+    }
+
+    /// Creates a fabric whose server ports sit behind a shared core
+    /// link of `core_bandwidth_bps`. Starts with no ports; call
+    /// [`Fabric::add_port`] once per server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.loss` is outside `[0, 1)`.
+    pub fn with_core(sim: Rc<Sim>, params: LinkParams, core_bandwidth_bps: u64) -> Rc<Self> {
+        Fabric::with_core_inner(sim, params, Some(core_bandwidth_bps))
+    }
+
+    fn with_core_inner(sim: Rc<Sim>, params: LinkParams, core_bps: Option<u64>) -> Rc<Self> {
         params.validate();
         Rc::new(Fabric {
             sim,
             base: Cell::new(params),
-            share: LinkShare::new(),
-            tcp_link: TcpLink::new(),
+            core: core_bps.map(|bps| LinkShare::new(bps, None)),
+            ports: RefCell::new(Vec::new()),
             hosts: RefCell::new(Vec::new()),
+            host_index: RefCell::new(HashMap::new()),
         })
     }
 
-    /// The server-side TCP bottleneck shared by every endpoint (idle
-    /// unless the TCP transport model is selected).
-    pub fn tcp_link(&self) -> &Rc<TcpLink> {
-        &self.tcp_link
+    /// Adds a server port (edge link + private TCP bottleneck) and
+    /// returns its index. On a cored fabric the core's contender count
+    /// follows the port count: with M servers attached, each port's
+    /// traffic competes for `core / M`.
+    pub fn add_port(&self) -> usize {
+        let mut ports = self.ports.borrow_mut();
+        let share = LinkShare::new(self.base.get().bandwidth_bps, self.core.clone());
+        ports.push(Port {
+            share,
+            tcp_link: TcpLink::new(),
+        });
+        if let Some(core) = &self.core {
+            core.set_active(ports.len() as u32);
+        }
+        ports.len() - 1
+    }
+
+    /// Number of server ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.borrow().len()
+    }
+
+    /// The shared core link, when this fabric has one.
+    pub fn core(&self) -> Option<&Rc<LinkShare>> {
+        self.core.as_ref()
+    }
+
+    /// Port `port`'s TCP bottleneck queue pair (port 0's is the whole
+    /// fabric's on the historical single-port shape; idle unless the
+    /// TCP transport model is selected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn tcp_link_of(&self, port: usize) -> Rc<TcpLink> {
+        Rc::clone(&self.ports.borrow()[port].tcp_link)
     }
 
     /// The shared simulation context.
@@ -115,45 +250,121 @@ impl Fabric {
         &self.sim
     }
 
-    /// The uncontended server-link parameters (what one host sees when
-    /// it has the link to itself).
+    /// The uncontended edge-link parameters (what one host sees when
+    /// it has a server port to itself and the core is not binding).
     pub fn base_params(&self) -> LinkParams {
         self.base.get()
     }
 
-    /// The contention state shared by every endpoint.
-    pub fn share(&self) -> &Rc<LinkShare> {
-        &self.share
+    /// Port 0's contention state (the whole fabric's on the historical
+    /// single-port shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric has no ports yet.
+    pub fn share(&self) -> Rc<LinkShare> {
+        Rc::clone(&self.ports.borrow()[0].share)
     }
 
-    /// Marks `n` hosts as actively contending for the server link.
+    /// Marks `n` hosts as actively contending on port 0 — the
+    /// historical single-port knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the fabric has no ports.
     pub fn set_active(&self, n: u32) {
-        self.share.set_active(n);
+        self.set_port_active(0, n);
     }
 
-    /// Returns the endpoint for `name`, creating it on first use. The
-    /// endpoint starts with the fabric's current base parameters and
-    /// shares the server-side bandwidth with every other host.
+    /// Marks `n` hosts as actively contending for port `port`'s edge
+    /// link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `port` is out of range.
+    pub fn set_port_active(&self, port: usize, n: u32) {
+        self.ports.borrow()[port].share.set_active(n);
+    }
+
+    /// Returns the endpoint for `name` on port 0, creating it on first
+    /// use — the historical single-server entry point.
     pub fn host(self: &Rc<Self>, name: &str) -> Rc<Network> {
-        if let Some((_, net)) = self.hosts.borrow().iter().find(|(n, _)| n == name) {
-            return Rc::clone(net);
+        self.host_on(name, 0)
+    }
+
+    /// Returns the endpoint for `name` attached to server port `port`,
+    /// creating it on first use. The endpoint starts with the fabric's
+    /// current base parameters and shares the port's edge bandwidth
+    /// (and, through it, the core) with the port's other hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of bounds, or if `name` already exists
+    /// on a different port.
+    pub fn host_on(self: &Rc<Self>, name: &str, port: usize) -> Rc<Network> {
+        self.endpoint(self.endpoint_id_on(name, port))
+    }
+
+    /// The stable handle for `name` on port 0, interning the endpoint
+    /// on first use.
+    pub fn endpoint_id(self: &Rc<Self>, name: &str) -> EndpointId {
+        self.endpoint_id_on(name, 0)
+    }
+
+    /// The stable handle for `name` on `port`, creating the endpoint
+    /// on first use. Handle resolution ([`Fabric::endpoint`]) is a
+    /// `Vec` index — the per-access cost the old linear name scan paid
+    /// N times over.
+    ///
+    /// # Panics
+    ///
+    /// See [`Fabric::host_on`].
+    pub fn endpoint_id_on(self: &Rc<Self>, name: &str, port: usize) -> EndpointId {
+        if let Some(&i) = self.host_index.borrow().get(name) {
+            let existing = self.hosts.borrow()[i as usize].1;
+            assert_eq!(
+                existing as usize, port,
+                "host {name} already attached to port {existing}"
+            );
+            return EndpointId(i);
         }
+        let share = Rc::clone(&self.ports.borrow()[port].share);
+        let tcp_link = self.tcp_link_of(port);
         let net = Network::endpoint(
             Rc::clone(&self.sim),
             self.base.get(),
             name.to_string(),
-            Rc::clone(&self.share),
-            Rc::clone(&self.tcp_link),
+            share,
+            tcp_link,
         );
-        self.hosts
-            .borrow_mut()
-            .push((name.to_string(), Rc::clone(&net)));
-        net
+        let mut hosts = self.hosts.borrow_mut();
+        let id = hosts.len() as u32;
+        hosts.push((name.to_string(), port as u32, net));
+        self.host_index.borrow_mut().insert(name.to_string(), id);
+        EndpointId(id)
+    }
+
+    /// Resolves a handle to its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this fabric.
+    pub fn endpoint(&self, id: EndpointId) -> Rc<Network> {
+        Rc::clone(&self.hosts.borrow()[id.index()].2)
+    }
+
+    /// The server port host `id` is attached to.
+    pub fn port_of(&self, id: EndpointId) -> usize {
+        self.hosts.borrow()[id.index()].1 as usize
     }
 
     /// The host names, in creation order.
     pub fn hosts(&self) -> Vec<String> {
-        self.hosts.borrow().iter().map(|(n, _)| n.clone()).collect()
+        self.hosts
+            .borrow()
+            .iter()
+            .map(|(n, _, _)| n.clone())
+            .collect()
     }
 
     /// Reconfigures the round-trip time on every endpoint, present and
@@ -162,14 +373,25 @@ impl Fabric {
         let mut base = self.base.get();
         base.rtt = rtt;
         self.base.set(base);
-        for (_, net) in self.hosts.borrow().iter() {
+        for (_, _, net) in self.hosts.borrow().iter() {
             net.set_rtt(rtt);
+        }
+    }
+
+    /// Reconfigures every edge link's base bandwidth (cached shares
+    /// recompute; endpoints created later inherit it).
+    pub fn set_edge_bandwidth(&self, bps: u64) {
+        let mut base = self.base.get();
+        base.bandwidth_bps = bps;
+        self.base.set(base);
+        for port in self.ports.borrow().iter() {
+            port.share.set_base_bps(bps);
         }
     }
 
     /// Attaches one passive monitor to every existing endpoint.
     pub fn attach_sniffer(&self, s: Option<Rc<Sniffer>>) {
-        for (_, net) in self.hosts.borrow().iter() {
+        for (_, _, net) in self.hosts.borrow().iter() {
             net.attach_sniffer(s.clone());
         }
     }
@@ -194,6 +416,18 @@ mod tests {
         assert!(Rc::ptr_eq(&a, &b));
         assert_eq!(fabric.hosts(), vec!["c0".to_string()]);
         assert_eq!(a.host(), Some("c0"));
+    }
+
+    #[test]
+    fn endpoint_handles_resolve_without_name_lookups() {
+        let (_sim, fabric) = setup();
+        let id0 = fabric.endpoint_id("c0");
+        let id1 = fabric.endpoint_id("c1");
+        assert_ne!(id0, id1);
+        assert_eq!(id0.index(), 0);
+        assert_eq!(fabric.endpoint_id("c0"), id0, "handles are stable");
+        assert!(Rc::ptr_eq(&fabric.endpoint(id0), &fabric.host("c0")));
+        assert!(Rc::ptr_eq(&fabric.endpoint(id1), &fabric.host("c1")));
     }
 
     #[test]
@@ -283,5 +517,88 @@ mod tests {
     fn zero_active_hosts_is_rejected() {
         let (_sim, fabric) = setup();
         fabric.set_active(0);
+    }
+
+    #[test]
+    fn cored_fabric_caps_edges_by_the_core_share() {
+        let sim = Sim::new(3);
+        let edge = LinkParams::gigabit_lan(); // 1 Gb/s edges
+        let fabric = Fabric::with_core(sim, edge, 2_000_000_000); // 2 Gb/s core
+        let p0 = fabric.add_port();
+        let p1 = fabric.add_port();
+        let a = fabric.host_on("c0", p0);
+        let b = fabric.host_on("c1", p1);
+        // Two ports on a 2 Gb/s core: each gets 1 Gb/s — edge-bound.
+        assert_eq!(a.params().bandwidth_bps, 1_000_000_000);
+        // A third port drops the core share to 666 Mb/s < edge: the
+        // core now binds every endpoint, idle edges included.
+        fabric.add_port();
+        assert_eq!(a.params().bandwidth_bps, 2_000_000_000 / 3);
+        assert_eq!(b.params().bandwidth_bps, 2_000_000_000 / 3);
+    }
+
+    #[test]
+    fn edge_contention_is_per_port() {
+        let sim = Sim::new(3);
+        // Core wide enough (8 Gb/s) to never bind two ports.
+        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), 8_000_000_000);
+        let p0 = fabric.add_port();
+        let p1 = fabric.add_port();
+        let a = fabric.host_on("c0", p0);
+        let b = fabric.host_on("c1", p1);
+        fabric.set_port_active(p0, 4);
+        assert_eq!(
+            a.params().bandwidth_bps,
+            1_000_000_000 / 4,
+            "port 0's hosts split its edge"
+        );
+        assert_eq!(
+            b.params().bandwidth_bps,
+            1_000_000_000,
+            "port 1 is unaffected by port 0's load"
+        );
+    }
+
+    #[test]
+    fn ports_have_private_tcp_bottlenecks() {
+        let sim = Sim::new(3);
+        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), 8_000_000_000);
+        let p0 = fabric.add_port();
+        let p1 = fabric.add_port();
+        assert!(!Rc::ptr_eq(
+            &fabric.tcp_link_of(p0),
+            &fabric.tcp_link_of(p1)
+        ));
+        // Hosts on the same port share its queues.
+        let a = fabric.host_on("c0", p0);
+        assert!(Rc::ptr_eq(a.tcp_link(), &fabric.tcp_link_of(p0)));
+    }
+
+    #[test]
+    fn share_cache_matches_direct_division() {
+        let s = LinkShare::new(1_000_000_007, None);
+        for n in 1..=13u32 {
+            s.set_active(n);
+            assert_eq!(s.effective_bps(), 1_000_000_007 / n as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn host_on_unknown_port_is_rejected() {
+        let sim = Sim::new(3);
+        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), 1_000_000_000);
+        let _ = fabric.host_on("c0", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn rehoming_a_host_to_another_port_is_rejected() {
+        let sim = Sim::new(3);
+        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), 1_000_000_000);
+        let p0 = fabric.add_port();
+        let p1 = fabric.add_port();
+        let _ = fabric.host_on("c0", p0);
+        let _ = fabric.host_on("c0", p1);
     }
 }

@@ -33,7 +33,7 @@ pub mod fabric;
 pub mod sniffer;
 pub mod tcp;
 
-pub use fabric::{Fabric, LinkShare};
+pub use fabric::{EndpointId, Fabric, LinkShare};
 pub use sniffer::{PacketRecord, SegKind, Sniffer};
 pub use tcp::{Direction, TcpEndpoint, TcpLink, Transfer, TransportModel};
 
@@ -239,13 +239,20 @@ impl Network {
     }
 
     /// Current link parameters. On a fabric endpoint the bandwidth is
-    /// the contended share: base bandwidth divided by the number of
-    /// hosts currently marked active on the shared server link.
+    /// the contended share — the edge link's base bandwidth divided by
+    /// its active-host count, capped by the core switch if the fabric
+    /// has one. The share is cached on active-set changes
+    /// ([`LinkShare::set_active`]), so this is a couple of `Cell` reads
+    /// and the arithmetic is the same integer division the historical
+    /// per-call `base / active` computed.
     pub fn params(&self) -> LinkParams {
-        let contenders = self.share.as_ref().map_or(1, |s| s.active().max(1));
+        let bandwidth_bps = match &self.share {
+            Some(s) => s.effective_bps(),
+            None => self.bandwidth_bps.get(),
+        };
         LinkParams {
             rtt: self.rtt.get(),
-            bandwidth_bps: self.bandwidth_bps.get() / contenders as u64,
+            bandwidth_bps,
             loss: self.loss.get(),
             transport: self.transport,
         }
@@ -344,6 +351,7 @@ impl Network {
             total_bytes,
             host,
             tcp,
+            retx: Default::default(),
         }
     }
 }
@@ -363,6 +371,11 @@ pub struct Channel {
     /// Congestion-modeled flows when the link selects
     /// [`TransportModel::Tcp`] and this channel is stream transport.
     tcp: Option<Rc<TcpEndpoint>>,
+    /// Lazily-interned `(net.tcp.retx_segs, net.<label>.retx_segs)`
+    /// ids: retransmit counters must not exist until the first actual
+    /// retransmit (reports list every created name), and once they do,
+    /// per-transfer accounting must not re-format the key.
+    retx: std::cell::RefCell<Option<(simkit::KeyId, simkit::KeyId)>>,
 }
 
 /// Outcome of an unreliable send.
@@ -437,8 +450,14 @@ impl Channel {
         if t.retrans_segments > 0 {
             self.account_extra_bytes(t.retrans_bytes);
             let c = self.net.sim.counters();
-            c.add("net.tcp.retx_segs", t.retrans_segments);
-            c.add(&format!("net.{}.retx_segs", self.label), t.retrans_segments);
+            let (total, per_label) = *self.retx.borrow_mut().get_or_insert_with(|| {
+                (
+                    c.id("net.tcp.retx_segs"),
+                    c.id(&format!("net.{}.retx_segs", self.label)),
+                )
+            });
+            c.add_id(total, t.retrans_segments);
+            c.add_id(per_label, t.retrans_segments);
         }
         if t.dup_acks > 0 {
             self.net.sim.counters().add("net.tcp.dup_acks", t.dup_acks);

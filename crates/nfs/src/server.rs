@@ -21,6 +21,12 @@ pub struct NfsServer {
     /// procedure counters are only emitted once more than one client
     /// is registered, so single-client runs register no extra names.
     clients: std::cell::Cell<u32>,
+    /// Interned `nfs.server.proc.<p>` counter ids, filled on each
+    /// procedure's first call so the per-RPC path stops formatting
+    /// keys. Lookup-only maps (never iterated — detlint D2).
+    procs: std::cell::RefCell<std::collections::HashMap<&'static str, simkit::KeyId>>,
+    /// Interned `nfs.server.c<i>.<p>` ids, keyed `(client, proc)`.
+    client_procs: std::cell::RefCell<std::collections::HashMap<(u32, &'static str), simkit::KeyId>>,
 }
 
 impl std::fmt::Debug for NfsServer {
@@ -37,6 +43,8 @@ impl NfsServer {
             cpu,
             cost,
             clients: std::cell::Cell::new(0),
+            procs: Default::default(),
+            client_procs: Default::default(),
         }
     }
 
@@ -75,15 +83,25 @@ impl NfsServer {
     fn run<T>(
         &self,
         who: ClientId,
-        proc_name: &str,
+        proc_name: &'static str,
         bytes: u64,
         f: impl FnOnce(&Ext3) -> FsResult<T>,
     ) -> FsResult<T> {
         let sim = self.fs.sim().clone();
-        sim.counters().incr(&format!("nfs.server.proc.{proc_name}"));
+        let counters = sim.counters();
+        let pid = *self
+            .procs
+            .borrow_mut()
+            .entry(proc_name)
+            .or_insert_with(|| counters.id(&format!("nfs.server.proc.{proc_name}")));
+        counters.add_id(pid, 1);
         if self.clients.get() > 1 {
-            sim.counters()
-                .incr(&format!("nfs.server.{who}.{proc_name}"));
+            let cid = *self
+                .client_procs
+                .borrow_mut()
+                .entry((who.0, proc_name))
+                .or_insert_with(|| counters.id(&format!("nfs.server.{who}.{proc_name}")));
+            counters.add_id(cid, 1);
         }
         let c = self.cost.nfs_request(bytes);
         self.cpu.charge_tagged(sim.now(), c, "nfs.server");

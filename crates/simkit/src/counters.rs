@@ -4,16 +4,24 @@
 //! paper's tables: protocol layers bump counters as they exchange
 //! messages, and the experiment harness snapshots/deltas them around
 //! each measured operation.
+//!
+//! Names are interned (see [`crate::intern`]): each distinct name is
+//! assigned a dense [`KeyId`] once, values live in a `Vec` indexed by
+//! id, and the string map is only materialized — in name order, so
+//! report bytes never depend on intern order — at snapshot/report
+//! time.
 
+use crate::intern::{KeyId, SymbolTable};
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// A set of named monotonic `u64` counters.
 ///
 /// Hot paths should obtain a [`CounterHandle`] once (at wiring time)
 /// and bump it directly — a handle add is a single `Cell` store with
-/// no map lookup, no string formatting, and no allocation.
+/// no map lookup, no string formatting, and no allocation. Paths that
+/// keep a dynamic name can pre-intern it with [`Counters::id`] and use
+/// [`Counters::add_id`], which is a bare `Vec` index.
 ///
 /// # Example
 ///
@@ -28,7 +36,8 @@ use std::rc::Rc;
 /// ```
 #[derive(Debug, Default)]
 pub struct Counters {
-    map: RefCell<BTreeMap<String, Rc<Cell<u64>>>>,
+    table: SymbolTable,
+    slots: RefCell<Vec<Rc<Cell<u64>>>>,
 }
 
 /// A live reference to one named counter.
@@ -69,9 +78,20 @@ impl CounterHandle {
 
 /// A point-in-time copy of all counters, used to compute per-operation
 /// deltas.
+///
+/// Values are stored positionally by [`KeyId`], so a snapshot is only
+/// meaningful against the [`Counters`] it was taken from (which is how
+/// every caller uses it — the ids of a different registry would not
+/// line up).
 #[derive(Debug, Clone, Default)]
 pub struct CounterSnapshot {
-    map: BTreeMap<String, u64>,
+    values: Vec<u64>,
+}
+
+impl CounterSnapshot {
+    fn value_of(&self, id: KeyId) -> u64 {
+        self.values.get(id.index()).copied().unwrap_or(0)
+    }
 }
 
 impl Counters {
@@ -80,15 +100,41 @@ impl Counters {
         Counters::default()
     }
 
+    /// Interns `name` and returns its dense id, creating the counter
+    /// at zero if absent. The id stays valid for the life of this
+    /// registry (including across [`reset`](Counters::reset)).
+    pub fn id(&self, name: &str) -> KeyId {
+        let id = self.table.intern(name);
+        let mut slots = self.slots.borrow_mut();
+        while slots.len() <= id.index() {
+            slots.push(Rc::new(Cell::new(0)));
+        }
+        id
+    }
+
+    /// Adds `n` to the counter behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry's
+    /// [`id`](Counters::id)/[`handle`](Counters::handle) calls.
+    pub fn add_id(&self, id: KeyId, n: u64) {
+        let slots = self.slots.borrow();
+        let c = &slots[id.index()];
+        c.set(c.get() + n);
+    }
+
+    /// Current value of the counter behind `id`.
+    pub fn get_id(&self, id: KeyId) -> u64 {
+        self.slots.borrow()[id.index()].get()
+    }
+
     /// Adds `n` to counter `name`, creating it at zero if absent.
     pub fn add(&self, name: &str, n: u64) {
-        if let Some(c) = self.map.borrow().get(name) {
-            c.set(c.get() + n);
-            return;
+        match self.table.lookup(name) {
+            Some(id) => self.add_id(id, n),
+            None => self.add_id(self.id(name), n),
         }
-        self.map
-            .borrow_mut()
-            .insert(name.to_owned(), Rc::new(Cell::new(n)));
     }
 
     /// Increments counter `name` by one.
@@ -99,28 +145,20 @@ impl Counters {
     /// Returns a live handle to counter `name`, creating it at zero if
     /// absent. See [`CounterHandle`].
     pub fn handle(&self, name: &str) -> CounterHandle {
-        if let Some(c) = self.map.borrow().get(name) {
-            return CounterHandle(Rc::clone(c));
-        }
-        let c = Rc::new(Cell::new(0));
-        self.map.borrow_mut().insert(name.to_owned(), Rc::clone(&c));
-        CounterHandle(c)
+        let id = self.id(name);
+        CounterHandle(Rc::clone(&self.slots.borrow()[id.index()]))
     }
 
-    /// Current value of counter `name` (zero if never touched).
+    /// Current value of counter `name` (zero if never touched; does
+    /// not create the counter).
     pub fn get(&self, name: &str) -> u64 {
-        self.map.borrow().get(name).map(|c| c.get()).unwrap_or(0)
+        self.table.lookup(name).map_or(0, |id| self.get_id(id))
     }
 
     /// Copies all counters for later delta computation.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
-            map: self
-                .map
-                .borrow()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
+            values: self.slots.borrow().iter().map(|c| c.get()).collect(),
         }
     }
 
@@ -128,48 +166,63 @@ impl Counters {
     /// zero if the counter shrank (e.g. a `reset()` after the
     /// snapshot) rather than panicking on u64 underflow.
     pub fn delta_since(&self, snap: &CounterSnapshot, name: &str) -> u64 {
-        self.get(name)
-            .saturating_sub(snap.map.get(name).copied().unwrap_or(0))
+        match self.table.lookup(name) {
+            Some(id) => self.get_id(id).saturating_sub(snap.value_of(id)),
+            None => 0,
+        }
     }
 
     /// Sum of current values over all counters whose name starts with
     /// `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.map
-            .borrow()
-            .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(_, v)| v.get())
-            .sum()
+        let slots = self.slots.borrow();
+        let mut sum = 0;
+        self.table.for_each(|id, name| {
+            if name.starts_with(prefix) {
+                sum += slots[id.index()].get();
+            }
+        });
+        sum
     }
 
     /// Growth since `snap`, summed over all counters whose name starts
     /// with `prefix`. Each per-counter delta saturates at zero, so a
     /// `reset()` between snapshot and query cannot underflow.
     pub fn delta_prefix_since(&self, snap: &CounterSnapshot, prefix: &str) -> u64 {
-        let map = self.map.borrow();
-        map.iter()
-            .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| {
-                v.get()
-                    .saturating_sub(snap.map.get(k.as_str()).copied().unwrap_or(0))
-            })
-            .sum()
+        let slots = self.slots.borrow();
+        let mut sum = 0;
+        self.table.for_each(|id, name| {
+            if name.starts_with(prefix) {
+                sum += slots[id.index()].get().saturating_sub(snap.value_of(id));
+            }
+        });
+        sum
+    }
+
+    /// Visits every `(name, value)` pair in id (first-intern) order
+    /// without materializing owned strings — the allocation-free way
+    /// to fold counters into an aggregate (reports intern the names
+    /// once on their side and add by slot thereafter).
+    pub fn for_each(&self, mut f: impl FnMut(&str, u64)) {
+        let slots = self.slots.borrow();
+        self.table
+            .for_each(|id, name| f(name, slots[id.index()].get()));
     }
 
     /// All `(name, value)` pairs in name order.
     pub fn to_vec(&self) -> Vec<(String, u64)> {
-        self.map
-            .borrow()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
+        let slots = self.slots.borrow();
+        self.table
+            .sorted_ids()
+            .into_iter()
+            .map(|id| (self.table.name(id), slots[id.index()].get()))
             .collect()
     }
 
     /// Resets every counter to zero. Names are retained and existing
     /// [`CounterHandle`]s stay attached to their (zeroed) counters.
     pub fn reset(&self) {
-        for v in self.map.borrow().values() {
+        for v in self.slots.borrow().iter() {
             v.set(0);
         }
     }
@@ -270,5 +323,25 @@ mod tests {
         let v = c.to_vec();
         assert_eq!(v[0].0, "a");
         assert_eq!(v[1].0, "b");
+    }
+
+    #[test]
+    fn ids_are_stable_and_fast_path_matches_names() {
+        let c = Counters::new();
+        let id = c.id("net.c0.msgs");
+        c.add_id(id, 3);
+        c.add("net.c0.msgs", 2);
+        assert_eq!(c.get_id(id), 5);
+        assert_eq!(c.get("net.c0.msgs"), 5);
+        c.reset();
+        c.add_id(id, 1);
+        assert_eq!(c.get("net.c0.msgs"), 1, "id survives reset");
+    }
+
+    #[test]
+    fn get_does_not_create() {
+        let c = Counters::new();
+        assert_eq!(c.get("phantom"), 0);
+        assert!(c.to_vec().is_empty(), "get() must not materialize names");
     }
 }

@@ -10,6 +10,16 @@
 //! the series (count/min/max/sum); summaries merge order-independently
 //! across sweep cells, and a gauge that never sampled still contributes
 //! a stable zero row.
+//!
+//! **Per-host zero-row rule:** gauges whose name carries a per-host
+//! segment (`.c<i>.` or `.s<j>.`, the client/server host namespaces)
+//! are *dropped* from [`GaugeSampler::stats`] while they have no
+//! samples. A thousand-client topology registers a per-host gauge per
+//! client; emitting a stable zero row for each would swamp every
+//! report with thousands of constant lines. Global gauge names keep
+//! the stable-zero-row guarantee unchanged. The rule is deterministic
+//! (a pure function of the name and the sample count), so report bytes
+//! remain independent of jobs/snapshot mode.
 
 use crate::clock::{SimDuration, SimTime};
 use crate::Daemon;
@@ -63,13 +73,26 @@ impl GaugeStats {
 
 type GaugeFn = Box<dyn Fn() -> u64>;
 
+/// Whether a gauge name addresses one host of a topology: it contains
+/// a dotted `c<digits>` or `s<digits>` segment (`disk.s2.busy_pct`,
+/// `cache.c731.pages`). Per-host gauges follow the zero-row rule in
+/// the [module docs](self).
+pub fn per_host_gauge(name: &str) -> bool {
+    name.split('.').any(|seg| {
+        let mut chars = seg.chars();
+        matches!(chars.next(), Some('c') | Some('s'))
+            && chars.clone().next().is_some()
+            && chars.all(|c| c.is_ascii_digit())
+    })
+}
+
 /// Virtual-clock gauge sampler. See the [module docs](self).
 pub struct GaugeSampler {
     period: SimDuration,
     /// Next sampling instant, always an absolute multiple of `period`.
     next: Cell<u64>,
-    gauges: RefCell<Vec<(&'static str, GaugeFn)>>,
-    stats: RefCell<BTreeMap<&'static str, GaugeStats>>,
+    gauges: RefCell<Vec<(String, GaugeFn)>>,
+    stats: RefCell<BTreeMap<String, GaugeStats>>,
 }
 
 impl std::fmt::Debug for GaugeSampler {
@@ -101,10 +124,12 @@ impl GaugeSampler {
     /// simulation state (it runs from a daemon callback and must not
     /// perturb counters, RNG, or the clock). Registering also creates
     /// the zero-valued stats row, so never-sampled runs still report
-    /// the gauge.
-    pub fn register(&self, name: &'static str, f: impl Fn() -> u64 + 'static) {
+    /// the gauge — unless the name is per-host (see the module docs),
+    /// in which case the row only materializes once it has samples.
+    pub fn register(&self, name: impl Into<String>, f: impl Fn() -> u64 + 'static) {
+        let name = name.into();
+        self.stats.borrow_mut().entry(name.clone()).or_default();
         self.gauges.borrow_mut().push((name, Box::new(f)));
-        self.stats.borrow_mut().entry(name).or_default();
     }
 
     /// Re-arms the schedule from `now` (next sample at the next
@@ -121,10 +146,16 @@ impl GaugeSampler {
         }
     }
 
-    /// Snapshot of the per-gauge summaries (registered-but-never-
-    /// sampled gauges appear with `samples == 0`).
-    pub fn stats(&self) -> BTreeMap<&'static str, GaugeStats> {
-        self.stats.borrow().clone()
+    /// Snapshot of the per-gauge summaries. Registered-but-never-
+    /// sampled gauges appear with `samples == 0`, except per-host
+    /// names (see the module docs), which are filtered while empty.
+    pub fn stats(&self) -> BTreeMap<String, GaugeStats> {
+        self.stats
+            .borrow()
+            .iter()
+            .filter(|(name, g)| g.samples > 0 || !per_host_gauge(name))
+            .map(|(name, g)| (name.clone(), *g))
+            .collect()
     }
 
     /// The next sampling instant, or `None` when no gauges are
@@ -153,7 +184,7 @@ impl Daemon for GaugeSampler {
         let gauges = self.gauges.borrow();
         let mut stats = self.stats.borrow_mut();
         for (name, f) in gauges.iter() {
-            stats.entry(*name).or_default().observe(f());
+            stats.entry(name.clone()).or_default().observe(f());
         }
         self.next.set(next + self.period.as_nanos());
         Some(SimTime::from_nanos(self.next.get()))
@@ -273,6 +304,35 @@ mod tests {
         // Reset keeps the row.
         g.reset(SimTime::ZERO);
         assert_eq!(g.stats()["never.sampled"], GaugeStats::default());
+    }
+
+    #[test]
+    fn per_host_names_are_recognized() {
+        assert!(per_host_gauge("disk.s2.busy_pct"));
+        assert!(per_host_gauge("cache.c731.pages"));
+        assert!(per_host_gauge("c0.x"));
+        assert!(!per_host_gauge("disk.busy_pct"));
+        assert!(!per_host_gauge("link.util_pct"));
+        assert!(!per_host_gauge("cache.chunks.total"), "non-numeric tail");
+        assert!(!per_host_gauge("s.x"), "bare prefix is not a host");
+    }
+
+    #[test]
+    fn empty_per_host_rows_are_filtered_until_sampled() {
+        let sim = Sim::new(1);
+        let g = Rc::new(GaugeSampler::new(SimDuration::from_millis(100)));
+        g.register("disk.s1.busy_pct", || 3);
+        g.register("global.row", || 9);
+        // Unsampled: the per-host row is hidden, the global row stays.
+        let s = g.stats();
+        assert!(!s.contains_key("disk.s1.busy_pct"));
+        assert_eq!(s["global.row"], GaugeStats::default());
+        // Once sampled, the per-host row appears like any other.
+        arm(&sim, &g);
+        sim.advance(SimDuration::from_millis(150));
+        let s = g.stats();
+        assert_eq!(s["disk.s1.busy_pct"].samples, 1);
+        assert_eq!(s["disk.s1.busy_pct"].sum, 3);
     }
 
     #[test]

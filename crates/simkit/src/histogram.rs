@@ -9,8 +9,8 @@
 //! byte-compared across runs.
 
 use crate::clock::SimDuration;
+use crate::intern::{KeyId, SymbolTable};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Sub-buckets per power of two (as a shift).
@@ -207,9 +207,14 @@ impl Histogram {
 /// Hot paths should obtain a [`MetricHandle`] once at wiring time and
 /// record through it — a handle record touches the histogram directly,
 /// with no per-sample name formatting or map lookup.
+///
+/// Names are interned (see [`crate::intern`]): series live in a `Vec`
+/// indexed by dense [`KeyId`], and name-keyed listings are materialized
+/// in name order only at snapshot time.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    map: RefCell<BTreeMap<String, Rc<RefCell<Histogram>>>>,
+    table: SymbolTable,
+    slots: RefCell<Vec<Rc<RefCell<Histogram>>>>,
 }
 
 /// A live reference to one named histogram.
@@ -238,18 +243,34 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Interns `name` and returns its dense id, creating an empty
+    /// series if absent. The id stays valid for the life of this
+    /// registry (including across [`reset`](Metrics::reset)).
+    pub fn id(&self, name: &str) -> KeyId {
+        let id = self.table.intern(name);
+        let mut slots = self.slots.borrow_mut();
+        while slots.len() <= id.index() {
+            slots.push(Rc::new(RefCell::new(Histogram::new())));
+        }
+        id
+    }
+
+    /// Records `v` into the series behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry.
+    pub fn record_id(&self, id: KeyId, v: u64) {
+        self.slots.borrow()[id.index()].borrow_mut().record(v);
+    }
+
     /// Records `v` into the histogram named `name`, creating it if
     /// absent.
     pub fn record(&self, name: &str, v: u64) {
-        if let Some(h) = self.map.borrow().get(name) {
-            h.borrow_mut().record(v);
-            return;
+        match self.table.lookup(name) {
+            Some(id) => self.record_id(id, v),
+            None => self.record_id(self.id(name), v),
         }
-        let mut h = Histogram::new();
-        h.record(v);
-        self.map
-            .borrow_mut()
-            .insert(name.to_owned(), Rc::new(RefCell::new(h)));
     }
 
     /// Records a duration (in nanoseconds) under `name`.
@@ -260,21 +281,16 @@ impl Metrics {
     /// Returns a live handle to the histogram named `name`, creating
     /// an empty one if absent. See [`MetricHandle`].
     pub fn handle(&self, name: &str) -> MetricHandle {
-        if let Some(h) = self.map.borrow().get(name) {
-            return MetricHandle(Rc::clone(h));
-        }
-        let h = Rc::new(RefCell::new(Histogram::new()));
-        self.map.borrow_mut().insert(name.to_owned(), Rc::clone(&h));
-        MetricHandle(h)
+        let id = self.id(name);
+        MetricHandle(Rc::clone(&self.slots.borrow()[id.index()]))
     }
 
     /// A copy of the histogram named `name`, if any samples were
     /// recorded under it.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.map
-            .borrow()
-            .get(name)
-            .map(|h| h.borrow().clone())
+        self.table
+            .lookup(name)
+            .map(|id| self.slots.borrow()[id.index()].borrow().clone())
             .filter(|h| h.count() > 0)
     }
 
@@ -282,19 +298,20 @@ impl Metrics {
     /// exist only as never-recorded (or reset) handles are skipped, so
     /// reports only ever show series with samples.
     pub fn snapshot(&self) -> Vec<(String, Histogram)> {
-        self.map
-            .borrow()
-            .iter()
-            .filter(|(_, v)| v.borrow().count() > 0)
-            .map(|(k, v)| (k.clone(), v.borrow().clone()))
+        let slots = self.slots.borrow();
+        self.table
+            .sorted_ids()
+            .into_iter()
+            .filter(|id| slots[id.index()].borrow().count() > 0)
+            .map(|id| (self.table.name(id), slots[id.index()].borrow().clone()))
             .collect()
     }
 
     /// Number of named histograms holding at least one sample.
     pub fn len(&self) -> usize {
-        self.map
+        self.slots
             .borrow()
-            .values()
+            .iter()
             .filter(|v| v.borrow().count() > 0)
             .count()
     }
@@ -307,7 +324,7 @@ impl Metrics {
     /// Empties every histogram. Names are retained and existing
     /// [`MetricHandle`]s stay attached to their (now empty) series.
     pub fn reset(&self) {
-        for v in self.map.borrow().values() {
+        for v in self.slots.borrow().iter() {
             *v.borrow_mut() = Histogram::new();
         }
     }

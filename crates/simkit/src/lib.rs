@@ -36,6 +36,7 @@ pub mod critpath;
 pub mod events;
 mod gauge;
 mod histogram;
+pub mod intern;
 mod rng;
 pub mod sweep;
 mod trace;
@@ -45,6 +46,7 @@ pub use counters::{CounterHandle, CounterSnapshot, Counters};
 pub use events::{EventId, EventKey, EventQueue, EventQueueStats};
 pub use gauge::{GaugeSampler, GaugeStats};
 pub use histogram::{Histogram, MetricHandle, Metrics};
+pub use intern::KeyId;
 pub use rng::SplitMix64;
 pub use trace::{HostId, SpanCtx, SpanId, SpanRecord, TraceId, Tracer, DEFAULT_TRACE_CAPACITY};
 

@@ -66,15 +66,42 @@ impl HostId {
     /// ties machine-owned work fires first.
     pub const BACKGROUND: HostId = HostId(u16::MAX);
 
+    /// First id of the server range used by [`HostId::server`] for
+    /// `j > 0`: high enough that thousands of clients never collide,
+    /// below [`HostId::BACKGROUND`] so server-owned timers still fire
+    /// before the sampler at equal-time ties.
+    const SERVER_BASE: u16 = 0xFE00;
+
     /// Client host `c<i>`.
     pub fn client(i: u32) -> HostId {
         HostId(1 + i as u16)
     }
 
-    /// Display name: `server` or `c<i>`.
+    /// Server host `s<j>` of a sharded topology. `server(0)` is
+    /// [`HostId::SERVER`], keeping single-server byte layouts (track
+    /// keys, event tie-breaks) untouched; further servers live in a
+    /// high range above every client id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` would reach [`HostId::BACKGROUND`] (≥ 511).
+    pub fn server(j: u32) -> HostId {
+        if j == 0 {
+            return HostId::SERVER;
+        }
+        assert!(
+            Self::SERVER_BASE as u32 + j < u16::MAX as u32,
+            "server index {j} out of range"
+        );
+        HostId(Self::SERVER_BASE + j as u16)
+    }
+
+    /// Display name: `server`, `s<j>`, or `c<i>`.
     pub fn label(self) -> String {
         if self.0 == 0 {
             "server".to_string()
+        } else if self.0 >= Self::SERVER_BASE && self.0 != u16::MAX {
+            format!("s{}", self.0 - Self::SERVER_BASE)
         } else {
             format!("c{}", self.0 - 1)
         }
