@@ -6,6 +6,7 @@
 //! proportional to its size.
 
 use crate::{BlockDevice, BlockNo, IoCost, Result, BLOCK_SIZE};
+use simkit::units::Bytes;
 use simkit::{Sim, SimDuration};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -38,9 +39,11 @@ impl DiskParams {
         self.avg_seek + self.rotation / 2
     }
 
-    /// Media transfer time for `bytes`.
-    pub fn transfer(&self, bytes: u64) -> SimDuration {
-        SimDuration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.transfer_rate)
+    /// Media transfer time for `bytes`. Widened to `u128` so the
+    /// product cannot saturate for any representable size.
+    pub fn transfer(&self, bytes: Bytes) -> SimDuration {
+        let nanos = bytes.get() as u128 * 1_000_000_000 / self.transfer_rate as u128;
+        SimDuration::from_nanos(nanos.min(u64::MAX as u128) as u64)
     }
 }
 
@@ -117,7 +120,9 @@ impl<D: BlockDevice> DiskModel<D> {
 
     fn service(&self, start: BlockNo, nblocks: u64, is_read: bool) -> SimDuration {
         let sequential = self.head.get() == Some(start);
-        let mut t = self.params.transfer(nblocks * BLOCK_SIZE as u64);
+        let mut t = self
+            .params
+            .transfer(Bytes::new(nblocks * BLOCK_SIZE as u64));
         if !sequential {
             t += self.params.positioning();
         }
@@ -205,7 +210,7 @@ mod tests {
         let c = d.read(50, 1, &mut buf).unwrap();
         // 5.2ms seek + 3ms rotational latency + 4KB/40MBs ≈ 102.4us
         let expected = SimDuration::from_micros(5_200 + 3_000)
-            + DiskParams::ultra160_10k().transfer(BLOCK_SIZE as u64);
+            + DiskParams::ultra160_10k().transfer(Bytes::new(BLOCK_SIZE as u64));
         assert_eq!(c.time, expected);
     }
 
@@ -215,17 +220,20 @@ mod tests {
         let mut buf = vec![0u8; BLOCK_SIZE];
         d.read(50, 1, &mut buf).unwrap();
         let c = d.read(51, 1, &mut buf).unwrap();
-        assert_eq!(c.time, d.params().transfer(BLOCK_SIZE as u64));
+        assert_eq!(c.time, d.params().transfer(Bytes::new(BLOCK_SIZE as u64)));
         assert_eq!(d.stats().sequential_reqs, 1);
     }
 
     #[test]
     fn transfer_scales_with_size() {
         let p = DiskParams::ultra160_10k();
-        assert_eq!(p.transfer(40_000_000), SimDuration::from_secs(1));
         assert_eq!(
-            p.transfer(8 * BLOCK_SIZE as u64).as_nanos(),
-            2 * p.transfer(4 * BLOCK_SIZE as u64).as_nanos()
+            p.transfer(Bytes::new(40_000_000)),
+            SimDuration::from_secs(1)
+        );
+        assert_eq!(
+            p.transfer(Bytes::new(8 * BLOCK_SIZE as u64)).as_nanos(),
+            2 * p.transfer(Bytes::new(4 * BLOCK_SIZE as u64)).as_nanos()
         );
     }
 

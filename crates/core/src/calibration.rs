@@ -121,7 +121,7 @@ mod tests {
         // unit. The end-to-end check lives in the integration tests;
         // here just pin the constants.
         let p = raid_member_params();
-        let per_block = p.transfer(4096);
+        let per_block = p.transfer(simkit::units::Bytes::new(4096));
         assert_eq!(per_block, SimDuration::from_micros(512));
         assert_eq!(p.positioning(), SimDuration::from_micros(800));
     }

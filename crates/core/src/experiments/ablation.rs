@@ -60,7 +60,7 @@ pub fn commit_interval_sweep_report() -> (Table, RunReport) {
         t.row(&[
             secs.to_string(),
             msgs.to_string(),
-            fmt_f(msgs as f64 / 500.0),
+            fmt_f(simkit::units::to_f64(msgs) / 500.0),
         ]);
     }
     (t, rb.finish())

@@ -31,7 +31,7 @@ pub struct TransferResult {
     /// Protocol messages.
     pub messages: u64,
     /// Bytes on the wire.
-    pub bytes: u64,
+    pub bytes: simkit::units::Bytes,
 }
 
 fn block_order(nblocks: u64, pattern: Pattern, seed: u64) -> Vec<u64> {
@@ -191,8 +191,8 @@ pub fn table4_report_with(mb: u64) -> (Table, RunReport) {
             fmt_secs(s.time),
             n.messages.to_string(),
             s.messages.to_string(),
-            fmt_f(n.bytes as f64 / 1e6),
-            fmt_f(s.bytes as f64 / 1e6),
+            fmt_f(simkit::units::to_f64(n.bytes.get()) / 1e6),
+            fmt_f(simkit::units::to_f64(s.bytes.get()) / 1e6),
         ]);
     }
     (t, rb.finish())
@@ -372,7 +372,7 @@ pub fn figure6_plots(data: &[LatencyPoint]) -> (crate::Plot, crate::Plot) {
     let series = |proto, pattern, is_read: bool| -> Vec<(f64, f64)> {
         data.iter()
             .filter(|p| p.protocol == proto && p.pattern == pattern && p.is_read == is_read)
-            .map(|p| (p.rtt_ms as f64, p.time.as_secs_f64()))
+            .map(|p| (simkit::units::to_f64(p.rtt_ms), p.time.as_secs_f64()))
             .collect()
     };
     let mut reads = crate::Plot::new("Figure 6(a): reads vs RTT", "RTT ms", "seconds");

@@ -86,7 +86,7 @@ pub fn section7_traces() -> Table {
         t.row(&[
             format!("{profile:?}"),
             "delegation: recalls / update".into(),
-            format!("{:.3}", d.recalls as f64 / d.updates.max(1) as f64),
+            format!("{:.3}", simkit::units::ratio(d.recalls, d.updates.max(1))),
         ]);
     }
     t

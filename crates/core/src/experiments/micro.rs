@@ -380,7 +380,11 @@ fn figure3_data_into(mut rb: Option<&mut ReportBuilder>) -> Vec<(String, u32, f6
         if let Some(rb) = rb.as_deref_mut() {
             rb.merge_report(&frag);
         }
-        out.push((op.to_string(), batch, msgs as f64 / batch as f64));
+        out.push((
+            op.to_string(),
+            batch,
+            simkit::units::ratio(msgs, batch as u64),
+        ));
     }
     out
 }

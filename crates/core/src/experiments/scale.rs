@@ -331,7 +331,7 @@ fn scale_run_seeded(
         slowest_client,
         server_busy,
         ops_per_sec: if secs > 0.0 {
-            total_txns as f64 / secs
+            simkit::units::to_f64(total_txns) / secs
         } else {
             0.0
         },

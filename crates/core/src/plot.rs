@@ -3,6 +3,7 @@
 //! enough to eyeball the paper's curve shapes straight from the
 //! `tables` binary.
 
+use simkit::units;
 use std::fmt::Write as _;
 
 /// One named series of `(x, y)` points.
@@ -88,8 +89,9 @@ impl Plot {
                 if !x.is_finite() || !y.is_finite() {
                     continue;
                 }
-                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
-                let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let cx = ((x - x0) / (x1 - x0) * units::usize_f64(self.width - 1)).round() as usize;
+                let cy =
+                    ((y - y0) / (y1 - y0) * units::usize_f64(self.height - 1)).round() as usize;
                 let row = self.height - 1 - cy.min(self.height - 1);
                 let col = cx.min(self.width - 1);
                 // Later series overwrite; collisions show the newest.

@@ -20,7 +20,7 @@ pub struct ChannelStats {
     /// Messages captured.
     pub messages: u64,
     /// Payload bytes captured.
-    pub bytes: u64,
+    pub bytes: simkit::units::Bytes,
     /// Messages lost to the capture bound.
     pub dropped: u64,
 }

@@ -229,7 +229,7 @@ impl Snapshot {
         &self,
         seed: u64,
         servers: usize,
-        core_bandwidth_bps: Option<u64>,
+        core_bandwidth_bps: Option<simkit::units::Bps>,
     ) -> Testbed {
         assert!(servers >= 1, "need at least one server");
         assert_eq!(
@@ -453,7 +453,9 @@ mod tests {
         assert!(!SetupKey::new(&flat, "w").as_str().contains("servers="));
         let sharded = flat.clone().with_servers(4);
         assert_ne!(SetupKey::new(&flat, "w"), SetupKey::new(&sharded, "w"));
-        let capped = sharded.clone().with_core_bandwidth(500_000_000);
+        let capped = sharded
+            .clone()
+            .with_core_bandwidth(simkit::units::Bps::new(500_000_000));
         assert_ne!(SetupKey::new(&sharded, "w"), SetupKey::new(&capped, "w"));
     }
 

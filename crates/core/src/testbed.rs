@@ -25,6 +25,7 @@ use iscsi::{Initiator, SessionParams, Target};
 use net::{Fabric, LinkParams, Network};
 use nfs::{Enhancements, NfsClient, NfsConfig, NfsServer, Version};
 use rpc::{RpcClient, RpcConfig};
+use simkit::units::{Bps, Bytes};
 use simkit::{GaugeSampler, HostId, Sim, SimDuration, SimTime};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -99,13 +100,13 @@ impl BlockDevice for CpuChargedDevice {
         self.inner.block_count()
     }
     fn read(&self, start: BlockNo, nblocks: u32, buf: &mut [u8]) -> blockdev::Result<IoCost> {
-        let cpu = self.cost.iscsi_request(nblocks as u64 * 4096);
+        let cpu = self.cost.iscsi_request(Bytes::new(nblocks as u64 * 4096));
         self.cpu.charge_tagged(self.sim.now(), cpu, "iscsi.target");
         // Target processing extends the command's service time.
         Ok(self.inner.read(start, nblocks, buf)?.then(IoCost::new(cpu)))
     }
     fn write(&self, start: BlockNo, data: &[u8]) -> blockdev::Result<IoCost> {
-        let cpu = self.cost.iscsi_request(data.len() as u64);
+        let cpu = self.cost.iscsi_request(Bytes::new(data.len() as u64));
         // Writes arrive in write-back bursts; vmstat sees the target's
         // processing as sustained background load across the flush
         // interval.
@@ -233,7 +234,7 @@ pub struct TopologyConfig {
     /// Core-switch bandwidth capping the sum of the server edges.
     /// `None` (default) sizes the core at `servers ×` the edge rate —
     /// non-binding, so a sharded topology scales until edges saturate.
-    pub core_bandwidth_bps: Option<u64>,
+    pub core_bandwidth_bps: Option<Bps>,
 }
 
 impl TopologyConfig {
@@ -282,7 +283,7 @@ impl TopologyConfig {
 
     /// Caps the core switch at `bps` (see `core_bandwidth_bps`).
     #[must_use]
-    pub fn with_core_bandwidth(mut self, bps: u64) -> TopologyConfig {
+    pub fn with_core_bandwidth(mut self, bps: Bps) -> TopologyConfig {
         self.core_bandwidth_bps = Some(bps);
         self
     }
@@ -312,7 +313,7 @@ pub struct Testbed {
     /// Shard assignment of this topology (Static in unsharded builds).
     policy: ShardPolicy,
     /// Core-switch override the topology was built with.
-    core_bandwidth_bps: Option<u64>,
+    core_bandwidth_bps: Option<Bps>,
     /// Fabric port (= server shard) each client is attached to; empty
     /// in the single-client build.
     client_ports: Vec<u32>,
@@ -953,7 +954,8 @@ impl Testbed {
             let sim2 = Rc::clone(sim);
             let last = Cell::new(sim2.counters().get("net.total.bytes"));
             // Bits the link can carry per sampling period.
-            let cap_bits = link.bandwidth_bps.saturating_mul(period.as_nanos()) / 1_000_000_000;
+            let cap_bits =
+                link.bandwidth_bps.get().saturating_mul(period.as_nanos()) / 1_000_000_000;
             g.register("link.util_pct", move || {
                 let total = sim2.counters().get("net.total.bytes");
                 let delta = total.saturating_sub(last.get());
@@ -1020,6 +1022,7 @@ impl Testbed {
             let last = Cell::new(sim2.counters().get("net.total.bytes"));
             let cap_bits = link
                 .bandwidth_bps
+                .get()
                 .saturating_mul(servers as u64)
                 .saturating_mul(period.as_nanos())
                 / 1_000_000_000;
@@ -1390,8 +1393,8 @@ impl Testbed {
     }
 
     /// Total bytes on the wire so far.
-    pub fn bytes(&self) -> u64 {
-        self.sim.counters().get("net.total.bytes")
+    pub fn bytes(&self) -> Bytes {
+        Bytes::new(self.sim.counters().get("net.total.bytes"))
     }
 
     /// Empties every client-side cache — the paper's cold-cache

@@ -13,13 +13,15 @@
 //!
 //! ```
 //! use cpu::CostModel;
+//! use simkit::units::Bytes;
 //! let m = CostModel::p3_933();
 //! // The paper's 2x processing-path observation:
-//! let nfs = m.nfs_request(4096);
-//! let iscsi = m.iscsi_request(4096);
+//! let nfs = m.nfs_request(Bytes::new(4096));
+//! let iscsi = m.iscsi_request(Bytes::new(4096));
 //! assert!(nfs.as_nanos() > 1 * iscsi.as_nanos() && nfs.as_nanos() < 3 * iscsi.as_nanos());
 //! ```
 
+use simkit::units::{self, Bytes};
 use simkit::{HostId, Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -70,25 +72,25 @@ impl CostModel {
         }
     }
 
-    fn path_cost(&self, layers: u32, bytes: u64) -> SimDuration {
-        self.layer * layers as u64 + self.per_kib * bytes.div_ceil(1024)
+    fn path_cost(&self, layers: u32, bytes: Bytes) -> SimDuration {
+        self.layer * layers as u64 + self.per_kib * bytes.get().div_ceil(1024)
     }
 
     /// Server cost of one NFS RPC: network → RPC → NFS server → VFS →
     /// file system → block → driver (7 layers).
-    pub fn nfs_request(&self, bytes: u64) -> SimDuration {
+    pub fn nfs_request(&self, bytes: Bytes) -> SimDuration {
         self.path_cost(7, bytes)
     }
 
     /// Server cost of an NFS RPC that misses the server's meta-data
     /// cache: the VFS/FS/block trio is traversed repeatedly.
     pub fn nfs_metadata_miss_request(&self) -> SimDuration {
-        self.path_cost(4 + 3 * self.metadata_revisits, 0)
+        self.path_cost(4 + 3 * self.metadata_revisits, Bytes::ZERO)
     }
 
     /// Server cost of one iSCSI command: network → SCSI server →
     /// block → driver (4 layers, about half the NFS path).
-    pub fn iscsi_request(&self, bytes: u64) -> SimDuration {
+    pub fn iscsi_request(&self, bytes: Bytes) -> SimDuration {
         self.path_cost(4, bytes)
     }
 
@@ -97,13 +99,13 @@ impl CostModel {
     /// client, which the paper measures as order-of-magnitude higher
     /// client utilization for PostMark (Table 10).
     pub fn iscsi_client_syscall(&self) -> SimDuration {
-        self.path_cost(4, 0)
+        self.path_cost(4, Bytes::ZERO)
     }
 
     /// Client cost of one NFS system call (VFS + NFS client + RPC +
     /// network): thin, because the file system runs at the server.
     pub fn nfs_client_syscall(&self) -> SimDuration {
-        self.path_cost(2, 0)
+        self.path_cost(2, Bytes::ZERO)
     }
 
     /// Client dispatch cost of a read/write system call, excluding the
@@ -265,7 +267,7 @@ impl CpuAccount {
             busy[w] += b;
         }
         busy.iter()
-            .map(|&b| (b as f64 / window.as_nanos() as f64).min(1.0))
+            .map(|&b| units::ratio(b, window.as_nanos()).min(1.0))
             .collect()
     }
 
@@ -283,7 +285,7 @@ impl CpuAccount {
             return 0.0;
         }
         u.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let idx = ((pct / 100.0) * (u.len() as f64 - 1.0)).round() as usize;
+        let idx = ((pct / 100.0) * (units::usize_f64(u.len()) - 1.0)).round() as usize;
         u[idx.min(u.len() - 1)]
     }
 }
@@ -295,22 +297,22 @@ mod tests {
     #[test]
     fn nfs_path_is_about_twice_iscsi() {
         let m = CostModel::p3_933();
-        let nfs = m.nfs_request(0).as_nanos() as f64;
-        let iscsi = m.iscsi_request(0).as_nanos() as f64;
+        let nfs = m.nfs_request(Bytes::ZERO).as_nanos() as f64;
+        let iscsi = m.iscsi_request(Bytes::ZERO).as_nanos() as f64;
         assert!((1.5..2.2).contains(&(nfs / iscsi)), "{}", nfs / iscsi);
     }
 
     #[test]
     fn metadata_miss_is_more_expensive() {
         let m = CostModel::p3_933();
-        assert!(m.nfs_metadata_miss_request() > m.nfs_request(0));
+        assert!(m.nfs_metadata_miss_request() > m.nfs_request(Bytes::ZERO));
     }
 
     #[test]
     fn data_cost_scales_with_bytes() {
         let m = CostModel::p3_933();
-        let small = m.iscsi_request(4096);
-        let large = m.iscsi_request(131_072);
+        let small = m.iscsi_request(Bytes::new(4096));
+        let large = m.iscsi_request(Bytes::new(131_072));
         assert!(large > small);
         assert_eq!(
             (large - small).as_nanos(),

@@ -6,7 +6,7 @@
 //! ```toml
 //! # Comments start with '#'.
 //! [[allow]]
-//! lint = "D2"                      # required: D1..D5
+//! lint = "D2"                      # required: D1..D6 or U1..U2
 //! path = "crates/ext3/src/cache.rs" # required: workspace-relative
 //! contains = "self.map.values()"   # optional: substring of the line
 //! reason = "why this is sound"     # required, must be non-empty
@@ -149,7 +149,7 @@ pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
         match key {
             "lint" => {
                 entry.lint = Some(Lint::from_id(&value).ok_or(format!(
-                    "detlint.toml:{lineno}: unknown lint `{value}` (expected D1..D5)"
+                    "detlint.toml:{lineno}: unknown lint `{value}` (expected D1..D6 or U1..U2)"
                 ))?)
             }
             "path" => entry.path = Some(value),

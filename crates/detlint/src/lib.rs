@@ -16,6 +16,8 @@
 //! | D4 | thread spawn / channels outside `simkit::sweep` | one sanctioned home for parallelism keeps the `--jobs N == --jobs 1` proof small |
 //! | D5 | float arithmetic inside a spawned closure | float addition is not associative; cross-thread float folds must go through `ReportBuilder::merge_report`'s index-ordered fold |
 //! | D6 | heap/queue ordering on bare `SimTime` (a `BinaryHeap` whose key names `SimTime` without the `EventKey` wrapper) | equal-time entries then pop in heap-internal order, which is not part of any contract; key events with `simkit::events::EventKey`'s `(time, host, seq)` tie-break |
+//! | U1 | public quantity params/fields named `*_bytes`/`*_bps`/`*_nanos` (or exactly `bytes`/`bps`/`nanos`) declared as bare integers in model crates | quantities must carry their dimension in the type ([`simkit::units::Bytes`], [`simkit::units::Bps`], `simkit::SimDuration`), so a bits/bytes or ns/ms mix-up is a compile error, not a silently wrong golden |
+//! | U2 | lossy `as f64`/`as u64`/`as u32` casts in model code outside `simkit::units` | every float↔int boundary must go through the audited `simkit::units` helpers (`to_f64`, `ratio`, `f64_to_u64`, ...), so saturation and rounding semantics are defined in exactly one place |
 //!
 //! # How it works (and what it cannot see)
 //!
@@ -67,13 +69,27 @@ pub enum Lint {
     /// Heap/queue ordering on bare `SimTime` without the
     /// `(time, host, seq)` tie-break wrapper.
     D6,
+    /// Bare-integer quantity declarations (`*_bytes`/`*_bps`/
+    /// `*_nanos`) in model crates.
+    U1,
+    /// Lossy numeric casts in model code outside `simkit::units`.
+    U2,
 }
 
 impl Lint {
     /// All lints, in id order.
-    pub const ALL: [Lint; 6] = [Lint::D1, Lint::D2, Lint::D3, Lint::D4, Lint::D5, Lint::D6];
+    pub const ALL: [Lint; 8] = [
+        Lint::D1,
+        Lint::D2,
+        Lint::D3,
+        Lint::D4,
+        Lint::D5,
+        Lint::D6,
+        Lint::U1,
+        Lint::U2,
+    ];
 
-    /// Parses `"D1"`..`"D6"`.
+    /// Parses `"D1"`..`"D6"`, `"U1"`, `"U2"`.
     pub fn from_id(s: &str) -> Option<Lint> {
         match s {
             "D1" => Some(Lint::D1),
@@ -82,11 +98,13 @@ impl Lint {
             "D4" => Some(Lint::D4),
             "D5" => Some(Lint::D5),
             "D6" => Some(Lint::D6),
+            "U1" => Some(Lint::U1),
+            "U2" => Some(Lint::U2),
             _ => None,
         }
     }
 
-    /// The short id (`"D1"`..`"D6"`).
+    /// The short id (`"D1"`..`"D6"`, `"U1"`, `"U2"`).
     pub fn id(self) -> &'static str {
         match self {
             Lint::D1 => "D1",
@@ -95,6 +113,8 @@ impl Lint {
             Lint::D4 => "D4",
             Lint::D5 => "D5",
             Lint::D6 => "D6",
+            Lint::U1 => "U1",
+            Lint::U2 => "U2",
         }
     }
 }
@@ -163,6 +183,40 @@ impl<'a> FileContext<'a> {
         self.path.starts_with(&prefix)
     }
 
+    /// Crates whose code models physical quantities — where the U1/U2
+    /// unit-safety lints apply. `bench`, `traces`, `detlint` and the
+    /// vendored `loom`/`proptest` shims move tool-side numbers, not
+    /// modeled bytes or bandwidths.
+    fn in_model_crate(&self) -> bool {
+        const MODEL_CRATES: &[&str] = &[
+            "simkit",
+            "net",
+            "blockdev",
+            "rpc",
+            "iscsi",
+            "nfs",
+            "scsi",
+            "ext3",
+            "cpu",
+            "vfs",
+            "workloads",
+            "core",
+        ];
+        MODEL_CRATES.iter().any(|c| self.in_crate(c))
+    }
+
+    /// The sanctioned homes of raw-integer quantity math: the newtype
+    /// module itself, the virtual clock, and the deterministic RNG's
+    /// uniform-draw helpers.
+    fn units_sanctioned(&self) -> bool {
+        matches!(
+            self.path,
+            "crates/simkit/src/units.rs"
+                | "crates/simkit/src/clock.rs"
+                | "crates/simkit/src/rng.rs"
+        )
+    }
+
     /// Whether `lint` applies to this file at all (test-line handling
     /// is separate, see [`lint_applies_in_tests`]).
     ///
@@ -172,12 +226,16 @@ impl<'a> FileContext<'a> {
     ///   and D5 off.
     /// * `crates/simkit/src/sweep.rs` is the one sanctioned home of
     ///   thread spawn and channels — D4 off there and only there.
+    /// * U1/U2 apply only in model crates (see [`Self::in_model_crate`]),
+    ///   and never in `simkit`'s `units`/`clock`/`rng` modules — those
+    ///   are where the raw-integer math is supposed to live.
     pub fn lint_applies(&self, lint: Lint) -> bool {
         match lint {
             Lint::D1 => !self.in_crate("bench") && !self.in_crate("loom"),
             Lint::D2 | Lint::D3 | Lint::D6 => true,
             Lint::D4 => !self.in_crate("loom") && self.path != "crates/simkit/src/sweep.rs",
             Lint::D5 => !self.in_crate("loom"),
+            Lint::U1 | Lint::U2 => self.in_model_crate() && !self.units_sanctioned(),
         }
     }
 
@@ -188,7 +246,9 @@ impl<'a> FileContext<'a> {
     /// assertion-internal, and build throwaway time-keyed heaps whose
     /// pop order the assertion itself pins down, so D2, D4, D5 and D6
     /// are off; D1 and D3 stay on — a test reading the wall clock or
-    /// ambient randomness is a flaky test.
+    /// ambient randomness is a flaky test. U1/U2 are off too: tests
+    /// legitimately compare newtype arithmetic against raw-integer
+    /// reference formulas.
     pub fn lint_applies_in_tests(lint: Lint) -> bool {
         matches!(lint, Lint::D1 | Lint::D3)
     }
@@ -235,6 +295,34 @@ mod tests {
         assert!(FileContext::new("crates/simkit/src/events.rs").lint_applies(Lint::D6));
         assert!(loom.lint_applies(Lint::D6));
         assert!(!FileContext::lint_applies_in_tests(Lint::D6));
+
+        // U1/U2: model crates only, minus the sanctioned units trio.
+        let net = FileContext::new("crates/net/src/lib.rs");
+        assert!(net.lint_applies(Lint::U1));
+        assert!(net.lint_applies(Lint::U2));
+        for sanctioned in [
+            "crates/simkit/src/units.rs",
+            "crates/simkit/src/clock.rs",
+            "crates/simkit/src/rng.rs",
+        ] {
+            let f = FileContext::new(sanctioned);
+            assert!(!f.lint_applies(Lint::U1), "{sanctioned}");
+            assert!(!f.lint_applies(Lint::U2), "{sanctioned}");
+        }
+        assert!(FileContext::new("crates/simkit/src/histogram.rs").lint_applies(Lint::U2));
+        for tool in [
+            "crates/bench/src/bin/tables.rs",
+            "crates/detlint/src/scan.rs",
+            "crates/loom/src/lib.rs",
+            "crates/proptest/src/lib.rs",
+            "crates/traces/src/lib.rs",
+        ] {
+            let f = FileContext::new(tool);
+            assert!(!f.lint_applies(Lint::U1), "{tool}");
+            assert!(!f.lint_applies(Lint::U2), "{tool}");
+        }
+        assert!(!FileContext::lint_applies_in_tests(Lint::U1));
+        assert!(!FileContext::lint_applies_in_tests(Lint::U2));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! `cargo run -p detlint` — lint the whole workspace for determinism
-//! violations (see the library docs for the D1–D5 catalogue).
+//! violations (see the library docs for the D1–D6/U1–U2 catalogue).
 //!
 //! Exit status: 0 when every finding is suppressed by `detlint.toml`,
 //! 1 when any finding remains (or the allowlist is malformed).
@@ -26,7 +26,7 @@ fn main() -> ExitCode {
             "--no-allowlist" => use_allowlist = false,
             "--help" | "-h" => {
                 println!(
-                    "detlint: workspace determinism linter (D1-D5)\n\
+                    "detlint: workspace determinism and unit-safety linter (D1-D6, U1-U2)\n\
                      usage: detlint [--root <dir>] [--verbose] [--no-allowlist]"
                 );
                 return ExitCode::SUCCESS;

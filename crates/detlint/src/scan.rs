@@ -36,6 +36,18 @@ const D4_PATTERNS: &[&str] = &[
     "rayon::",
 ];
 
+/// Bare integer types a U1 quantity name must not be declared with.
+const U1_INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Float-producing method calls that mark a line as float context for
+/// U2's `as u64`/`as u32` check.
+const U2_FLOAT_CALLS: &[&str] = &[
+    ".round()", ".ceil()", ".floor()", ".trunc()", ".ln(", ".log2(", ".log10(", ".sqrt(", ".exp(",
+    ".powf(", ".powi(",
+];
+
 /// Methods whose call on a hash-typed binding fires D2.
 const HASH_ITER_METHODS: &[&str] = &[
     ".iter()",
@@ -175,6 +187,65 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                  tie-break (or use simkit::EventQueue)"
                     .to_string(),
             );
+        }
+    }
+
+    // U1: quantity-named identifiers (`bytes`/`bps`/`nanos` or a
+    // `_bytes`/`_bps`/`_nanos` suffix) declared with a bare integer
+    // type. The match is case-sensitive, so SCREAMING_CASE constants
+    // (`SEGMENT_HEADER_BYTES: u64`) — compile-time protocol facts, not
+    // flowing quantities — do not fire.
+    for (i, line) in lines.iter().enumerate() {
+        if let Some((ident, ty, suggest)) = u1_bare_quantity(line) {
+            if active(Lint::U1, i) {
+                push(
+                    Lint::U1,
+                    i,
+                    format!(
+                        "bare integer quantity `{ident}: {ty}` — declare it as {suggest} \
+                         so the dimension is carried by the type; wrap with ::new() at \
+                         the boundary and unwrap with .get() where raw math is needed"
+                    ),
+                );
+            }
+        }
+    }
+
+    // U2: lossy numeric casts outside the sanctioned simkit::units
+    // helpers. `as f64`/`as f32` always lose (u64 has more mantissa
+    // than f64); `as u64`/`as u32` are flagged only in float context —
+    // int→int narrowing is a different (documented, unlinted) class.
+    for (i, line) in lines.iter().enumerate() {
+        for pat in ["as f64", "as f32"] {
+            if contains_word(line, pat) && active(Lint::U2, i) {
+                push(
+                    Lint::U2,
+                    i,
+                    format!(
+                        "lossy cast `{pat}` outside simkit::units — use units::to_f64 \
+                         (or units::ratio for a quotient) so the int→float boundary \
+                         is audited in one place"
+                    ),
+                );
+            }
+        }
+        for pat in ["as u64", "as u32"] {
+            if contains_word(line, pat) && float_context(line) && active(Lint::U2, i) {
+                let helper = if pat.ends_with("u64") {
+                    "units::f64_to_u64"
+                } else {
+                    "units::f64_to_u32"
+                };
+                push(
+                    Lint::U2,
+                    i,
+                    format!(
+                        "lossy float→int cast `{pat}` outside simkit::units — use \
+                         {helper} (saturating, NaN→0) so rounding semantics are \
+                         audited in one place"
+                    ),
+                );
+            }
         }
     }
 
@@ -373,6 +444,105 @@ fn trailing_ident(s: &str) -> Option<String> {
     let id = &s[start..end];
     (!id.is_empty() && !id.chars().next().is_some_and(|c| c.is_ascii_digit()))
         .then(|| id.to_string())
+}
+
+/// If `line` declares a quantity-named identifier with a bare integer
+/// type (`foo_bytes: u64`, `bps: Cell<u64>`, ...), returns
+/// `(ident, int_type, suggested_replacement)`.
+fn u1_bare_quantity(line: &str) -> Option<(String, &'static str, &'static str)> {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(':') {
+        let at = from + pos;
+        from = at + 1;
+        // Skip `::` path separators (either side).
+        if b.get(at + 1) == Some(&b':') || (at > 0 && b[at - 1] == b':') {
+            from = at + 2;
+            continue;
+        }
+        let Some(ident) = trailing_ident(&line[..at]) else {
+            continue;
+        };
+        let Some(suggest) = u1_suggestion(&ident) else {
+            continue;
+        };
+        if let Some(ty) = bare_int_type_after(&line[at + 1..]) {
+            return Some((ident, ty, suggest));
+        }
+    }
+    None
+}
+
+/// The `simkit` replacement for a quantity-suffixed identifier, if the
+/// name marks one. Case-sensitive so SCREAMING_CASE consts stay out.
+fn u1_suggestion(ident: &str) -> Option<&'static str> {
+    if ident == "bytes" || ident.ends_with("_bytes") {
+        Some("simkit::units::Bytes")
+    } else if ident == "bps" || ident.ends_with("_bps") {
+        Some("simkit::units::Bps")
+    } else if ident == "nanos" || ident.ends_with("_nanos") {
+        Some("simkit::SimDuration")
+    } else {
+        None
+    }
+}
+
+/// If the text after a declaration colon is a bare integer type —
+/// possibly behind references or wrapper generics (`&`, `Option<`,
+/// `Cell<`, ...) — returns that type token.
+fn bare_int_type_after(rest: &str) -> Option<&'static str> {
+    let mut rest = rest.trim_start();
+    loop {
+        if let Some(r) = rest.strip_prefix('&') {
+            rest = r.trim_start();
+            continue;
+        }
+        let id_len = rest.chars().take_while(|&c| is_ident_char(c)).count();
+        if id_len > 0 && !U1_INT_TYPES.contains(&&rest[..id_len]) {
+            let after = rest[id_len..].trim_start();
+            if let Some(inner) = after.strip_prefix('<') {
+                rest = inner.trim_start();
+                continue;
+            }
+        }
+        break;
+    }
+    let id_len = rest.chars().take_while(|&c| is_ident_char(c)).count();
+    U1_INT_TYPES
+        .iter()
+        .find(|&&t| t == &rest[..id_len])
+        .copied()
+}
+
+/// Is there float math on this line (literal, `f64`/`f32` word, or a
+/// float-producing method call)?
+fn float_context(line: &str) -> bool {
+    if contains_word(line, "f64") || contains_word(line, "f32") {
+        return true;
+    }
+    if U2_FLOAT_CALLS.iter().any(|p| line.contains(p)) {
+        return true;
+    }
+    // Float literal: `1.5` or exponent form `1e9` (but not a hex
+    // literal like `0x1e9`, where `e` is just a digit).
+    let b = line.as_bytes();
+    (1..b.len().saturating_sub(1)).any(|i| {
+        if !b[i - 1].is_ascii_digit() || !b[i + 1].is_ascii_digit() {
+            return false;
+        }
+        match b[i] {
+            b'.' => true,
+            b'e' | b'E' => {
+                let start = (0..i)
+                    .rev()
+                    .take_while(|&j| is_ident_char(b[j] as char))
+                    .last();
+                let start = start.unwrap_or(i);
+                !line[start..].starts_with("0x") && !line[start..].starts_with("0X")
+            }
+            _ => false,
+        }
+    })
 }
 
 fn d2_message(name: &str) -> String {
@@ -668,6 +838,87 @@ fn f() {
         // is asserting about its own toy heap.
         let test = "#[cfg(test)]\nmod tests {\n    fn t() { let h: BinaryHeap<SimTime> = BinaryHeap::new(); let _ = h; }\n}\n";
         assert!(lints_of("crates/x/src/lib.rs", test).is_empty());
+    }
+
+    #[test]
+    fn u1_fires_on_bare_quantity_declarations() {
+        // Params, struct fields, and wrapper generics all fire.
+        let param = "pub fn send(&self, payload_bytes: u64) {}\n";
+        assert_eq!(
+            lints_of("crates/net/src/lib.rs", param),
+            vec![(Lint::U1, 1)]
+        );
+        let field = "pub struct L { pub bandwidth_bps: Cell<u64> }\n";
+        assert_eq!(
+            lints_of("crates/net/src/lib.rs", field),
+            vec![(Lint::U1, 1)]
+        );
+        let opt = "pub core_bandwidth_bps: Option<u64>,\n";
+        assert_eq!(
+            lints_of("crates/core/src/testbed.rs", opt),
+            vec![(Lint::U1, 1)]
+        );
+        // The newtype declaration itself is clean.
+        let typed = "pub struct L { pub bandwidth_bps: Bps }\n";
+        assert!(lints_of("crates/net/src/lib.rs", typed).is_empty());
+        // SCREAMING_CASE protocol constants are not flowing quantities.
+        let konst = "pub const SEGMENT_HEADER_BYTES: u64 = 66;\n";
+        assert!(lints_of("crates/net/src/lib.rs", konst).is_empty());
+        // Outside the model crates the lint is off entirely.
+        assert!(lints_of("crates/bench/src/bin/tables.rs", param).is_empty());
+        // Suggestions name the replacement type.
+        let d = &lint_source("crates/net/src/lib.rs", param)[0];
+        assert!(d.message.contains("simkit::units::Bytes"), "{}", d.message);
+        let n = "fn wait(deadline_nanos: u64) {}\n";
+        let d = &lint_source("crates/rpc/src/lib.rs", n)[0];
+        assert!(d.message.contains("simkit::SimDuration"), "{}", d.message);
+    }
+
+    #[test]
+    fn u1_is_off_on_test_lines_and_sanctioned_files() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn helper(bytes: u64) -> u64 { bytes }
+}
+";
+        assert!(lints_of("crates/net/src/lib.rs", src).is_empty());
+        let clock = "pub const fn from_nanos(nanos: u64) -> SimDuration { SimDuration(nanos) }\n";
+        assert!(lints_of("crates/simkit/src/clock.rs", clock).is_empty());
+        // The same declaration in unsanctioned simkit code fires.
+        assert_eq!(
+            lints_of("crates/simkit/src/histogram.rs", clock),
+            vec![(Lint::U1, 1)]
+        );
+    }
+
+    #[test]
+    fn u2_fires_on_lossy_casts() {
+        let f = "fn f(n: u64) -> f64 { n as f64 }\n";
+        assert_eq!(lints_of("crates/cpu/src/lib.rs", f), vec![(Lint::U2, 1)]);
+        // Float→int only in float context...
+        let rounded = "fn g(x: f64) -> u64 { x.round() as u64 }\n";
+        assert_eq!(
+            lints_of("crates/cpu/src/lib.rs", rounded),
+            vec![(Lint::U2, 1)]
+        );
+        let scaled = "let n = (secs * 1e9) as u64;\n";
+        assert_eq!(
+            lints_of("crates/cpu/src/lib.rs", scaled),
+            vec![(Lint::U2, 1)]
+        );
+        // ...not for int→int narrowing or widening.
+        let narrow = "let lo = (x >> 32) as u32;\n";
+        assert!(lints_of("crates/cpu/src/lib.rs", narrow).is_empty());
+        let widen = "let w = nblocks as u64 * 4096;\n";
+        assert!(lints_of("crates/cpu/src/lib.rs", widen).is_empty());
+        // Off in the sanctioned helper module and on test lines.
+        assert!(lints_of("crates/simkit/src/units.rs", f).is_empty());
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = 3u64 as f64; }\n}\n";
+        assert!(lints_of("crates/cpu/src/lib.rs", test).is_empty());
+        // The message names the sanctioned helper.
+        let d = &lint_source("crates/cpu/src/lib.rs", rounded)[0];
+        assert!(d.message.contains("units::f64_to_u64"), "{}", d.message);
     }
 
     #[test]

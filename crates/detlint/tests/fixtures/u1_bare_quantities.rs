@@ -1,0 +1,46 @@
+//! Fixture: quantity-suffixed names declared with bare integer types.
+//! Expected: U1 on the `bandwidth_bps` field, the `payload_bytes`
+//! param, the `Cell`-wrapped `deadline_nanos`, and the
+//! `Option`-wrapped `core_bandwidth_bps` — and nothing for the
+//! newtype-typed field, the SCREAMING_CASE constant, the test helper,
+//! or the non-quantity name.
+
+use std::cell::Cell;
+
+pub struct LinkParams {
+    pub bandwidth_bps: u64,
+    pub mtu_bytes: Bytes,
+}
+
+pub fn send(payload_bytes: u64) -> u64 {
+    payload_bytes
+}
+
+pub struct Deadline {
+    pub deadline_nanos: Cell<u64>,
+}
+
+pub struct Topology {
+    pub core_bandwidth_bps: Option<u64>,
+}
+
+/// Compile-time protocol fact, not a flowing quantity: clean.
+pub const SEGMENT_HEADER_BYTES: u64 = 66;
+
+/// A non-quantity name with an integer type is clean.
+pub fn lookup(index: u64) -> u64 {
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    // U1 is relaxed on test lines: helpers may take raw integers.
+    fn mk(bytes: u64) -> u64 {
+        bytes
+    }
+
+    #[test]
+    fn raw_helpers_ok() {
+        assert_eq!(mk(4096), 4096);
+    }
+}

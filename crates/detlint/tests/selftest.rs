@@ -11,7 +11,15 @@ fn lint_fixture(name: &str) -> Vec<detlint::Diagnostic> {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
     let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
     // Pretend the fixture lives in library code so every lint applies.
-    lint_source(&format!("crates/example/src/{name}"), &src)
+    // The units fixtures need a model-crate home (U1/U2 are scoped to
+    // the quantity-modeling crates by policy); the determinism ones
+    // keep a neutral path.
+    let home = if name.starts_with('u') {
+        "net"
+    } else {
+        "example"
+    };
+    lint_source(&format!("crates/{home}/src/{name}"), &src)
 }
 
 /// `(lint, line)` pairs, sorted, for compact expectations.
@@ -132,6 +140,63 @@ fn d6_flags_flow_timer_heaps_but_not_eventkey_deadlines() {
 }
 
 #[test]
+fn u1_flags_bare_quantity_names_with_suggestions() {
+    // The raw field, the raw param, and the two wrapper-generic
+    // fields — nothing for the newtype field, the SCREAMING_CASE
+    // constant, the non-quantity name, or the test helper.
+    assert_eq!(
+        findings("u1_bare_quantities.rs"),
+        vec![
+            (Lint::U1, 11),
+            (Lint::U1, 15),
+            (Lint::U1, 20),
+            (Lint::U1, 24)
+        ]
+    );
+    // Every diagnostic names the replacement type.
+    for d in lint_fixture("u1_bare_quantities.rs") {
+        let ok = d.message.contains("simkit::units::Bytes")
+            || d.message.contains("simkit::units::Bps")
+            || d.message.contains("simkit::SimDuration");
+        assert!(ok, "no suggestion in: {}", d.message);
+    }
+}
+
+#[test]
+fn u2_flags_lossy_casts_with_helper_suggestions() {
+    // int→float widening, `.round()` truncation, exponent-literal
+    // scaling — nothing for int→int narrowing, hex literals, or
+    // test code.
+    assert_eq!(
+        findings("u2_lossy_casts.rs"),
+        vec![(Lint::U2, 8), (Lint::U2, 13), (Lint::U2, 18)]
+    );
+    for d in lint_fixture("u2_lossy_casts.rs") {
+        assert!(
+            d.message.contains("units::"),
+            "no helper suggestion in: {}",
+            d.message
+        );
+    }
+}
+
+#[test]
+fn allowlist_suppresses_u2_with_reason() {
+    let toml = r#"
+[[allow]]
+lint = "U2"
+path = "crates/net/src/u2_lossy_casts.rs"
+contains = "as f64"
+reason = "fixture: audited widening below 2^53"
+"#;
+    let allow = parse_allowlist(toml).expect("valid allowlist");
+    let (kept, suppressed, unused) = allow.apply(lint_fixture("u2_lossy_casts.rs"));
+    assert_eq!(suppressed.len(), 1, "exactly the `as f64` line");
+    assert_eq!(kept.len(), 2, "the float→int casts stay: {kept:?}");
+    assert!(unused.is_empty());
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     assert_eq!(findings("clean.rs"), vec![]);
 }
@@ -212,6 +277,16 @@ fn binary_exits_nonzero_on_fixture_violations() {
         !stdout.contains("clean.rs"),
         "clean fixture must not be flagged"
     );
+    // Under `--root fixtures` the walker sees bare file names with no
+    // `crates/<model>/` prefix, so the units lints are policy-exempt:
+    // the U fixtures fire only when homed in a model crate (covered by
+    // the `u1_`/`u2_` tests above).
+    for file in ["u1_bare_quantities.rs", "u2_lossy_casts.rs"] {
+        assert!(
+            !stdout.contains(file),
+            "units lints must stay scoped to model crates:\n{stdout}"
+        );
+    }
 }
 
 /// The binary against the real workspace (its default root): the gate
@@ -250,4 +325,12 @@ fn policy_matrix_is_enforced_per_path() {
     let rand = "use std::collections::hash_map::RandomState;\npub fn r() -> RandomState { RandomState::new() }\n";
     assert!(!lint_source("crates/bench/src/lib.rs", rand).is_empty());
     assert!(!lint_source("crates/core/tests/x.rs", rand).is_empty());
+
+    // Units lints run in model crates only, and the sanctioned
+    // simkit::units boundary module is where the casts are allowed
+    // to live.
+    let quantity = "pub fn f(req_bytes: u64) -> f64 { req_bytes as f64 }\n";
+    assert_eq!(lint_source("crates/nfs/src/client.rs", quantity).len(), 2);
+    assert!(lint_source("crates/simkit/src/units.rs", quantity).is_empty());
+    assert!(lint_source("crates/bench/src/bin/tables.rs", quantity).is_empty());
 }

@@ -45,6 +45,7 @@ pub use pdu::{BasicHeader, Opcode, Pdu, BHS_LEN};
 use blockdev::{BlockDevice, BlockNo, IoCost, Result as BlockResult, BLOCK_SIZE};
 use net::Channel;
 use scsi::{Cdb, ScsiStatus, ScsiTarget, SenseKey};
+use simkit::units::Bytes;
 use simkit::{CounterHandle, MetricHandle};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -321,7 +322,7 @@ impl Initiator {
         let session = self.target.open_session(lun)?;
         // Security negotiation stage, then operational stage.
         for stage in ["security", "operational"] {
-            let d = self.chan.round_trip(512, 512);
+            let d = self.chan.round_trip(Bytes::new(512), Bytes::new(512));
             sim.counters().incr("proto.iscsi.txns");
             sim.counters().incr(&format!("proto.iscsi.login.{stage}"));
             sim.advance(d);
@@ -451,15 +452,15 @@ impl RemoteDisk {
         } else {
             0
         };
-        wire += send_accounted(&self.chan, BHS_LEN as u64 + immediate as u64);
+        wire += send_accounted(&self.chan, Bytes::new(BHS_LEN as u64 + immediate as u64));
 
         // Remaining data-out PDUs (solicited; we fold the R2T into the
         // stream as one extra header when initial_r2t is set).
         let mut remaining = data_out.len() - immediate;
         if remaining > 0 && self.params.initial_r2t {
-            wire += send_accounted(&self.chan, BHS_LEN as u64); // R2T
+            wire += send_accounted(&self.chan, Bytes::new(BHS_LEN as u64)); // R2T
         }
-        let mut out_burst = 0u64;
+        let mut out_burst = Bytes::ZERO;
         while remaining > 0 {
             let chunk = remaining.min(seg);
             if self.chan.tcp_modeled() {
@@ -467,16 +468,16 @@ impl RemoteDisk {
                 // across the session's connections below (one burst
                 // through every flow's congestion window), so only the
                 // bytes are gathered here.
-                out_burst += BHS_LEN as u64 + chunk as u64;
+                out_burst += Bytes::new(BHS_LEN as u64 + chunk as u64);
             } else {
                 // Pipe model: multiple connections drain data-out PDUs
                 // in parallel.
-                wire += p.serialize(BHS_LEN as u64 + chunk as u64) / conns;
+                wire += p.serialize(Bytes::new(BHS_LEN as u64 + chunk as u64)) / conns;
             }
-            self.account_bytes(BHS_LEN as u64 + chunk as u64);
+            self.account_bytes(Bytes::new(BHS_LEN as u64 + chunk as u64));
             remaining -= chunk;
         }
-        if out_burst > 0 {
+        if !out_burst.is_zero() {
             if let Some(d) = self.chan.tcp_burst(out_burst, net::Direction::Up) {
                 wire += d;
             }
@@ -520,20 +521,23 @@ impl RemoteDisk {
         let mut data_len = data_in_total;
         if data_len == 0 {
             // Status-only response.
-            wire += match self.chan.tcp_burst(BHS_LEN as u64, net::Direction::Down) {
+            wire += match self
+                .chan
+                .tcp_burst(Bytes::new(BHS_LEN as u64), net::Direction::Down)
+            {
                 Some(d) => d,
-                None => p.one_way(BHS_LEN as u64),
+                None => p.one_way(Bytes::new(BHS_LEN as u64)),
             };
-            self.account_bytes(BHS_LEN as u64);
+            self.account_bytes(Bytes::new(BHS_LEN as u64));
         } else if self.chan.tcp_modeled() {
             // The whole data-in sequence is one striped burst across
             // the session's connections: each flow carries every
             // conns-th segment through its own window, all contending
             // for the shared bottleneck queue.
-            let mut in_burst = 0u64;
+            let mut in_burst = Bytes::ZERO;
             while data_len > 0 {
                 let chunk = data_len.min(seg);
-                let bytes = BHS_LEN as u64 + chunk as u64;
+                let bytes = Bytes::new(BHS_LEN as u64 + chunk as u64);
                 in_burst += bytes;
                 self.account_bytes(bytes);
                 data_len -= chunk;
@@ -545,7 +549,7 @@ impl RemoteDisk {
             let mut first = true;
             while data_len > 0 {
                 let chunk = data_len.min(seg);
-                let bytes = BHS_LEN as u64 + chunk as u64;
+                let bytes = Bytes::new(BHS_LEN as u64 + chunk as u64);
                 if first {
                     wire += p.one_way(bytes);
                     first = false;
@@ -603,7 +607,9 @@ impl RemoteDisk {
         let sim = self.chan.network().sim().clone();
         self.txns.incr();
         sim.counters().incr("proto.iscsi.nop");
-        let d = self.chan.round_trip(BHS_LEN as u64, BHS_LEN as u64);
+        let d = self
+            .chan
+            .round_trip(Bytes::new(BHS_LEN as u64), Bytes::new(BHS_LEN as u64));
         sim.advance(d);
         d
     }
@@ -619,23 +625,27 @@ impl RemoteDisk {
         self.txns.incr();
         sim.counters().incr("proto.iscsi.snack");
         // SNACK out, then the resent PDUs stream back.
-        let mut d = self.chan.round_trip(BHS_LEN as u64, BHS_LEN as u64);
+        let mut d = self
+            .chan
+            .round_trip(Bytes::new(BHS_LEN as u64), Bytes::new(BHS_LEN as u64));
         for _ in 1..missing_pdus.max(1) {
-            self.account_bytes(BHS_LEN as u64);
-            d += p.serialize(BHS_LEN as u64 + self.params.max_recv_data_segment as u64);
+            self.account_bytes(Bytes::new(BHS_LEN as u64));
+            d += p.serialize(Bytes::new(
+                BHS_LEN as u64 + self.params.max_recv_data_segment as u64,
+            ));
         }
         sim.advance(d);
         d
     }
 
-    fn account_bytes(&self, bytes: u64) {
+    fn account_bytes(&self, bytes: Bytes) {
         self.chan.account_extra_bytes(bytes);
     }
 }
 
 /// Sends a one-way PDU through the channel (counted in `net.*`) and
 /// returns its latency.
-fn send_accounted(chan: &Channel, bytes: u64) -> simkit::SimDuration {
+fn send_accounted(chan: &Channel, bytes: Bytes) -> simkit::SimDuration {
     match chan.send(bytes) {
         net::Delivery::Delivered(d) => d,
         // iSCSI runs over TCP; loss is invisible above the transport.

@@ -45,7 +45,7 @@
 //! # Example
 //!
 //! ```
-//! use simkit::Sim;
+//! use simkit::{Bytes, Sim};
 //! use net::{Fabric, LinkParams, Transport};
 //!
 //! let sim = Sim::new(1);
@@ -53,8 +53,8 @@
 //! let a = fabric.host("c0").channel("nfs", Transport::Tcp);
 //! let b = fabric.host("c1").channel("nfs", Transport::Tcp);
 //! fabric.set_active(2); // both hosts now share the server link
-//! a.round_trip(128, 128);
-//! b.round_trip(128, 128);
+//! a.round_trip(Bytes::new(128), Bytes::new(128));
+//! b.round_trip(Bytes::new(128), Bytes::new(128));
 //! assert_eq!(sim.counters().get("net.c0.nfs.msgs"), 2);
 //! assert_eq!(sim.counters().get("net.c1.nfs.msgs"), 2);
 //! assert_eq!(sim.counters().get("net.nfs.msgs"), 4); // layered total
@@ -62,6 +62,7 @@
 
 use crate::tcp::TcpLink;
 use crate::{LinkParams, Network, Sniffer};
+use simkit::units::Bps;
 use simkit::{Sim, SimDuration};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -74,16 +75,16 @@ use std::rc::Rc;
 #[derive(Debug)]
 pub struct LinkShare {
     active: Cell<u32>,
-    base_bps: Cell<u64>,
+    base_bps: Cell<Bps>,
     /// `base_bps / active`, maintained by [`set_active`]
     /// (`LinkShare::set_active`) so the per-message path never divides.
-    share_bps: Cell<u64>,
+    share_bps: Cell<Bps>,
     /// The next link level up (core switch), if any.
     parent: Option<Rc<LinkShare>>,
 }
 
 impl LinkShare {
-    fn new(base_bps: u64, parent: Option<Rc<LinkShare>>) -> Rc<Self> {
+    fn new(base_bps: Bps, parent: Option<Rc<LinkShare>>) -> Rc<Self> {
         Rc::new(LinkShare {
             active: Cell::new(1),
             base_bps: Cell::new(base_bps),
@@ -110,14 +111,14 @@ impl LinkShare {
     }
 
     /// This level's bandwidth before sharing.
-    pub fn base_bps(&self) -> u64 {
+    pub fn base_bps(&self) -> Bps {
         self.base_bps.get()
     }
 
     /// The effective per-host rate: this level's cached fair share,
     /// capped by every level above. Two `Cell` reads on the common
     /// two-level tree.
-    pub fn effective_bps(&self) -> u64 {
+    pub fn effective_bps(&self) -> Bps {
         let own = self.share_bps.get();
         match &self.parent {
             Some(p) => own.min(p.effective_bps()),
@@ -125,7 +126,7 @@ impl LinkShare {
         }
     }
 
-    fn set_base_bps(&self, bps: u64) {
+    fn set_base_bps(&self, bps: Bps) {
         self.base_bps.set(bps);
         self.share_bps.set(bps / self.active.get() as u64);
     }
@@ -191,11 +192,11 @@ impl Fabric {
     /// # Panics
     ///
     /// Panics if `params.loss` is outside `[0, 1)`.
-    pub fn with_core(sim: Rc<Sim>, params: LinkParams, core_bandwidth_bps: u64) -> Rc<Self> {
+    pub fn with_core(sim: Rc<Sim>, params: LinkParams, core_bandwidth_bps: Bps) -> Rc<Self> {
         Fabric::with_core_inner(sim, params, Some(core_bandwidth_bps))
     }
 
-    fn with_core_inner(sim: Rc<Sim>, params: LinkParams, core_bps: Option<u64>) -> Rc<Self> {
+    fn with_core_inner(sim: Rc<Sim>, params: LinkParams, core_bps: Option<Bps>) -> Rc<Self> {
         params.validate();
         Rc::new(Fabric {
             sim,
@@ -380,7 +381,7 @@ impl Fabric {
 
     /// Reconfigures every edge link's base bandwidth (cached shares
     /// recompute; endpoints created later inherit it).
-    pub fn set_edge_bandwidth(&self, bps: u64) {
+    pub fn set_edge_bandwidth(&self, bps: Bps) {
         let mut base = self.base.get();
         base.bandwidth_bps = bps;
         self.base.set(base);
@@ -401,6 +402,11 @@ impl Fabric {
 mod tests {
     use super::*;
     use crate::Transport;
+    use simkit::Bytes;
+
+    fn b(n: u64) -> Bytes {
+        Bytes::new(n)
+    }
 
     fn setup() -> (Rc<Sim>, Rc<Fabric>) {
         let sim = Sim::new(11);
@@ -434,10 +440,10 @@ mod tests {
     fn per_host_counters_layer_over_totals() {
         let (sim, fabric) = setup();
         let a = fabric.host("c0").channel("nfs", Transport::Tcp);
-        let b = fabric.host("c1").channel("nfs", Transport::Tcp);
-        a.round_trip(100, 100);
-        b.round_trip(100, 100);
-        b.round_trip(100, 100);
+        let ch = fabric.host("c1").channel("nfs", Transport::Tcp);
+        a.round_trip(b(100), b(100));
+        ch.round_trip(b(100), b(100));
+        ch.round_trip(b(100), b(100));
         let c = sim.counters();
         assert_eq!(c.get("net.c0.nfs.msgs"), 2);
         assert_eq!(c.get("net.c1.nfs.msgs"), 4);
@@ -454,7 +460,7 @@ mod tests {
     fn extra_bytes_land_in_host_namespace() {
         let (sim, fabric) = setup();
         let ch = fabric.host("c3").channel("iscsi", Transport::Tcp);
-        ch.account_extra_bytes(4096);
+        ch.account_extra_bytes(b(4096));
         assert_eq!(sim.counters().get("net.c3.iscsi.bytes"), 4096);
         assert_eq!(sim.counters().get("net.iscsi.bytes"), 4096);
         assert_eq!(sim.counters().get("net.c3.iscsi.msgs"), 0);
@@ -470,8 +476,8 @@ mod tests {
         assert_eq!(one.params().bandwidth_bps, base.bandwidth_bps / 4);
         // Serialization time scales inversely with the share.
         assert_eq!(
-            one.params().serialize(4096).as_nanos(),
-            base.serialize(4096).as_nanos() * 4
+            one.params().serialize(b(4096)).as_nanos(),
+            base.serialize(b(4096)).as_nanos() * 4
         );
         fabric.set_active(1);
         assert_eq!(one.params().bandwidth_bps, base.bandwidth_bps);
@@ -484,8 +490,11 @@ mod tests {
         let pc = plain.channel("x", Transport::Tcp);
         let (sim2, fabric) = setup();
         let fc = fabric.host("c0").channel("x", Transport::Tcp);
-        assert_eq!(pc.round_trip(1000, 200), fc.round_trip(1000, 200));
-        assert_eq!(pc.stream(65_536, 16), fc.stream(65_536, 16));
+        assert_eq!(
+            pc.round_trip(b(1000), b(200)),
+            fc.round_trip(b(1000), b(200))
+        );
+        assert_eq!(pc.stream(b(65_536), 16), fc.stream(b(65_536), 16));
         drop((sim, sim2));
     }
 
@@ -523,25 +532,25 @@ mod tests {
     fn cored_fabric_caps_edges_by_the_core_share() {
         let sim = Sim::new(3);
         let edge = LinkParams::gigabit_lan(); // 1 Gb/s edges
-        let fabric = Fabric::with_core(sim, edge, 2_000_000_000); // 2 Gb/s core
+        let fabric = Fabric::with_core(sim, edge, Bps::new(2_000_000_000)); // 2 Gb/s core
         let p0 = fabric.add_port();
         let p1 = fabric.add_port();
         let a = fabric.host_on("c0", p0);
         let b = fabric.host_on("c1", p1);
         // Two ports on a 2 Gb/s core: each gets 1 Gb/s — edge-bound.
-        assert_eq!(a.params().bandwidth_bps, 1_000_000_000);
+        assert_eq!(a.params().bandwidth_bps, Bps::new(1_000_000_000));
         // A third port drops the core share to 666 Mb/s < edge: the
         // core now binds every endpoint, idle edges included.
         fabric.add_port();
-        assert_eq!(a.params().bandwidth_bps, 2_000_000_000 / 3);
-        assert_eq!(b.params().bandwidth_bps, 2_000_000_000 / 3);
+        assert_eq!(a.params().bandwidth_bps, Bps::new(2_000_000_000 / 3));
+        assert_eq!(b.params().bandwidth_bps, Bps::new(2_000_000_000 / 3));
     }
 
     #[test]
     fn edge_contention_is_per_port() {
         let sim = Sim::new(3);
         // Core wide enough (8 Gb/s) to never bind two ports.
-        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), 8_000_000_000);
+        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), Bps::new(8_000_000_000));
         let p0 = fabric.add_port();
         let p1 = fabric.add_port();
         let a = fabric.host_on("c0", p0);
@@ -549,12 +558,12 @@ mod tests {
         fabric.set_port_active(p0, 4);
         assert_eq!(
             a.params().bandwidth_bps,
-            1_000_000_000 / 4,
+            Bps::new(1_000_000_000 / 4),
             "port 0's hosts split its edge"
         );
         assert_eq!(
             b.params().bandwidth_bps,
-            1_000_000_000,
+            Bps::new(1_000_000_000),
             "port 1 is unaffected by port 0's load"
         );
     }
@@ -562,7 +571,7 @@ mod tests {
     #[test]
     fn ports_have_private_tcp_bottlenecks() {
         let sim = Sim::new(3);
-        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), 8_000_000_000);
+        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), Bps::new(8_000_000_000));
         let p0 = fabric.add_port();
         let p1 = fabric.add_port();
         assert!(!Rc::ptr_eq(
@@ -576,10 +585,10 @@ mod tests {
 
     #[test]
     fn share_cache_matches_direct_division() {
-        let s = LinkShare::new(1_000_000_007, None);
+        let s = LinkShare::new(Bps::new(1_000_000_007), None);
         for n in 1..=13u32 {
             s.set_active(n);
-            assert_eq!(s.effective_bps(), 1_000_000_007 / n as u64);
+            assert_eq!(s.effective_bps(), Bps::new(1_000_000_007 / n as u64));
         }
     }
 
@@ -587,7 +596,7 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn host_on_unknown_port_is_rejected() {
         let sim = Sim::new(3);
-        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), 1_000_000_000);
+        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), Bps::new(1_000_000_000));
         let _ = fabric.host_on("c0", 2);
     }
 
@@ -595,7 +604,7 @@ mod tests {
     #[should_panic(expected = "already attached")]
     fn rehoming_a_host_to_another_port_is_rejected() {
         let sim = Sim::new(3);
-        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), 1_000_000_000);
+        let fabric = Fabric::with_core(sim, LinkParams::gigabit_lan(), Bps::new(1_000_000_000));
         let p0 = fabric.add_port();
         let p1 = fabric.add_port();
         let _ = fabric.host_on("c0", p0);

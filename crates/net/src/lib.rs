@@ -18,13 +18,13 @@
 //! # Example
 //!
 //! ```
-//! use simkit::{Sim, SimDuration};
+//! use simkit::{Bytes, Sim, SimDuration};
 //! use net::{LinkParams, Network, Transport};
 //!
 //! let sim = Sim::new(1);
 //! let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
 //! let ch = netw.channel("rpc", Transport::Tcp);
-//! let rt = ch.round_trip(128, 128);
+//! let rt = ch.round_trip(Bytes::new(128), Bytes::new(128));
 //! sim.advance(rt);
 //! assert_eq!(sim.counters().get("net.rpc.msgs"), 2);
 //! ```
@@ -37,6 +37,7 @@ pub use fabric::{EndpointId, Fabric, LinkShare};
 pub use sniffer::{PacketRecord, SegKind, Sniffer};
 pub use tcp::{Direction, TcpEndpoint, TcpLink, Transfer, TransportModel};
 
+use simkit::units::{self, Bps, Bytes};
 use simkit::{Sim, SimDuration};
 use std::cell::{Cell, RefCell};
 use std::fmt;
@@ -57,10 +58,10 @@ pub enum Transport {
 
 impl Transport {
     /// Ethernet + IP + transport header bytes added to each message.
-    pub fn header_bytes(self) -> u64 {
+    pub fn header_bytes(self) -> Bytes {
         match self {
-            Transport::Udp => 14 + 20 + 8,
-            Transport::Tcp => 14 + 20 + 32, // options-bearing TCP header
+            Transport::Udp => Bytes::new(14 + 20 + 8),
+            Transport::Tcp => Bytes::new(14 + 20 + 32), // options-bearing TCP header
         }
     }
 }
@@ -71,7 +72,7 @@ pub struct LinkParams {
     /// Round-trip time (propagation only, both directions).
     pub rtt: SimDuration,
     /// Link bandwidth in bits per second, each direction.
-    pub bandwidth_bps: u64,
+    pub bandwidth_bps: Bps,
     /// Probability in `[0, 1)` that a message is lost (UDP only; TCP
     /// masks loss as latency). Zero on the paper's isolated LAN.
     pub loss: f64,
@@ -106,7 +107,7 @@ impl LinkParams {
     pub fn gigabit_lan() -> Self {
         LinkParams {
             rtt: SimDuration::from_micros(200),
-            bandwidth_bps: 1_000_000_000,
+            bandwidth_bps: Bps::new(1_000_000_000),
             loss: 0.0,
             transport: TransportModel::Pipe,
         }
@@ -117,7 +118,7 @@ impl LinkParams {
     pub fn wan(rtt: SimDuration) -> Self {
         LinkParams {
             rtt,
-            bandwidth_bps: 1_000_000_000,
+            bandwidth_bps: Bps::new(1_000_000_000),
             loss: 0.0,
             transport: TransportModel::Pipe,
         }
@@ -147,13 +148,15 @@ impl LinkParams {
         );
     }
 
-    /// Serialization (transmission) delay for `bytes` on this link.
-    pub fn serialize(&self, bytes: u64) -> SimDuration {
-        SimDuration::from_nanos(bytes.saturating_mul(8_000_000_000) / self.bandwidth_bps)
+    /// Serialization (transmission) delay for `bytes` on this link
+    /// (`u128`-widened — exact for any `u64` byte count, where the old
+    /// `saturating_mul` formulation pinned transfers above ~2.3 GB).
+    pub fn serialize(&self, bytes: Bytes) -> SimDuration {
+        units::transfer_time(bytes, self.bandwidth_bps)
     }
 
     /// One-way latency for a message of `bytes`.
-    pub fn one_way(&self, bytes: u64) -> SimDuration {
+    pub fn one_way(&self, bytes: Bytes) -> SimDuration {
         self.rtt / 2 + self.serialize(bytes)
     }
 }
@@ -166,7 +169,7 @@ impl LinkParams {
 pub struct Network {
     sim: Rc<Sim>,
     rtt: Cell<SimDuration>,
-    bandwidth_bps: Cell<u64>,
+    bandwidth_bps: Cell<Bps>,
     loss: Cell<f64>,
     /// Host name when this endpoint belongs to a [`Fabric`]; channels
     /// then also account under `net.<host>.<label>.*`.
@@ -407,26 +410,26 @@ impl Channel {
     /// counting a message. Used by segmented transfers (iSCSI data
     /// PDUs) where the exchange is tallied as one transaction but
     /// every PDU's bytes must still appear in `net.*.bytes`.
-    pub fn account_extra_bytes(&self, bytes: u64) {
-        self.bytes.add(bytes);
-        self.total_bytes.add(bytes);
+    pub fn account_extra_bytes(&self, bytes: Bytes) {
+        self.bytes.add(bytes.get());
+        self.total_bytes.add(bytes.get());
         if let Some((_, host_bytes)) = &self.host {
-            host_bytes.add(bytes);
+            host_bytes.add(bytes.get());
         }
     }
 
-    fn account(&self, payload: u64) {
+    fn account(&self, payload: Bytes) {
         if let Some(s) = self.net.sniffer.borrow().as_ref() {
             s.observe(self.net.sim.now(), &self.label, payload);
         }
         let wire = payload + self.transport.header_bytes();
         self.msgs.incr();
-        self.bytes.add(wire);
+        self.bytes.add(wire.get());
         self.total_msgs.incr();
-        self.total_bytes.add(wire);
+        self.total_bytes.add(wire.get());
         if let Some((host_msgs, host_bytes)) = &self.host {
             host_msgs.incr();
-            host_bytes.add(wire);
+            host_bytes.add(wire.get());
         }
     }
 
@@ -465,10 +468,10 @@ impl Channel {
         if let Some(s) = self.net.sniffer.borrow().as_ref() {
             let now = self.net.sim.now();
             for _ in 0..t.retrans_segments {
-                s.observe_kind(now, &self.label, tcp::MSS, SegKind::Retransmit);
+                s.observe_kind(now, &self.label, Bytes::new(tcp::MSS), SegKind::Retransmit);
             }
             for _ in 0..t.dup_acks {
-                s.observe_kind(now, &self.label, 0, SegKind::DupAck);
+                s.observe_kind(now, &self.label, Bytes::ZERO, SegKind::DupAck);
             }
         }
     }
@@ -479,7 +482,7 @@ impl Channel {
         &self,
         ep: &TcpEndpoint,
         at: simkit::SimTime,
-        payload: u64,
+        payload: Bytes,
         dir: Direction,
         flow: usize,
     ) -> SimDuration {
@@ -491,7 +494,7 @@ impl Channel {
     /// Models `bytes` striped across every connection of the channel
     /// (iSCSI MC/S data phases). Returns `None` on pipe-modeled
     /// channels, whose callers keep the closed form.
-    pub fn tcp_burst(&self, bytes: u64, dir: Direction) -> Option<SimDuration> {
+    pub fn tcp_burst(&self, bytes: Bytes, dir: Direction) -> Option<SimDuration> {
         let ep = self.tcp.as_ref()?;
         let t = ep.transfer_striped(&self.net.params(), self.net.sim.now(), bytes, dir);
         self.tcp_account(&t);
@@ -502,7 +505,7 @@ impl Channel {
     /// never reports `Lost` (under the pipe model loss below the
     /// transport folds into serialization; under the flow model it is
     /// retransmitted for real and shows up as latency).
-    pub fn send(&self, payload: u64) -> Delivery {
+    pub fn send(&self, payload: Bytes) -> Delivery {
         self.account(payload);
         if let Some(ep) = &self.tcp {
             let flow = ep.next_flow();
@@ -511,7 +514,7 @@ impl Channel {
         }
         let p = self.net.params();
         if self.transport == Transport::Udp && p.loss > 0.0 {
-            let draw = self.net.sim.rng_u64() as f64 / u64::MAX as f64;
+            let draw = units::unit_interval(self.net.sim.rng_u64());
             if draw < p.loss {
                 return Delivery::Lost;
             }
@@ -525,7 +528,7 @@ impl Channel {
     /// both legs ride the same connection (per-connection allegiance);
     /// successive exchanges rotate round-robin across the channel's
     /// connections, which is exactly nconnect's dispatch rule.
-    pub fn round_trip(&self, request: u64, response: u64) -> SimDuration {
+    pub fn round_trip(&self, request: Bytes, response: Bytes) -> SimDuration {
         self.account(request);
         self.account(response);
         if let Some(ep) = &self.tcp {
@@ -546,7 +549,7 @@ impl Channel {
     /// model the message framing still drives the byte accounting, but
     /// the timing comes from striping the payload across the channel's
     /// connections.
-    pub fn stream(&self, bytes: u64, nmsgs: u64) -> SimDuration {
+    pub fn stream(&self, bytes: Bytes, nmsgs: u64) -> SimDuration {
         let p = self.net.params();
         // Even segments, with the division remainder carried by the
         // final one so `net.*.bytes` accounts every byte of transfers
@@ -556,7 +559,7 @@ impl Channel {
             let tail = if i + 1 == nmsgs {
                 bytes - base * nmsgs
             } else {
-                0
+                Bytes::ZERO
             };
             self.account(base + tail);
         }
@@ -565,13 +568,17 @@ impl Channel {
                 return d;
             }
         }
-        p.rtt / 2 + p.serialize(bytes + nmsgs * self.transport.header_bytes())
+        p.rtt / 2 + p.serialize(bytes + self.transport.header_bytes() * nmsgs)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn b(n: u64) -> Bytes {
+        Bytes::new(n)
+    }
 
     fn setup() -> (Rc<Sim>, Rc<Network>) {
         let sim = Sim::new(7);
@@ -583,18 +590,18 @@ mod tests {
     fn serialization_delay_scales() {
         let p = LinkParams::gigabit_lan();
         // 1 Gb/s → 125 MB/s → 4096 B ≈ 32.768 µs
-        assert_eq!(p.serialize(4096).as_nanos(), 32_768);
-        assert_eq!(p.serialize(0), SimDuration::ZERO);
+        assert_eq!(p.serialize(b(4096)).as_nanos(), 32_768);
+        assert_eq!(p.serialize(Bytes::ZERO), SimDuration::ZERO);
     }
 
     #[test]
     fn round_trip_counts_two_messages() {
         let (sim, net) = setup();
         let ch = net.channel("rpc", Transport::Tcp);
-        let d = ch.round_trip(100, 200);
+        let d = ch.round_trip(b(100), b(200));
         assert!(d >= sim.now().since(simkit::SimTime::ZERO)); // positive
         assert_eq!(sim.counters().get("net.rpc.msgs"), 2);
-        let hdr = Transport::Tcp.header_bytes();
+        let hdr = Transport::Tcp.header_bytes().get();
         assert_eq!(sim.counters().get("net.rpc.bytes"), 300 + 2 * hdr);
         assert_eq!(sim.counters().get("net.total.msgs"), 2);
     }
@@ -603,9 +610,9 @@ mod tests {
     fn rtt_reconfiguration_takes_effect() {
         let (_sim, net) = setup();
         let ch = net.channel("x", Transport::Tcp);
-        let fast = ch.round_trip(0, 0);
+        let fast = ch.round_trip(Bytes::ZERO, Bytes::ZERO);
         net.set_rtt(SimDuration::from_millis(90));
-        let slow = ch.round_trip(0, 0);
+        let slow = ch.round_trip(Bytes::ZERO, Bytes::ZERO);
         assert!(slow > fast);
         assert!(slow >= SimDuration::from_millis(90));
     }
@@ -618,7 +625,7 @@ mod tests {
         let mut lost = 0;
         let n = 2000;
         for _ in 0..n {
-            if ch.send(64) == Delivery::Lost {
+            if ch.send(b(64)) == Delivery::Lost {
                 lost += 1;
             }
         }
@@ -632,7 +639,7 @@ mod tests {
         net.set_loss(0.9);
         let ch = net.channel("t", Transport::Tcp);
         for _ in 0..100 {
-            assert!(matches!(ch.send(64), Delivery::Delivered(_)));
+            assert!(matches!(ch.send(b(64)), Delivery::Delivered(_)));
         }
     }
 
@@ -641,8 +648,8 @@ mod tests {
         let (_sim, net) = setup();
         let ch = net.channel("s", Transport::Tcp);
         let p = net.params();
-        let d = ch.stream(1_000_000, 8);
-        let expected = p.rtt / 2 + p.serialize(1_000_000 + 8 * Transport::Tcp.header_bytes());
+        let d = ch.stream(b(1_000_000), 8);
+        let expected = p.rtt / 2 + p.serialize(b(1_000_000) + Transport::Tcp.header_bytes() * 8);
         assert_eq!(d, expected);
     }
 
@@ -652,8 +659,8 @@ mod tests {
         let ch = net.channel("s", Transport::Tcp);
         // 1003 / 4 = 250 rem 3: the final segment must carry the
         // remainder instead of dropping it.
-        ch.stream(1003, 4);
-        let hdr = Transport::Tcp.header_bytes();
+        ch.stream(b(1003), 4);
+        let hdr = Transport::Tcp.header_bytes().get();
         assert_eq!(sim.counters().get("net.s.msgs"), 4);
         assert_eq!(sim.counters().get("net.s.bytes"), 1003 + 4 * hdr);
         assert_eq!(sim.counters().get("net.total.bytes"), 1003 + 4 * hdr);
@@ -663,7 +670,7 @@ mod tests {
     fn stream_with_zero_messages_accounts_nothing() {
         let (sim, net) = setup();
         let ch = net.channel("z", Transport::Tcp);
-        ch.stream(512, 0);
+        ch.stream(b(512), 0);
         assert_eq!(sim.counters().get("net.z.msgs"), 0);
         assert_eq!(sim.counters().get("net.z.bytes"), 0);
     }
@@ -694,9 +701,9 @@ mod tests {
         let (sim, net) = setup();
         let a = net.channel("a", Transport::Tcp);
         let b = net.channel("b", Transport::Udp);
-        a.send(10);
-        b.send(10);
-        b.send(10);
+        a.send(Bytes::new(10));
+        b.send(Bytes::new(10));
+        b.send(Bytes::new(10));
         assert_eq!(sim.counters().get("net.a.msgs"), 1);
         assert_eq!(sim.counters().get("net.b.msgs"), 2);
         assert_eq!(sim.counters().get("net.total.msgs"), 3);

@@ -7,6 +7,7 @@
 //! summaries can be dumped per channel — without influencing the
 //! measured workload, exactly like a passive tap.
 
+use simkit::units::{self, Bytes};
 use simkit::SimTime;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -36,7 +37,7 @@ pub struct PacketRecord {
     /// Channel label (`nfs`, `iscsi`, ...).
     pub channel: String,
     /// Payload bytes (headers excluded).
-    pub payload: u64,
+    pub payload: Bytes,
     /// What kind of segment this was.
     pub kind: SegKind,
 }
@@ -83,7 +84,7 @@ pub struct ChannelSummary {
     /// Messages captured (all kinds).
     pub messages: u64,
     /// Payload bytes captured (all kinds).
-    pub bytes: u64,
+    pub bytes: Bytes,
     /// Messages seen but not recorded because the capture buffer was
     /// full.
     pub dropped: u64,
@@ -128,7 +129,7 @@ impl Sniffer {
     /// record-or-drop decision happens under the capture lock, so the
     /// buffer can never exceed its bound and every message lands in
     /// exactly one of the two tallies even under concurrent observers.
-    pub fn observe(&self, at: SimTime, channel: &str, payload: u64) {
+    pub fn observe(&self, at: SimTime, channel: &str, payload: Bytes) {
         self.observe_kind(at, channel, payload, SegKind::Payload);
     }
 
@@ -139,7 +140,7 @@ impl Sniffer {
     /// any other).
     ///
     /// [`observe`]: Sniffer::observe
-    pub fn observe_kind(&self, at: SimTime, channel: &str, payload: u64, kind: SegKind) {
+    pub fn observe_kind(&self, at: SimTime, channel: &str, payload: Bytes, kind: SegKind) {
         if !self.enabled.load(Ordering::Relaxed) {
             return;
         }
@@ -221,11 +222,11 @@ impl Sniffer {
         let (n, total) = records
             .iter()
             .filter(|r| r.channel == channel)
-            .fold((0u64, 0u64), |(n, t), r| (n + 1, t + r.payload));
+            .fold((0u64, Bytes::ZERO), |(n, t), r| (n + 1, t + r.payload));
         if n == 0 {
             0.0
         } else {
-            total as f64 / n as f64
+            units::ratio(total.get(), n)
         }
     }
 }
@@ -234,15 +235,19 @@ impl Sniffer {
 mod tests {
     use super::*;
 
+    fn b(n: u64) -> Bytes {
+        Bytes::new(n)
+    }
+
     #[test]
     fn capture_and_summarize() {
         let s = Sniffer::new();
-        s.observe(SimTime::from_nanos(10), "nfs", 100);
-        s.observe(SimTime::from_nanos(20), "nfs", 300);
-        s.observe(SimTime::from_nanos(30), "iscsi", 4096);
+        s.observe(SimTime::from_nanos(10), "nfs", b(100));
+        s.observe(SimTime::from_nanos(20), "nfs", b(300));
+        s.observe(SimTime::from_nanos(30), "iscsi", b(4096));
         let sum = s.summary();
         assert_eq!(sum["nfs"].messages, 2);
-        assert_eq!(sum["nfs"].bytes, 400);
+        assert_eq!(sum["nfs"].bytes, b(400));
         assert_eq!(sum["iscsi"].messages, 1);
         assert_eq!(s.mean_payload("nfs"), 200.0);
         assert_eq!(s.mean_payload("missing"), 0.0);
@@ -252,7 +257,7 @@ mod tests {
     fn windows_are_half_open() {
         let s = Sniffer::new();
         for t in [5u64, 10, 15] {
-            s.observe(SimTime::from_nanos(t), "x", 1);
+            s.observe(SimTime::from_nanos(t), "x", b(1));
         }
         let w = s.window(SimTime::from_nanos(5), SimTime::from_nanos(15));
         assert_eq!(w.len(), 2);
@@ -261,9 +266,9 @@ mod tests {
     #[test]
     fn disabling_stops_capture() {
         let s = Sniffer::new();
-        s.observe(SimTime::from_nanos(1), "x", 1);
+        s.observe(SimTime::from_nanos(1), "x", b(1));
         s.set_enabled(false);
-        s.observe(SimTime::from_nanos(2), "x", 1);
+        s.observe(SimTime::from_nanos(2), "x", b(1));
         assert_eq!(s.len(), 1);
         s.clear();
         assert!(s.is_empty());
@@ -274,9 +279,9 @@ mod tests {
         let s = Sniffer::with_capacity(3);
         assert_eq!(s.capacity(), 3);
         for t in 0..5u64 {
-            s.observe(SimTime::from_nanos(t), "nfs", 100);
+            s.observe(SimTime::from_nanos(t), "nfs", b(100));
         }
-        s.observe(SimTime::from_nanos(9), "iscsi", 4096);
+        s.observe(SimTime::from_nanos(9), "iscsi", b(4096));
         assert_eq!(s.len(), 3, "buffer bounded at capacity");
         assert_eq!(s.dropped(), 3);
         let sum = s.summary();
@@ -284,7 +289,7 @@ mod tests {
         assert_eq!(sum["nfs"].dropped, 2);
         // A channel whose traffic was entirely dropped still shows up.
         assert_eq!(sum["iscsi"].messages, 0);
-        assert_eq!(sum["iscsi"].bytes, 0);
+        assert_eq!(sum["iscsi"].bytes, Bytes::ZERO);
         assert_eq!(sum["iscsi"].dropped, 1);
         // The retained records are the earliest ones (newest-lost).
         assert_eq!(s.window(SimTime::ZERO, SimTime::from_nanos(3)).len(), 3);
@@ -293,13 +298,13 @@ mod tests {
     #[test]
     fn tagged_segments_summarize_by_kind() {
         let s = Sniffer::new();
-        s.observe(SimTime::from_nanos(1), "nfs", 1000);
-        s.observe_kind(SimTime::from_nanos(2), "nfs", 1460, SegKind::Retransmit);
-        s.observe_kind(SimTime::from_nanos(3), "nfs", 1460, SegKind::Retransmit);
-        s.observe_kind(SimTime::from_nanos(4), "nfs", 0, SegKind::DupAck);
+        s.observe(SimTime::from_nanos(1), "nfs", b(1000));
+        s.observe_kind(SimTime::from_nanos(2), "nfs", b(1460), SegKind::Retransmit);
+        s.observe_kind(SimTime::from_nanos(3), "nfs", b(1460), SegKind::Retransmit);
+        s.observe_kind(SimTime::from_nanos(4), "nfs", Bytes::ZERO, SegKind::DupAck);
         let sum = s.summary();
         assert_eq!(sum["nfs"].messages, 4, "all kinds count as messages");
-        assert_eq!(sum["nfs"].bytes, 1000 + 2 * 1460);
+        assert_eq!(sum["nfs"].bytes, b(1000 + 2 * 1460));
         assert_eq!(sum["nfs"].retransmits, 2);
         assert_eq!(sum["nfs"].dup_acks, 1);
         // Untagged observes default to Payload.
@@ -313,10 +318,15 @@ mod tests {
         // contract as plain payloads — a full buffer counts them
         // dropped instead of growing without bound.
         let s = Sniffer::with_capacity(2);
-        s.observe_kind(SimTime::from_nanos(1), "tcp", 1460, SegKind::Retransmit);
-        s.observe_kind(SimTime::from_nanos(2), "tcp", 0, SegKind::DupAck);
-        s.observe_kind(SimTime::from_nanos(3), "tcp", 1460, SegKind::Retransmit);
-        s.observe_kind(SimTime::from_nanos(4), "other", 0, SegKind::DupAck);
+        s.observe_kind(SimTime::from_nanos(1), "tcp", b(1460), SegKind::Retransmit);
+        s.observe_kind(SimTime::from_nanos(2), "tcp", Bytes::ZERO, SegKind::DupAck);
+        s.observe_kind(SimTime::from_nanos(3), "tcp", b(1460), SegKind::Retransmit);
+        s.observe_kind(
+            SimTime::from_nanos(4),
+            "other",
+            Bytes::ZERO,
+            SegKind::DupAck,
+        );
         assert_eq!(s.len(), 2, "buffer bounded at capacity");
         assert_eq!(s.dropped(), 2);
         let sum = s.summary();
@@ -334,14 +344,14 @@ mod tests {
     #[test]
     fn clear_resets_drop_counts() {
         let s = Sniffer::with_capacity(1);
-        s.observe(SimTime::from_nanos(1), "x", 1);
-        s.observe(SimTime::from_nanos(2), "x", 1);
+        s.observe(SimTime::from_nanos(1), "x", b(1));
+        s.observe(SimTime::from_nanos(2), "x", b(1));
         assert_eq!(s.dropped(), 1);
         s.clear();
         assert_eq!(s.dropped(), 0);
         assert!(s.summary().is_empty());
         // Capacity frees up again after clear.
-        s.observe(SimTime::from_nanos(3), "x", 1);
+        s.observe(SimTime::from_nanos(3), "x", b(1));
         assert_eq!(s.len(), 1);
     }
 
@@ -350,7 +360,7 @@ mod tests {
         let s = Sniffer::new();
         // Empty capture: any window is empty.
         assert!(s.window(SimTime::ZERO, SimTime::from_nanos(100)).is_empty());
-        s.observe(SimTime::from_nanos(10), "x", 1);
+        s.observe(SimTime::from_nanos(10), "x", b(1));
         // from == to: half-open interval is empty even on a record.
         assert!(s
             .window(SimTime::from_nanos(10), SimTime::from_nanos(10))
@@ -381,7 +391,11 @@ mod tests {
                 let s = std::sync::Arc::clone(&s);
                 scope.spawn(move || {
                     for i in 0..PER_THREAD {
-                        s.observe(SimTime::from_nanos(t * PER_THREAD + i), "nfs", 64);
+                        s.observe(
+                            SimTime::from_nanos(t * PER_THREAD + i),
+                            "nfs",
+                            Bytes::new(64),
+                        );
                     }
                 });
             }
@@ -391,7 +405,7 @@ mod tests {
         assert_eq!(s.dropped(), total - CAP as u64);
         let sum = s.summary();
         assert_eq!(sum["nfs"].messages + sum["nfs"].dropped, total);
-        assert_eq!(sum["nfs"].bytes, CAP as u64 * 64);
+        assert_eq!(sum["nfs"].bytes, b(CAP as u64 * 64));
     }
 
     #[test]
@@ -399,7 +413,7 @@ mod tests {
         let s = Sniffer::new();
         // No records at all.
         assert_eq!(s.mean_payload("nfs"), 0.0);
-        s.observe(SimTime::from_nanos(1), "iscsi", 128);
+        s.observe(SimTime::from_nanos(1), "iscsi", b(128));
         // Records exist, but not on the queried channel.
         assert_eq!(s.mean_payload("nfs"), 0.0);
         assert_eq!(s.mean_payload("iscsi"), 128.0);

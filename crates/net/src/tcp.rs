@@ -45,6 +45,7 @@
 //! bursts use the aggregate window of the whole session.
 
 use crate::LinkParams;
+use simkit::units::{self, Bytes};
 use simkit::{EventId, EventQueue, HostId, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -286,7 +287,7 @@ impl FlowState {
     /// Multiplicative decrease on any loss signal: halve the flight,
     /// floor at two segments.
     fn on_loss(&self, flight_segments: u64) {
-        let half = (flight_segments as f64 / 2.0).max(2.0);
+        let half = (units::to_f64(flight_segments) / 2.0).max(2.0);
         self.ssthresh.set(half);
     }
 }
@@ -302,7 +303,7 @@ pub struct Transfer {
     /// Segments transmitted more than once.
     pub retrans_segments: u64,
     /// Wire bytes of those retransmissions (payload + headers).
-    pub retrans_bytes: u64,
+    pub retrans_bytes: Bytes,
     /// Duplicate ACKs the sender processed.
     pub dup_acks: u64,
 }
@@ -422,7 +423,7 @@ impl TcpEndpoint {
         &self,
         p: &LinkParams,
         now: SimTime,
-        bytes: u64,
+        bytes: Bytes,
         dir: Direction,
         flow: usize,
     ) -> Transfer {
@@ -435,7 +436,7 @@ impl TcpEndpoint {
         &self,
         p: &LinkParams,
         now: SimTime,
-        bytes: u64,
+        bytes: Bytes,
         dir: Direction,
     ) -> Transfer {
         let all: Vec<usize> = (0..self.flows.len()).collect();
@@ -450,10 +451,13 @@ impl TcpEndpoint {
         &self,
         p: &LinkParams,
         now: SimTime,
-        bytes: u64,
+        bytes: Bytes,
         dir: Direction,
         flows: &[usize],
     ) -> Transfer {
+        // Segment arithmetic below is raw nanosecond/byte math; the
+        // dimension boundary is this function's signature.
+        let bytes = bytes.get();
         let queue = self.link.queue(dir);
         let half_rtt = p.rtt / 2;
         let nsegs = bytes.div_ceil(MSS).max(1) as usize;
@@ -516,12 +520,12 @@ impl TcpEndpoint {
                 snd.sent_at[seq] = t;
                 if snd.sent[seq] > 1 {
                     out.retrans_segments += 1;
-                    out.retrans_bytes += wire;
+                    out.retrans_bytes += Bytes::new(wire);
                     self.flows[snd.flow]
                         .retrans
                         .set(self.flows[snd.flow].retrans.get() + 1);
                 }
-                if let Some(depart) = queue.offer(t, p.serialize(wire)) {
+                if let Some(depart) = queue.offer(t, p.serialize(Bytes::new(wire))) {
                     q.schedule(
                         depart + half_rtt,
                         HostId::client($s as u32),
@@ -694,6 +698,10 @@ impl TcpEndpoint {
 mod tests {
     use super::*;
 
+    fn b(n: u64) -> Bytes {
+        Bytes::new(n)
+    }
+
     fn lan() -> LinkParams {
         LinkParams::gigabit_lan()
     }
@@ -706,8 +714,8 @@ mod tests {
     fn single_segment_matches_pipe_one_way_exactly() {
         let p = lan();
         let e = ep(1);
-        let t = e.transfer_on(&p, SimTime::ZERO, 1000, Direction::Up, 0);
-        assert_eq!(t.duration, p.one_way(1000 + SEGMENT_HEADER_BYTES));
+        let t = e.transfer_on(&p, SimTime::ZERO, b(1000), Direction::Up, 0);
+        assert_eq!(t.duration, p.one_way(b(1000 + SEGMENT_HEADER_BYTES)));
         assert_eq!(t.segments, 1);
         assert_eq!(t.retrans_segments, 0);
     }
@@ -720,8 +728,8 @@ mod tests {
         let p = lan();
         let e = ep(1);
         let bytes = 6 * MSS;
-        let t = e.transfer_on(&p, SimTime::ZERO, bytes, Direction::Up, 0);
-        let expected = p.rtt / 2 + p.serialize(bytes + 6 * SEGMENT_HEADER_BYTES);
+        let t = e.transfer_on(&p, SimTime::ZERO, b(bytes), Direction::Up, 0);
+        let expected = p.rtt / 2 + p.serialize(b(bytes + 6 * SEGMENT_HEADER_BYTES));
         assert_eq!(t.duration, expected);
         assert_eq!(t.segments, 6);
     }
@@ -730,9 +738,9 @@ mod tests {
     fn zero_byte_exchange_still_costs_a_segment() {
         let p = lan();
         let e = ep(1);
-        let t = e.transfer_on(&p, SimTime::ZERO, 0, Direction::Up, 0);
+        let t = e.transfer_on(&p, SimTime::ZERO, Bytes::ZERO, Direction::Up, 0);
         assert_eq!(t.segments, 1);
-        assert_eq!(t.duration, p.one_way(SEGMENT_HEADER_BYTES));
+        assert_eq!(t.duration, p.one_way(b(SEGMENT_HEADER_BYTES)));
     }
 
     #[test]
@@ -740,10 +748,10 @@ mod tests {
         let p = lan();
         let e = ep(1);
         let bytes = 100 * MSS;
-        let t = e.transfer_on(&p, SimTime::ZERO, bytes, Direction::Up, 0);
+        let t = e.transfer_on(&p, SimTime::ZERO, b(bytes), Direction::Up, 0);
         // More than one window: slow start needs extra round trips
         // over the single-burst closed form.
-        let one_burst = p.rtt / 2 + p.serialize(bytes + 100 * SEGMENT_HEADER_BYTES);
+        let one_burst = p.rtt / 2 + p.serialize(b(bytes + 100 * SEGMENT_HEADER_BYTES));
         assert!(t.duration > one_burst);
         assert_eq!(t.segments, 100);
     }
@@ -751,19 +759,19 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let p = LinkParams::wan(SimDuration::from_millis(40));
-        let a = ep(2).transfer_striped(&p, SimTime::ZERO, 2_000_000, Direction::Down);
-        let b = ep(2).transfer_striped(&p, SimTime::ZERO, 2_000_000, Direction::Down);
-        assert_eq!(a, b);
+        let x = ep(2).transfer_striped(&p, SimTime::ZERO, b(2_000_000), Direction::Down);
+        let y = ep(2).transfer_striped(&p, SimTime::ZERO, b(2_000_000), Direction::Down);
+        assert_eq!(x, y);
     }
 
     #[test]
     fn queue_backlog_induces_delay_for_later_transfers() {
         let p = lan();
         let e = ep(1);
-        let idle = e.transfer_on(&p, SimTime::ZERO, 8192, Direction::Up, 0);
+        let idle = e.transfer_on(&p, SimTime::ZERO, b(8192), Direction::Up, 0);
         // Re-offered at the same instant, the second transfer queues
         // behind the first one's segments.
-        let queued = e.transfer_on(&p, SimTime::ZERO, 8192, Direction::Up, 0);
+        let queued = e.transfer_on(&p, SimTime::ZERO, b(8192), Direction::Up, 0);
         assert!(queued.duration > idle.duration);
     }
 
@@ -775,7 +783,7 @@ mod tests {
         // blows past the queue cap and loss recovery kicks in.
         let mut retrans = 0;
         for _ in 0..80 {
-            let t = e.transfer_on(&p, SimTime::ZERO, 8 * MSS, Direction::Up, 0);
+            let t = e.transfer_on(&p, SimTime::ZERO, b(8 * MSS), Direction::Up, 0);
             retrans += t.retrans_segments;
         }
         assert!(e.link().queue(Direction::Up).drops() > 0, "queue dropped");
@@ -787,11 +795,11 @@ mod tests {
     fn striping_uses_every_flow() {
         let p = lan();
         let e = ep(4);
-        let t = e.transfer_striped(&p, SimTime::ZERO, 8 * MSS, Direction::Down);
+        let t = e.transfer_striped(&p, SimTime::ZERO, b(8 * MSS), Direction::Down);
         assert_eq!(t.segments, 8);
         // Aggregate initial window is 4×IW10, so 8 segments still go
         // out in one burst.
-        let expected = p.rtt / 2 + p.serialize(8 * MSS + 8 * SEGMENT_HEADER_BYTES);
+        let expected = p.rtt / 2 + p.serialize(b(8 * MSS + 8 * SEGMENT_HEADER_BYTES));
         assert_eq!(t.duration, expected);
     }
 

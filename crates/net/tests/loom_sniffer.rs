@@ -8,6 +8,7 @@
 
 use loom::sync::Arc;
 use net::Sniffer;
+use simkit::units::Bytes;
 use simkit::SimTime;
 
 #[test]
@@ -27,7 +28,11 @@ fn concurrent_appends_account_every_message_exactly_once() {
                         if i == PER_THREAD / 2 {
                             loom::hint::interleave();
                         }
-                        s.observe(SimTime::from_nanos(t * PER_THREAD + i), "nfs", 64);
+                        s.observe(
+                            SimTime::from_nanos(t * PER_THREAD + i),
+                            "nfs",
+                            Bytes::new(64),
+                        );
                     }
                 })
             })
@@ -44,7 +49,7 @@ fn concurrent_appends_account_every_message_exactly_once() {
             total,
             "captured + dropped covers every observe exactly once"
         );
-        assert_eq!(sum["nfs"].bytes, CAP as u64 * 64);
+        assert_eq!(sum["nfs"].bytes, Bytes::new(CAP as u64 * 64));
     });
 }
 
@@ -59,7 +64,7 @@ fn capacity_zero_drops_everything_without_capturing() {
                 let s = Arc::clone(&s);
                 loom::thread::spawn(move || {
                     for i in 0..16u64 {
-                        s.observe(SimTime::from_nanos(t * 16 + i), "iscsi", 8);
+                        s.observe(SimTime::from_nanos(t * 16 + i), "iscsi", Bytes::new(8));
                     }
                 })
             })

@@ -8,6 +8,7 @@
 
 use net::tcp::MSS;
 use net::{LinkParams, Network, Transport, TransportModel};
+use simkit::units::Bytes;
 use simkit::{Sim, SimDuration};
 
 fn pipe_net() -> std::rc::Rc<Network> {
@@ -26,10 +27,10 @@ fn single_segment_round_trip_matches_pipe_exactly() {
     for (req, resp) in [(1, 1), (128, 8192_u64.min(MSS)), (MSS, MSS)] {
         let pipe = pipe_net()
             .channel("rpc", Transport::Tcp)
-            .round_trip(req, resp);
+            .round_trip(Bytes::new(req), Bytes::new(resp));
         let tcp = tcp_net(1)
             .channel("rpc", Transport::Tcp)
-            .round_trip(req, resp);
+            .round_trip(Bytes::new(req), Bytes::new(resp));
         assert_eq!(
             pipe, tcp,
             "uncongested single-segment round_trip must be byte-identical \
@@ -48,10 +49,10 @@ fn window_fitting_stream_matches_pipe_exactly() {
     let nmsgs = 8;
     let pipe = pipe_net()
         .channel("data", Transport::Tcp)
-        .stream(bytes, nmsgs);
+        .stream(Bytes::new(bytes), nmsgs);
     let tcp = tcp_net(1)
         .channel("data", Transport::Tcp)
-        .stream(bytes, nmsgs);
+        .stream(Bytes::new(bytes), nmsgs);
     assert_eq!(pipe, tcp, "window-fitting stream must be byte-identical");
 }
 
@@ -66,11 +67,13 @@ fn multi_window_stream_is_slower_but_lossless() {
     let nmsgs = 24;
     let pipe = pipe_net()
         .channel("data", Transport::Tcp)
-        .stream(bytes, nmsgs);
+        .stream(Bytes::new(bytes), nmsgs);
     let sim = Sim::new(11);
     let link = LinkParams::gigabit_lan().with_transport(TransportModel::Tcp { connections: 1 });
     let netw = Network::new(sim.clone(), link);
-    let tcp = netw.channel("data", Transport::Tcp).stream(bytes, nmsgs);
+    let tcp = netw
+        .channel("data", Transport::Tcp)
+        .stream(Bytes::new(bytes), nmsgs);
     assert!(
         tcp > pipe,
         "multi-window transfer must pay slow-start RTTs: pipe {pipe:?}, tcp {tcp:?}"
@@ -94,12 +97,12 @@ fn multi_window_stream_is_slower_but_lossless() {
 fn accounting_is_model_independent() {
     let run = |netw: std::rc::Rc<Network>| {
         let ch = netw.channel("x", Transport::Tcp);
-        ch.round_trip(500, 9000);
+        ch.round_trip(Bytes::new(500), Bytes::new(9000));
         // Fits the initial window per flow, so the TCP side moves no
         // recovery traffic: the books must match to the byte. (A
         // congested transfer legitimately adds retransmitted wire
         // bytes, which is covered by the congestion tests.)
-        ch.stream(8 * MSS, 8);
+        ch.stream(Bytes::new(8 * MSS), 8);
         let c = netw.sim().counters();
         (c.get("net.x.msgs"), c.get("net.x.bytes"))
     };

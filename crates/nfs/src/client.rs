@@ -24,6 +24,7 @@ use crate::{CacheTimeouts, ClientId, Enhancements, Fh, Version};
 use cpu::{CostModel, CpuAccount};
 use ext3::{Attr, DirEntry, FsError, FsResult, SetAttr};
 use rpc::RpcClient;
+use simkit::units::Bytes;
 use simkit::{Sim, SimDuration};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
@@ -236,11 +237,11 @@ impl NfsClient {
     pub fn mount(&self) -> Fh {
         match self.cfg.version {
             Version::V2 | Version::V3 => {
-                self.rpc_sync("mnt", 128, 128, 1);
-                self.rpc_sync("fsinfo", 128, 128, 1);
+                self.rpc_sync("mnt", Bytes::new(128), Bytes::new(128), 1);
+                self.rpc_sync("fsinfo", Bytes::new(128), Bytes::new(128), 1);
             }
             Version::V4 => {
-                self.rpc_sync("putrootfh", 128, 128, 1);
+                self.rpc_sync("putrootfh", Bytes::new(128), Bytes::new(128), 1);
             }
         }
         let root = self.server.root_fh();
@@ -296,7 +297,7 @@ impl NfsClient {
 
     /// One synchronous RPC: accounting + clock advance, optionally
     /// amortized over a read pipeline.
-    fn rpc_sync(&self, proc_name: &str, req: u64, resp: u64, pipeline: u32) {
+    fn rpc_sync(&self, proc_name: &str, req: Bytes, resp: Bytes, pipeline: u32) {
         let out = self.rpc.call(proc_name, req, resp, SimDuration::ZERO);
         let latency = if pipeline > 1 {
             SimDuration::from_nanos(out.latency.as_nanos() / pipeline as u64)
@@ -370,13 +371,13 @@ impl NfsClient {
         // real XDR encodings.
         self.rpc_sync(
             "lookup",
-            crate::xdr::lookup_call_len(name) as u64,
-            crate::xdr::lookup_reply_len() as u64,
+            Bytes::new(crate::xdr::lookup_call_len(name) as u64),
+            Bytes::new(crate::xdr::lookup_reply_len() as u64),
             1,
         );
         let (fh, attr) = self.server.lookup(self.id(), dir, name)?;
         if self.cfg.version.access_per_component() {
-            self.rpc_sync("access", 128, 128, 1);
+            self.rpc_sync("access", Bytes::new(128), Bytes::new(128), 1);
             let _ = self.server.access(self.id(), fh);
         }
         self.prime_attr(fh, &attr);
@@ -401,8 +402,8 @@ impl NfsClient {
         }
         self.rpc_sync(
             "getattr",
-            crate::xdr::getattr_call_len() as u64,
-            crate::xdr::getattr_reply_len() as u64,
+            Bytes::new(crate::xdr::getattr_call_len() as u64),
+            Bytes::new(crate::xdr::getattr_reply_len() as u64),
             1,
         );
         let attr = self.server.getattr(self.id(), fh)?;
@@ -424,7 +425,7 @@ impl NfsClient {
             .map(|c| self.meta_fresh(c.fetched_at))
             .unwrap_or(false);
         if !fresh {
-            self.rpc_sync("getattr", 128, 128, 1);
+            self.rpc_sync("getattr", Bytes::new(128), Bytes::new(128), 1);
         }
         let attr = self.server.getattr(self.id(), fh)?;
         if !fresh {
@@ -451,7 +452,7 @@ impl NfsClient {
         {
             return self.server.getattr(self.id(), fh);
         }
-        self.rpc_sync(proc_name, 128, 128, 1);
+        self.rpc_sync(proc_name, Bytes::new(128), Bytes::new(128), 1);
         let attr = self.server.access(self.id(), fh)?;
         self.prime_attr(fh, &attr);
         Ok(attr)
@@ -470,7 +471,7 @@ impl NfsClient {
             return;
         }
         if !self.delegations.borrow().contains_key(&dir) {
-            self.rpc_sync("get_dir_delegation", 128, 128, 1);
+            self.rpc_sync("get_dir_delegation", Bytes::new(128), Bytes::new(128), 1);
             self.delegations.borrow_mut().insert(dir, self.now_ns());
         }
     }
@@ -494,7 +495,7 @@ impl NfsClient {
         let batch = self.cfg.delegation_batch as u64;
         let msgs = n.div_ceil(batch).max(1);
         for _ in 0..msgs {
-            self.rpc_sync("compound_meta_update", 4096, 128, 1);
+            self.rpc_sync("compound_meta_update", Bytes::new(4096), Bytes::new(128), 1);
         }
     }
 
@@ -517,7 +518,7 @@ impl NfsClient {
             return Ok(r);
         }
         for p in procs {
-            self.rpc_sync(p, 256, 256, 1);
+            self.rpc_sync(p, Bytes::new(256), Bytes::new(256), 1);
         }
         apply(&self.server)
     }
@@ -544,7 +545,7 @@ impl NfsClient {
     /// per-object ACCESS/GETATTR probes the UMich client sends).
     pub fn v4_bookkeeping(&self, op: &str, target_cached: bool) {
         for _ in 0..self.v4_extra(op, target_cached) {
-            self.rpc_sync("v4_check", 128, 128, 1);
+            self.rpc_sync("v4_check", Bytes::new(128), Bytes::new(128), 1);
         }
     }
 
@@ -660,7 +661,7 @@ impl NfsClient {
         {
             return self.server.readlink(self.id(), fh);
         }
-        self.rpc_sync("readlink", 128, 256, 1);
+        self.rpc_sync("readlink", Bytes::new(128), Bytes::new(256), 1);
         self.server.readlink(self.id(), fh)
     }
 
@@ -711,7 +712,7 @@ impl NfsClient {
         // apply unless the object's parent directory is leased — we
         // conservatively treat file attribute updates as synchronous.
         for p in procs {
-            self.rpc_sync(p, 256, 256, 1);
+            self.rpc_sync(p, Bytes::new(256), Bytes::new(256), 1);
         }
         let attr = self.server.setattr(self.id(), fh, set)?;
         self.prime_attr(fh, &attr);
@@ -731,7 +732,12 @@ impl NfsClient {
         self.charge_client();
         self.v4_bookkeeping("readdir", self.attr_cached_fresh(dir));
         let entries = self.server.readdir(self.id(), dir)?;
-        self.rpc_sync("readdir", 128, 128 + entries.len() as u64 * 32, 1);
+        self.rpc_sync(
+            "readdir",
+            Bytes::new(128),
+            Bytes::new(128 + entries.len() as u64 * 32),
+            1,
+        );
         Ok(entries)
     }
 
@@ -746,7 +752,7 @@ impl NfsClient {
         let cached = self.attr_cached_fresh(fh);
         self.v4_bookkeeping("open", cached);
         let attr = if self.cfg.version == Version::V4 {
-            self.rpc_sync("open", 256, 256, 1);
+            self.rpc_sync("open", Bytes::new(256), Bytes::new(256), 1);
             let a = self.server.getattr(self.id(), fh)?;
             self.prime_attr(fh, &a);
             if self.cfg.enhancements.file_delegation {
@@ -770,12 +776,12 @@ impl NfsClient {
     pub fn close(&self, fh: Fh) {
         if self.cfg.version.async_writes() && self.has_dirty(fh) {
             self.drain_dirty(0);
-            self.rpc_sync("commit", 128, 128, 1);
+            self.rpc_sync("commit", Bytes::new(128), Bytes::new(128), 1);
             let _ = self.server.commit(self.id(), fh);
             self.pages.clean_file(fh);
         }
         if self.cfg.version == Version::V4 {
-            self.rpc_sync("close", 128, 128, 1);
+            self.rpc_sync("close", Bytes::new(128), Bytes::new(128), 1);
             // Delegations are returned with the close in this model.
             self.file_delegations.borrow_mut().remove(&fh);
         }
@@ -839,7 +845,7 @@ impl NfsClient {
             while p <= run_end {
                 let n = (run_end - p + 1).min(xfer_pages);
                 let bytes = n * PAGE_SIZE as u64;
-                self.rpc_sync("read", 128, 128 + bytes, pipeline);
+                self.rpc_sync("read", Bytes::new(128), Bytes::new(128 + bytes), pipeline);
                 let data = self
                     .server
                     .read(self.id(), fh, p * PAGE_SIZE as u64, bytes as usize)?;
@@ -890,7 +896,7 @@ impl NfsClient {
                 Ok(())
             }
             prior => {
-                self.rpc_sync("getattr", 128, 128, 1);
+                self.rpc_sync("getattr", Bytes::new(128), Bytes::new(128), 1);
                 let attr = self.server.getattr(self.id(), fh)?;
                 if let Some((_, mtime)) = prior {
                     if mtime != attr.mtime {
@@ -960,7 +966,12 @@ impl NfsClient {
                 self.dirty_page_count
                     .set(self.dirty_page_count.get() + chunk.div_ceil(PAGE_SIZE as u64) as usize);
             } else {
-                let out = self.rpc.call("write", 128 + chunk, 128, SimDuration::ZERO);
+                let out = self.rpc.call(
+                    "write",
+                    Bytes::new(128 + chunk),
+                    Bytes::new(128),
+                    SimDuration::ZERO,
+                );
                 self.sim.advance(out.latency + self.cfg.sync_write_penalty);
                 // Write-through: the pages are immediately clean.
                 for p in
@@ -999,7 +1010,7 @@ impl NfsClient {
                     .get()
                     .saturating_sub(chunk.div_ceil(PAGE_SIZE as u64) as usize),
             );
-            self.async_write_rpc(chunk);
+            self.async_write_rpc(Bytes::new(chunk));
             // The pages this chunk covered are clean (and evictable)
             // once their WRITE is on the wire.
             for p in off / PAGE_SIZE as u64..(off + chunk).div_ceil(PAGE_SIZE as u64) {
@@ -1016,8 +1027,13 @@ impl NfsClient {
     /// Issues one unstable WRITE into the bounded pipeline. When the
     /// window is full the caller stalls until a slot frees — the
     /// paper's pseudo-synchronous degradation.
-    fn async_write_rpc(&self, bytes: u64) {
-        let out = self.rpc.call("write", 128 + bytes, 128, SimDuration::ZERO);
+    fn async_write_rpc(&self, bytes: Bytes) {
+        let out = self.rpc.call(
+            "write",
+            Bytes::new(128) + bytes,
+            Bytes::new(128),
+            SimDuration::ZERO,
+        );
         let p = self.rpc.channel().network().params();
         // Slot service time: a full round trip (plus transfer) shared
         // across the window, floored by the server's per-RPC
@@ -1063,7 +1079,7 @@ impl NfsClient {
                     self.sim.advance(SimDuration::from_nanos(c - now));
                 }
             }
-            self.rpc_sync("commit", 128, 128, 1);
+            self.rpc_sync("commit", Bytes::new(128), Bytes::new(128), 1);
             self.server.commit(self.id(), fh)?;
         }
         self.pages.clean_file(fh);
@@ -1078,7 +1094,7 @@ impl NfsClient {
     /// Server-side errors.
     pub fn statfs(&self) -> FsResult<ext3::StatFs> {
         self.charge_client();
-        self.rpc_sync("fsstat", 128, 128, 1);
+        self.rpc_sync("fsstat", Bytes::new(128), Bytes::new(128), 1);
         self.server.fsstat(self.id())
     }
 
@@ -1113,8 +1129,8 @@ impl NfsClient {
         }
         self.rpc_sync(
             "lookup",
-            crate::xdr::lookup_call_len(name) as u64,
-            crate::xdr::lookup_reply_len() as u64,
+            Bytes::new(crate::xdr::lookup_call_len(name) as u64),
+            Bytes::new(crate::xdr::lookup_reply_len() as u64),
             1,
         );
         let (fh, attr) = self.server.lookup(self.id(), dir, name)?;

@@ -10,6 +10,7 @@
 use crate::{ClientId, Fh};
 use cpu::{CostModel, CpuAccount};
 use ext3::{Attr, DirEntry, Ext3, FsResult, SetAttr};
+use simkit::units::Bytes;
 use std::rc::Rc;
 
 /// The server-side endpoint shared by all NFS versions.
@@ -84,7 +85,7 @@ impl NfsServer {
         &self,
         who: ClientId,
         proc_name: &'static str,
-        bytes: u64,
+        bytes: Bytes,
         f: impl FnOnce(&Ext3) -> FsResult<T>,
     ) -> FsResult<T> {
         let sim = self.fs.sim().clone();
@@ -149,7 +150,7 @@ impl NfsServer {
     ///
     /// Mirrors the underlying file-system errors.
     pub fn lookup(&self, who: ClientId, dir: Fh, name: &str) -> FsResult<(Fh, Attr)> {
-        self.run(who, "lookup", 0, |fs| {
+        self.run(who, "lookup", Bytes::ZERO, |fs| {
             let ino = fs.lookup(dir.0, name)?;
             Ok((Fh(ino), fs.getattr(ino)?))
         })
@@ -161,7 +162,7 @@ impl NfsServer {
     ///
     /// [`ext3::FsError::NotFound`] on a stale handle.
     pub fn getattr(&self, who: ClientId, fh: Fh) -> FsResult<Attr> {
-        self.run(who, "getattr", 0, |fs| fs.getattr(fh.0))
+        self.run(who, "getattr", Bytes::ZERO, |fs| fs.getattr(fh.0))
     }
 
     /// SETATTR (chmod/chown/utimes/truncate).
@@ -170,7 +171,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn setattr(&self, who: ClientId, fh: Fh, set: SetAttr) -> FsResult<Attr> {
-        self.run(who, "setattr", 0, |fs| fs.setattr(fh.0, set))
+        self.run(who, "setattr", Bytes::ZERO, |fs| fs.setattr(fh.0, set))
     }
 
     /// ACCESS (v3+) — permission probe.
@@ -179,7 +180,7 @@ impl NfsServer {
     ///
     /// [`ext3::FsError::NotFound`] on a stale handle.
     pub fn access(&self, who: ClientId, fh: Fh) -> FsResult<Attr> {
-        self.run(who, "access", 0, |fs| fs.getattr(fh.0))
+        self.run(who, "access", Bytes::ZERO, |fs| fs.getattr(fh.0))
     }
 
     /// CREATE.
@@ -188,7 +189,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors ([`ext3::FsError::Exists`], ...).
     pub fn create(&self, who: ClientId, dir: Fh, name: &str, perm: u16) -> FsResult<(Fh, Attr)> {
-        self.run(who, "create", 0, |fs| {
+        self.run(who, "create", Bytes::ZERO, |fs| {
             let ino = fs.create(dir.0, name, perm)?;
             Ok((Fh(ino), fs.getattr(ino)?))
         })
@@ -200,7 +201,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn mkdir(&self, who: ClientId, dir: Fh, name: &str, perm: u16) -> FsResult<(Fh, Attr)> {
-        self.run(who, "mkdir", 0, |fs| {
+        self.run(who, "mkdir", Bytes::ZERO, |fs| {
             let ino = fs.mkdir(dir.0, name, perm)?;
             Ok((Fh(ino), fs.getattr(ino)?))
         })
@@ -212,7 +213,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn rmdir(&self, who: ClientId, dir: Fh, name: &str) -> FsResult<()> {
-        self.run(who, "rmdir", 0, |fs| fs.rmdir(dir.0, name))
+        self.run(who, "rmdir", Bytes::ZERO, |fs| fs.rmdir(dir.0, name))
     }
 
     /// REMOVE (unlink).
@@ -221,7 +222,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn remove(&self, who: ClientId, dir: Fh, name: &str) -> FsResult<()> {
-        self.run(who, "remove", 0, |fs| fs.unlink(dir.0, name))
+        self.run(who, "remove", Bytes::ZERO, |fs| fs.unlink(dir.0, name))
     }
 
     /// LINK.
@@ -230,7 +231,9 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn link(&self, who: ClientId, dir: Fh, name: &str, target: Fh) -> FsResult<()> {
-        self.run(who, "link", 0, |fs| fs.link(dir.0, name, target.0))
+        self.run(who, "link", Bytes::ZERO, |fs| {
+            fs.link(dir.0, name, target.0)
+        })
     }
 
     /// SYMLINK.
@@ -239,7 +242,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn symlink(&self, who: ClientId, dir: Fh, name: &str, target: &str) -> FsResult<Fh> {
-        self.run(who, "symlink", 0, |fs| {
+        self.run(who, "symlink", Bytes::ZERO, |fs| {
             Ok(Fh(fs.symlink(dir.0, name, target)?))
         })
     }
@@ -250,7 +253,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn readlink(&self, who: ClientId, fh: Fh) -> FsResult<String> {
-        self.run(who, "readlink", 0, |fs| fs.readlink(fh.0))
+        self.run(who, "readlink", Bytes::ZERO, |fs| fs.readlink(fh.0))
     }
 
     /// RENAME.
@@ -266,7 +269,7 @@ impl NfsServer {
         ddir: Fh,
         dname: &str,
     ) -> FsResult<()> {
-        self.run(who, "rename", 0, |fs| {
+        self.run(who, "rename", Bytes::ZERO, |fs| {
             fs.rename(sdir.0, sname, ddir.0, dname)
         })
     }
@@ -277,7 +280,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn readdir(&self, who: ClientId, dir: Fh) -> FsResult<Vec<DirEntry>> {
-        self.run(who, "readdir", 0, |fs| fs.readdir(dir.0))
+        self.run(who, "readdir", Bytes::ZERO, |fs| fs.readdir(dir.0))
     }
 
     /// READ: returns up to `len` bytes. Server cache misses consume
@@ -287,7 +290,9 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn read(&self, who: ClientId, fh: Fh, off: u64, len: usize) -> FsResult<Vec<u8>> {
-        self.run(who, "read", len as u64, |fs| fs.read(fh.0, off, len))
+        self.run(who, "read", Bytes::new(len as u64), |fs| {
+            fs.read(fh.0, off, len)
+        })
     }
 
     /// WRITE: applied to the server's page cache; stability is the
@@ -297,7 +302,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn write(&self, who: ClientId, fh: Fh, off: u64, data: &[u8]) -> FsResult<usize> {
-        self.run(who, "write", data.len() as u64, |fs| {
+        self.run(who, "write", Bytes::new(data.len() as u64), |fs| {
             fs.write(fh.0, off, data)
         })
     }
@@ -308,7 +313,7 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn fsstat(&self, who: ClientId) -> FsResult<ext3::StatFs> {
-        self.run(who, "fsstat", 0, |fs| fs.statfs())
+        self.run(who, "fsstat", Bytes::ZERO, |fs| fs.statfs())
     }
 
     /// COMMIT (v3): force the written data to stable storage.
@@ -317,6 +322,6 @@ impl NfsServer {
     ///
     /// Propagates file-system errors.
     pub fn commit(&self, who: ClientId, fh: Fh) -> FsResult<()> {
-        self.run(who, "commit", 0, |fs| fs.fsync(fh.0))
+        self.run(who, "commit", Bytes::ZERO, |fs| fs.fsync(fh.0))
     }
 }

@@ -128,9 +128,9 @@ pub fn decode_read_args(b: &[u8]) -> Option<(Fh, u64, u32)> {
 }
 
 /// WRITE3args header length (the payload rides after it).
-pub fn write_args_len(name_bytes: usize) -> usize {
+pub fn write_args_len(name_len: simkit::units::Bytes) -> usize {
     // fh opaque (4+8) + offset + count + stable-how + data length word
-    12 + 8 + 4 + 4 + 4 + name_bytes.div_ceil(4) * 4
+    12 + 8 + 4 + 4 + 4 + (name_len.get() as usize).div_ceil(4) * 4
 }
 
 /// Wire size of a LOOKUP call: RPC header + args.

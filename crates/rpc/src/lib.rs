@@ -27,11 +27,12 @@
 //! use simkit::{Sim, SimDuration};
 //! use net::{LinkParams, Network, Transport};
 //! use rpc::RpcClient;
+//! use simkit::units::Bytes;
 //!
 //! let sim = Sim::new(1);
 //! let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
 //! let client = RpcClient::new(netw.channel("nfs", Transport::Tcp), Default::default());
-//! let out = client.call("lookup", 128, 128, SimDuration::from_micros(50));
+//! let out = client.call("lookup", Bytes::new(128), Bytes::new(128), SimDuration::from_micros(50));
 //! sim.advance(out.latency);
 //! assert_eq!(sim.counters().get("proto.nfs.txns"), 1);
 //! ```
@@ -39,6 +40,7 @@
 pub mod wire;
 
 use net::Channel;
+use simkit::units::{self, Bytes};
 use simkit::{CounterHandle, MetricHandle, Sim, SimDuration};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -197,8 +199,8 @@ impl RpcClient {
 
     /// Current retransmission timeout derived from the smoothed RTT.
     pub fn rto(&self) -> SimDuration {
-        let base = SimDuration::from_nanos(
-            (self.srtt.get().as_nanos() as f64 * self.config.rto_factor) as u64,
+        let base = units::duration_from_nanos_f64(
+            units::nanos_f64(self.srtt.get()) * self.config.rto_factor,
         );
         base.max(self.config.rto_min).min(self.config.rto_max)
     }
@@ -215,8 +217,8 @@ impl RpcClient {
     pub fn call(
         &self,
         proc_name: &str,
-        req_bytes: u64,
-        resp_bytes: u64,
+        req_bytes: Bytes,
+        resp_bytes: Bytes,
         server_time: SimDuration,
     ) -> CallOutcome {
         let sim = self.sim().clone();
@@ -241,10 +243,10 @@ impl RpcClient {
         let jitter = if self.chan.tcp_modeled() {
             SimDuration::ZERO
         } else {
-            let u = (sim.rng_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let u = units::unit_interval_53(sim.rng_u64());
             let jitter_scale =
-                self.chan.network().params().rtt.as_nanos() as f64 * self.config.jitter_frac;
-            SimDuration::from_nanos((-(1.0 - u).ln() * jitter_scale) as u64)
+                units::nanos_f64(self.chan.network().params().rtt) * self.config.jitter_frac;
+            units::duration_from_nanos_f64(-(1.0 - u).ln() * jitter_scale)
         };
         let reply_at = wire + server_time + jitter;
 
@@ -269,13 +271,13 @@ impl RpcClient {
 
         // Update the smoothed RTT estimate (gain-filtered).
         let g = self.config.srtt_gain;
-        let prev = self.srtt.get().as_nanos() as f64;
+        let prev = units::nanos_f64(self.srtt.get());
         let next = if prev == 0.0 {
-            reply_at.as_nanos() as f64
+            units::nanos_f64(reply_at)
         } else {
-            prev + g * (reply_at.as_nanos() as f64 - prev)
+            prev + g * (units::nanos_f64(reply_at) - prev)
         };
-        self.srtt.set(SimDuration::from_nanos(next as u64));
+        self.srtt.set(units::duration_from_nanos_f64(next));
 
         // Per-procedure client-observed latency distribution, and a
         // span covering the whole transaction (the clock has not been
@@ -318,6 +320,10 @@ mod tests {
     use net::{LinkParams, Network, Transport};
     use simkit::Sim;
 
+    fn b(n: u64) -> Bytes {
+        Bytes::new(n)
+    }
+
     fn client(rtt_ms: u64) -> (Rc<Sim>, RpcClient) {
         let sim = Sim::new(42);
         let netw = Network::new(
@@ -334,7 +340,7 @@ mod tests {
         let netw = Network::new(sim.clone(), LinkParams::gigabit_lan());
         let c = RpcClient::new(netw.channel("nfs", Transport::Tcp), RpcConfig::default());
         for _ in 0..1000 {
-            let out = c.call("read", 128, 8192, SimDuration::from_micros(100));
+            let out = c.call("read", b(128), b(8192), SimDuration::from_micros(100));
             assert_eq!(out.retransmits, 0);
         }
         assert_eq!(sim.counters().get("proto.nfs.txns"), 1000);
@@ -347,7 +353,7 @@ mod tests {
         let mut total = 0;
         for _ in 0..500 {
             total += c
-                .call("read", 128, 8192, SimDuration::from_micros(100))
+                .call("read", b(128), b(8192), SimDuration::from_micros(100))
                 .retransmits;
         }
         assert!(total > 0, "90ms RTT should trip the RTO occasionally");
@@ -361,7 +367,7 @@ mod tests {
             let mut total = 0;
             for _ in 0..500 {
                 total += c
-                    .call("read", 128, 8192, SimDuration::from_micros(100))
+                    .call("read", b(128), b(8192), SimDuration::from_micros(100))
                     .retransmits;
             }
             total
@@ -372,9 +378,9 @@ mod tests {
     #[test]
     fn latency_includes_server_time() {
         let (_sim, c) = client(10);
-        let slow = c.call("read", 128, 128, SimDuration::from_millis(50));
+        let slow = c.call("read", b(128), b(128), SimDuration::from_millis(50));
         let (_sim2, c2) = client(10);
-        let fast = c2.call("read", 128, 128, SimDuration::ZERO);
+        let fast = c2.call("read", b(128), b(128), SimDuration::ZERO);
         assert!(slow.latency > fast.latency);
         assert!(slow.latency >= SimDuration::from_millis(60)); // rtt + server
     }
@@ -382,9 +388,9 @@ mod tests {
     #[test]
     fn per_procedure_counters() {
         let (sim, c) = client(1);
-        c.call("lookup", 64, 64, SimDuration::ZERO);
-        c.call("lookup", 64, 64, SimDuration::ZERO);
-        c.call("mkdir", 64, 64, SimDuration::ZERO);
+        c.call("lookup", b(64), b(64), SimDuration::ZERO);
+        c.call("lookup", b(64), b(64), SimDuration::ZERO);
+        c.call("mkdir", b(64), b(64), SimDuration::ZERO);
         assert_eq!(sim.counters().get("proto.nfs.call.lookup"), 2);
         assert_eq!(sim.counters().get("proto.nfs.call.mkdir"), 1);
         assert_eq!(c.calls(), 3);
@@ -394,9 +400,9 @@ mod tests {
     fn per_procedure_latency_histograms() {
         let (sim, c) = client(1);
         for _ in 0..10 {
-            c.call("lookup", 64, 64, SimDuration::from_micros(50));
+            c.call("lookup", b(64), b(64), SimDuration::from_micros(50));
         }
-        c.call("mkdir", 64, 64, SimDuration::ZERO);
+        c.call("mkdir", b(64), b(64), SimDuration::ZERO);
         let h = sim.metrics().histogram("rpc.nfs.lookup").unwrap();
         assert_eq!(h.count(), 10);
         assert!(h.p50() >= SimDuration::from_millis(1).as_nanos());
@@ -407,10 +413,10 @@ mod tests {
     #[test]
     fn calls_emit_spans_when_tracing() {
         let (sim, c) = client(1);
-        c.call("lookup", 64, 64, SimDuration::ZERO);
+        c.call("lookup", b(64), b(64), SimDuration::ZERO);
         assert!(sim.tracer().is_empty(), "tracer off by default");
         sim.tracer().set_enabled(true);
-        let out = c.call("getattr", 64, 128, SimDuration::from_micros(30));
+        let out = c.call("getattr", b(64), b(128), SimDuration::from_micros(30));
         let spans = sim.tracer().spans();
         assert_eq!(spans.len(), 2, "net child + rpc span");
         assert_eq!(spans[0].layer, "net");
@@ -442,7 +448,7 @@ mod tests {
         };
         let c = RpcClient::new(netw.channel("nfs", Transport::Tcp), cfg);
         for _ in 0..500 {
-            let out = c.call("read", 128, 8192, SimDuration::from_micros(100));
+            let out = c.call("read", b(128), b(8192), SimDuration::from_micros(100));
             assert_eq!(out.retransmits, 0);
         }
         assert_eq!(sim.counters().get("proto.nfs.retrans"), 0);
@@ -464,7 +470,7 @@ mod tests {
                 ..RpcConfig::default()
             };
             let c = RpcClient::new(netw.channel("nfs", Transport::Tcp), cfg);
-            c.call("read", 128, 8192, SimDuration::from_secs(1))
+            c.call("read", b(128), b(8192), SimDuration::from_secs(1))
                 .retransmits
         };
         assert!(count(0) > count(6), "flat backoff fires more duplicates");
@@ -481,7 +487,7 @@ mod tests {
         );
         let c = RpcClient::new(netw.channel("nfs", Transport::Tcp), RpcConfig::default());
         for _ in 0..200 {
-            let out = c.call("read", 128, 8192, SimDuration::from_micros(100));
+            let out = c.call("read", b(128), b(8192), SimDuration::from_micros(100));
             assert_eq!(out.retransmits, 0);
             sim.advance(out.latency);
         }
@@ -506,7 +512,7 @@ mod tests {
         let mut total = 0u64;
         for _ in 0..100 {
             total += c
-                .call("write", 8192, 128, SimDuration::from_micros(100))
+                .call("write", b(8192), b(128), SimDuration::from_micros(100))
                 .retransmits as u64;
         }
         assert!(total > 0, "modeled queueing/loss must trip the RPC RTO");
@@ -521,7 +527,7 @@ mod tests {
         let (_sim, c) = client(90);
         let initial = c.rto();
         for _ in 0..50 {
-            c.call("read", 128, 8192, SimDuration::from_micros(100));
+            c.call("read", b(128), b(8192), SimDuration::from_micros(100));
         }
         assert!(c.rto() > initial, "RTO should learn the higher RTT");
     }

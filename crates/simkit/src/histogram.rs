@@ -150,7 +150,7 @@ impl Histogram {
         if q >= 1.0 {
             return self.max;
         }
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let rank = crate::units::f64_to_u64((q * crate::units::to_f64(self.count)).ceil()).max(1);
         let mut seen = 0;
         for (idx, &n) in self.buckets.iter().enumerate() {
             seen += n;

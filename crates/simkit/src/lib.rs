@@ -40,6 +40,7 @@ pub mod intern;
 mod rng;
 pub mod sweep;
 mod trace;
+pub mod units;
 
 pub use clock::{SimDuration, SimTime};
 pub use counters::{CounterHandle, CounterSnapshot, Counters};
@@ -49,6 +50,7 @@ pub use histogram::{Histogram, MetricHandle, Metrics};
 pub use intern::KeyId;
 pub use rng::SplitMix64;
 pub use trace::{HostId, SpanCtx, SpanId, SpanRecord, TraceId, Tracer, DEFAULT_TRACE_CAPACITY};
+pub use units::{Bps, Bytes};
 
 use std::cell::{Cell, RefCell};
 use std::rc::{Rc, Weak};

@@ -11,7 +11,9 @@ fn t(ns: u64) -> SimTime {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Miri interprets every case; a handful still exercises the
+    // arena/arithmetic invariants without minutes of wall clock.
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 64 }))]
 
     /// Equal-time events pop in `(host, seq)` order: hosts ascending,
     /// and within one host, enqueue order.

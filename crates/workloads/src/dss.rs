@@ -108,7 +108,7 @@ pub fn run(
         }
     }
     let elapsed = sim.now().since(start);
-    let qph = cfg.queries as f64 / (elapsed.as_secs_f64() / 3600.0);
+    let qph = simkit::units::usize_f64(cfg.queries) / (elapsed.as_secs_f64() / 3600.0);
     Ok(DssReport {
         queries: cfg.queries as u64,
         elapsed,

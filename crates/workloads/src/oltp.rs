@@ -104,7 +104,7 @@ pub fn run(
         sim.advance(cfg.cpu_per_txn);
     }
     let elapsed = sim.now().since(start);
-    let tpm = cfg.transactions as f64 / (elapsed.as_secs_f64() / 60.0);
+    let tpm = simkit::units::usize_f64(cfg.transactions) / (elapsed.as_secs_f64() / 60.0);
     Ok(OltpReport {
         transactions: cfg.transactions as u64,
         elapsed,

@@ -14,6 +14,7 @@
 //! implemented on top of `Session` and draws the identical RNG
 //! sequence it always has.
 
+use simkit::units::Bytes;
 use simkit::SplitMix64;
 use vfs::FileSystem;
 
@@ -63,9 +64,9 @@ pub struct PostmarkReport {
     /// Append transactions.
     pub appends: u64,
     /// Bytes read.
-    pub bytes_read: u64,
+    pub bytes_read: Bytes,
     /// Bytes written.
-    pub bytes_written: u64,
+    pub bytes_written: Bytes,
 }
 
 /// A PostMark run driven one transaction at a time.
@@ -134,7 +135,7 @@ impl<'a> Session<'a> {
         self.fs.write(fd, 0, &data)?;
         self.fs.close(fd)?;
         self.report.created += 1;
-        self.report.bytes_written += size as u64;
+        self.report.bytes_written += Bytes::new(size as u64);
         self.pool.push((id, size));
         Ok(())
     }
@@ -181,7 +182,7 @@ impl<'a> Session<'a> {
                 let _ = self.rng.below(94);
             }
             self.report.created += 1;
-            self.report.bytes_written += size as u64;
+            self.report.bytes_written += Bytes::new(size as u64);
             self.pool.push((id, size));
         }
     }
@@ -229,7 +230,7 @@ impl<'a> Session<'a> {
                 }
                 self.fs.close(fd)?;
                 self.report.reads += 1;
-                self.report.bytes_read += size as u64;
+                self.report.bytes_read += Bytes::new(size as u64);
             } else {
                 // Append a random amount.
                 let (id, size) = self.pool[idx];
@@ -243,7 +244,7 @@ impl<'a> Session<'a> {
                 self.fs.close(fd)?;
                 self.pool[idx].1 = size + extra;
                 self.report.appends += 1;
-                self.report.bytes_written += extra as u64;
+                self.report.bytes_written += Bytes::new(extra as u64);
             }
         }
         Ok(true)

@@ -1,0 +1,17 @@
+//! Tier-1 gate that the workspace `[profile.test]` really carries
+//! `overflow-checks = true`: if a future edit drops the profile (or a
+//! config override wins), this test's expected panic disappears and
+//! the suite fails — instead of model arithmetic silently wrapping.
+
+/// Defeat constant folding so the overflow happens at runtime under
+/// whatever profile the test was compiled with.
+#[inline(never)]
+fn opaque(x: u64) -> u64 {
+    std::hint::black_box(x)
+}
+
+#[test]
+#[should_panic(expected = "overflow")]
+fn test_profile_keeps_overflow_checks_on() {
+    let _ = opaque(u64::MAX) + opaque(1);
+}

@@ -92,7 +92,7 @@ fn adversarial_insertion_order_serializes_sorted() {
             key.into(),
             ChannelStats {
                 messages: 1,
-                bytes: 8,
+                bytes: 8.into(),
                 dropped: 0,
             },
         );
